@@ -1,0 +1,17 @@
+"""Output helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CACHE_PATH = REPO_ROOT / ".cache" / "campaign.json"
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table/figure and persist it under results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}", file=sys.stderr)

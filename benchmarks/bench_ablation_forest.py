@@ -1,0 +1,72 @@
+"""Ablation: random-forest hyper-parameter sensitivity.
+
+DESIGN.md calls out two NAPEL design choices worth ablating: the ensemble
+size (number of trees) and the per-split feature subsampling policy.  Both
+are swept on the full 12-application training set with out-of-bag error as
+the criterion (the same signal the tuner uses).
+
+Expected shape: error falls steeply up to a few dozen trees and then
+saturates — the classic random-forest convergence — and feature
+subsampling ("sqrt"/"third") is competitive with using all features at a
+fraction of the fit cost.
+"""
+
+import time
+
+import numpy as np
+
+from _bench_utils import emit
+
+from repro.core.predictor import NapelModel
+from repro.ml import RandomForestRegressor
+from repro.core.reporting import format_table
+
+TREE_COUNTS = (5, 15, 40, 80)
+FEATURE_POLICIES = ("sqrt", "third", None)
+
+
+def test_ablation_forest_hyperparameters(benchmark, full_training_set):
+    X = full_training_set.X()
+    y = np.log(full_training_set.y_ipc_per_pe())
+    ipc_off, _ = NapelModel.prior_offsets(X)
+    y = y - ipc_off
+
+    rows = []
+    oob_by_trees = {}
+    for n in TREE_COUNTS:
+        forest = RandomForestRegressor(n_estimators=n, random_state=0)
+        start = time.perf_counter()
+        forest.fit(X, y)
+        fit_s = time.perf_counter() - start
+        oob = forest.oob_error(y)
+        oob_by_trees[n] = oob
+        rows.append(["n_estimators", n, f"{oob:8.4f}", f"{fit_s:6.2f}"])
+
+    for policy in FEATURE_POLICIES:
+        forest = RandomForestRegressor(
+            n_estimators=40, max_features=policy, random_state=0
+        )
+        start = time.perf_counter()
+        forest.fit(X, y)
+        fit_s = time.perf_counter() - start
+        rows.append([
+            "max_features", str(policy),
+            f"{forest.oob_error(y):8.4f}", f"{fit_s:6.2f}",
+        ])
+
+    table = format_table(
+        ["knob", "value", "OOB RMSE (log IPC residual)", "fit (s)"],
+        rows,
+        title="Ablation: random-forest hyper-parameters "
+              "(12-application training set)",
+    )
+    emit("ablation_forest", table)
+
+    # Convergence: more trees never make OOB error dramatically worse,
+    # and the largest ensemble beats the smallest.
+    assert oob_by_trees[max(TREE_COUNTS)] < oob_by_trees[min(TREE_COUNTS)]
+
+    benchmark.pedantic(
+        lambda: RandomForestRegressor(n_estimators=20, random_state=0).fit(X, y),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,64 @@
+"""Extension experiment: NMC cache sizing for atax-like workloads.
+
+Paper Section 3.4, observation five: "For atax-like workloads, the
+introduction of a small cache or scratchpad memory in the NMC compute
+units (larger than the 128B L1 in Table 3) can be beneficial, such that
+the data locality of the application can still be exploited."
+
+This benchmark tests that claim directly with the simulator: atax's test
+input runs on NMC systems whose per-PE L1 grows from the paper's 2 lines
+(128 B) to 256 lines (16 KiB), and we track execution time, energy and the
+EDP reduction over the host.
+"""
+
+from _bench_utils import emit
+
+from repro import HostSimulator, NMCSimulator, default_nmc_config, get_workload
+from repro.profiler import analyze_trace
+from repro.core.reporting import format_table
+
+#: Per-PE L1 sizes swept (in 64 B lines).
+L1_LINES = (2, 8, 32, 128, 256)
+
+
+def test_ablation_nmc_cache_size(benchmark):
+    atax = get_workload("atax")
+    trace = atax.generate(atax.test_config())
+    profile = analyze_trace(trace, workload="atax")
+    host = HostSimulator().evaluate(profile)
+    host_edp = host.energy_j * host.time_s
+
+    rows = []
+    edp_reductions = {}
+    for lines in L1_LINES:
+        cfg = default_nmc_config().replace(
+            l1_lines=lines, l1_ways=min(2 if lines == 2 else 4, lines)
+        )
+        result = NMCSimulator(cfg).run(trace, workload="atax")
+        edp_red = host_edp / result.edp
+        edp_reductions[lines] = edp_red
+        rows.append([
+            f"{lines} ({lines * 64} B)",
+            f"{result.cache.miss_ratio:7.1%}",
+            f"{result.time_s * 1e6:9.2f}",
+            f"{result.energy_j * 1e3:9.4f}",
+            f"{edp_red:7.2f}",
+        ])
+    table = format_table(
+        ["L1 size", "miss ratio", "time (us)", "energy (mJ)",
+         "EDP reduction vs host"],
+        rows,
+        title="Extension (paper Sec. 3.4 obs. 5): atax EDP vs NMC L1 size",
+    )
+    emit("ablation_nmc_cache", table)
+
+    # The paper's claim: a bigger-than-128B NMC cache helps atax.
+    assert edp_reductions[max(L1_LINES)] > edp_reductions[2]
+    # And the baseline 128 B system is only marginally suitable.
+    assert 0.5 < edp_reductions[2] < 4.0
+
+    cfg = default_nmc_config().replace(l1_lines=32, l1_ways=4)
+    benchmark.pedantic(
+        lambda: NMCSimulator(cfg).run(trace, workload="atax"),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,71 @@
+"""Extension experiment: EDP suitability including offload data movement.
+
+The paper's T_NMC formula covers kernel execution only; shipping the
+kernel's inputs across the 16-lane 15 Gbps SerDes link (Table 3) and the
+results back is left implicit.  This ablation re-evaluates the Figure 7
+EDP comparison with the offload cost added, using the kernel's measured
+data footprint as the upload volume.
+
+Expected shape: offload overheads shave every application's EDP reduction
+but do not flip the clearly-suitable irregular kernels — their execution
+time dwarfs the transfer of their (sparse) working sets.
+"""
+
+from _bench_utils import emit
+
+from repro import HostSimulator, default_nmc_config
+from repro.core.reporting import format_table
+from repro.nmcsim import LinkModel, NMCSimulator, offload_adjusted_edp
+
+
+def test_ablation_offload_cost(benchmark, campaign, workloads):
+    host = HostSimulator()
+    link = LinkModel(default_nmc_config())
+
+    rows = []
+    kept = flipped = 0
+    for w in workloads:
+        row = campaign.run_point(w, w.test_config())
+        h = host.evaluate(row.profile)
+        host_edp = h.energy_j * h.time_s
+        kernel_edp = row.result.edp
+        # Upload: the kernel's touched data; download: its write volume.
+        line_bytes = campaign.arch.line_bytes
+        upload = row.result.dram.reads * line_bytes
+        download = row.result.dram.writes * line_bytes
+        cost = link.offload_cost(upload, download)
+        adjusted = offload_adjusted_edp(
+            row.result.time_s, row.result.energy_j, cost
+        )
+        red_kernel = host_edp / kernel_edp
+        red_adjusted = host_edp / adjusted
+        if (red_kernel > 1) == (red_adjusted > 1):
+            kept += 1
+        else:
+            flipped += 1
+        rows.append([
+            w.name,
+            f"{cost.total_s * 1e6:8.2f}",
+            f"{red_kernel:8.2f}",
+            f"{red_adjusted:8.2f}",
+            "yes" if red_adjusted > 1 else "no",
+        ])
+    campaign.cache.save()
+    table = format_table(
+        ["app", "offload (us)", "EDP red (kernel)",
+         "EDP red (+offload)", "still suitable"],
+        rows,
+        title="Extension: EDP suitability including SerDes offload cost",
+    )
+    emit("ablation_offload", table + f"\n\nverdicts kept: {kept}/12, "
+         f"flipped by offload cost: {flipped}/12")
+
+    # Offload never *improves* the NMC case, and the strongly-suitable
+    # kernels survive it.
+    verdicts = {row[0]: row[4] for row in rows}
+    for name in ("bfs", "kme"):
+        assert verdicts[name] == "yes"
+
+    benchmark.pedantic(
+        lambda: link.offload_cost(1 << 22, 1 << 20), rounds=50, iterations=10
+    )

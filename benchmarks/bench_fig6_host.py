@@ -1,0 +1,68 @@
+"""Paper Figure 6: execution time and energy on the (modelled) POWER9 host.
+
+Every application runs its *test* input (Table 2) through the host model;
+power is read through the AMESTER-style sensor interface, as in the paper.
+Absolute magnitudes are scaled along with the traces; the qualitative
+pattern — irregular, memory-intensive applications (bfs, kme, chol, gram)
+pay far more time and energy per instruction than the streaming kernels —
+is the input the Figure 7 suitability analysis builds on.
+"""
+
+from _bench_utils import emit
+
+from repro import HostSimulator, analyze_trace
+from repro.hostsim import PowerSensor
+from repro.core.reporting import format_bar_series, format_table
+
+
+def test_fig6_host_time_and_energy(benchmark, campaign, workloads):
+    host = HostSimulator()
+    profiles = {}
+    for w in workloads:
+        row = campaign.run_point(w, w.test_config())
+        profiles[w.name] = row.profile
+    campaign.cache.save()
+
+    results = {}
+    rows = []
+    for name, profile in profiles.items():
+        result = host.evaluate(profile)
+        sensor = PowerSensor(result)
+        results[name] = result
+        rows.append([
+            name,
+            f"{result.time_s * 1e6:9.2f}",
+            f"{result.energy_j * 1e3:9.4f}",
+            f"{sensor.energy_j() * 1e3:9.4f}",
+            f"{result.power_w:6.1f}",
+            f"{result.time_s / result.instructions * 1e12:8.2f}",
+        ])
+    table = format_table(
+        ["app", "time (us)", "energy (mJ)", "AMESTER energy (mJ)",
+         "power (W)", "time/instr (ps)"],
+        rows,
+        title="Figure 6 data: host execution time and energy (test inputs)",
+    )
+    times = {
+        name: results[name].time_s / results[name].instructions * 1e12
+        for name in results
+    }
+    chart = format_bar_series(
+        "Figure 6 (normalised): host time per instruction (ps)", times
+    )
+    emit("fig6_host", table + "\n\n" + chart)
+
+    # Shape: irregular apps cost more host time per instruction than the
+    # streaming linear-algebra kernels.
+    irregular = ("bfs", "kme")
+    streaming = ("gemv", "mvt", "trmm", "lu")
+    worst_streaming = max(times[n] for n in streaming)
+    for name in irregular:
+        assert times[name] > worst_streaming
+
+    # Sensor integration agrees with the model's energy.
+    for name, result in results.items():
+        sensor = PowerSensor(result)
+        assert abs(sensor.energy_j() - result.energy_j) / result.energy_j < 0.02
+
+    benchmark(lambda: [host.evaluate(p) for p in profiles.values()])

@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Heavy artefacts (the full 12-application CCD campaign, trained models) are
+built once per session and cached on disk under ``.cache/`` so repeated
+benchmark runs skip the simulations.  Each ``bench_*`` module regenerates
+one table or figure of the paper; the rendered output is printed and also
+written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make _bench_utils importable regardless of pytest's import mode.
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro import SimulationCampaign, all_workloads
+from repro.core import CampaignCache
+
+from _bench_utils import CACHE_PATH
+
+
+@pytest.fixture(scope="session")
+def campaign():
+    """The Table 3 NMC system campaign with the shared disk cache."""
+    cache = CampaignCache(CACHE_PATH)
+    return SimulationCampaign(cache=cache)
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    return all_workloads()
+
+
+@pytest.fixture(scope="session")
+def full_training_set(campaign, workloads):
+    """CCD campaigns of all twelve applications (paper Table 4 runs)."""
+    training = campaign.run_all(workloads)
+    campaign.cache.save()
+    return training

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Pareto-front exploration of the NMC design space.
+
+Combines the pieces a real design iteration uses:
+
+1. train NAPEL across several architectures of two workloads,
+2. sweep a 72-point architecture grid for an unseen third workload with
+   :func:`repro.core.explore` (one batched model pass),
+3. extract the time/energy Pareto front,
+4. validate the predicted-best design with one cycle-level simulation and
+   print its full statistics report.
+
+Run:  python examples/pareto_exploration.py
+"""
+
+import time
+
+from repro import (
+    NapelTrainer,
+    NMCSimulator,
+    SimulationCampaign,
+    analyze_trace,
+    default_nmc_config,
+    get_workload,
+)
+from repro.core import explore, format_exploration, grid_space, pareto_front
+from repro.core.dataset import TrainingSet
+from repro.nmcsim import format_stats
+
+TRAIN_KNOBS = {"n_pes": (16, 32), "frequency_ghz": (1.0, 1.5), "l1_lines": (2, 32)}
+SWEEP_KNOBS = {
+    "n_pes": (8, 16, 32, 64),
+    "frequency_ghz": (0.8, 1.25, 1.75),
+    "l1_lines": (2, 8, 32, 128),
+    "pe_type": ("inorder",),
+}
+
+
+def main() -> None:
+    base = default_nmc_config()
+    syrk, gesu, mvt = (get_workload(n) for n in ("syrk", "gesu", "mvt"))
+
+    train_archs = grid_space(TRAIN_KNOBS, base=base)
+    print(f"training on {len(train_archs)} architectures x 2 workloads ...")
+    start = time.perf_counter()
+    sets = []
+    for arch in train_archs:
+        campaign = SimulationCampaign(arch)
+        for w in (syrk, gesu):
+            sets.append(campaign.run(w))
+    training = TrainingSet.concat(sets)
+    trained = NapelTrainer().train(training)
+    print(
+        f"{len(training)} rows, {time.perf_counter() - start:.0f} s total\n"
+    )
+
+    profile = analyze_trace(
+        mvt.generate(mvt.test_config()), workload="mvt"
+    )
+    sweep = grid_space(SWEEP_KNOBS, base=base)
+    start = time.perf_counter()
+    points = explore(trained.model, profile, sweep)
+    sweep_ms = (time.perf_counter() - start) * 1e3
+    print(format_exploration(points, top=10))
+    front = pareto_front(points)
+    print(
+        f"\n{len(front)} Pareto-optimal designs out of {len(points)} "
+        f"(swept in {sweep_ms:.0f} ms)"
+    )
+
+    best = min(points, key=lambda p: p.edp)
+    print(f"\nvalidating the best design {best.changes} in the simulator:")
+    result = NMCSimulator(best.arch).run(
+        mvt.generate(mvt.test_config()), workload="mvt"
+    )
+    print(format_stats(result, best.arch))
+    err = abs(best.prediction.edp - result.edp) / result.edp
+    print(f"\npredicted vs simulated EDP error: {err:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: train NAPEL on one application and predict an unseen input.
+
+Walks the paper's full pipeline on ``atax``:
+
+1. central composite design picks 11 input configurations (Section 2.4),
+2. each is profiled (phase 1) and simulated on the Table 3 NMC system
+   (phase 2),
+3. a tuned random forest is trained (phase 3),
+4. the model predicts IPC/time/energy for the previously-unseen *test*
+   input, which we then verify against the cycle-level simulator.
+
+Run:  python examples/quickstart.py
+"""
+
+import time
+
+from repro import (
+    NapelTrainer,
+    SimulationCampaign,
+    analyze_trace,
+    get_workload,
+)
+
+
+def main() -> None:
+    atax = get_workload("atax")
+    campaign = SimulationCampaign()  # the paper's Table 3 NMC system
+
+    print("== Phase 1+2: DoE simulation campaign (CCD) ==")
+    start = time.perf_counter()
+    training = campaign.run(atax)
+    print(
+        f"simulated {len(training)} DoE configurations "
+        f"in {time.perf_counter() - start:.1f} s"
+    )
+
+    print("\n== Phase 3: train + tune the random forests ==")
+    trained = NapelTrainer().train(training)
+    print(f"train+tune took {trained.train_tune_seconds:.1f} s")
+    print(f"best IPC hyper-parameters:    {trained.ipc_tuning.best_params}")
+    print(f"best energy hyper-parameters: {trained.energy_tuning.best_params}")
+
+    print("\n== Prediction for the unseen test input (Table 2) ==")
+    test_config = atax.test_config()
+    trace = atax.generate(test_config)
+    profile = analyze_trace(trace, workload="atax", parameters=test_config)
+    start = time.perf_counter()
+    pred = trained.model.predict(profile, campaign.arch)
+    pred_s = time.perf_counter() - start
+    print(f"config: {test_config}")
+    print(
+        f"NAPEL:     IPC={pred.ipc:6.3f}  time={pred.time_s * 1e6:8.2f} us  "
+        f"energy={pred.energy_j * 1e3:7.4f} mJ   ({pred_s * 1e3:.1f} ms)"
+    )
+
+    start = time.perf_counter()
+    actual = campaign.run_point(atax, test_config).result
+    sim_s = time.perf_counter() - start
+    print(
+        f"simulator: IPC={actual.ipc:6.3f}  time={actual.time_s * 1e6:8.2f} us  "
+        f"energy={actual.energy_j * 1e3:7.4f} mJ   ({sim_s:.1f} s)"
+    )
+    err = abs(pred.ipc - actual.ipc) / actual.ipc
+    print(f"\nIPC relative error: {err:.1%}")
+    if sim_s > 0 and pred_s > 0:
+        print(f"prediction speedup over simulation: {sim_s / pred_s:.0f}x")
+
+
+if __name__ == "__main__":
+    main()

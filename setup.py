@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment is offline and has no ``wheel`` package, so PEP 517 editable
+builds (which require ``bdist_wheel``) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to the
+legacy ``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

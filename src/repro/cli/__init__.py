@@ -1,0 +1,16 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the pipeline stages:
+
+* ``profile``     — phase 1: profile a workload configuration
+* ``simulate``    — phase 2: simulate a configuration on the NMC system
+* ``campaign``    — run a workload's CCD campaign
+* ``train``       — phases 1-3: train a NAPEL model, save it to disk
+* ``predict``     — load a model, predict a workload configuration
+* ``suitability`` — the Section 3.4 EDP analysis
+* ``workloads``   — list the available workloads and their parameters
+"""
+
+from .main import build_parser, main
+
+__all__ = ["main", "build_parser"]

@@ -1,0 +1,245 @@
+"""Implementations of the CLI subcommands."""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from ..config import NMCConfig, default_nmc_config
+from ..core import (
+    CampaignCache,
+    NapelTrainer,
+    SimulationCampaign,
+    analyze_suitability,
+    load_model,
+    save_model,
+)
+from ..core.dataset import TrainingSet
+from ..core.reporting import format_table
+from ..errors import ReproError, WorkloadError
+from ..profiler import analyze_trace
+from ..workloads import Workload, all_workloads, get_workload
+
+
+# --------------------------------------------------------------- helpers
+
+def _parse_config(workload: Workload, args: argparse.Namespace) -> dict:
+    """Workload input configuration from --param/--test-input flags."""
+    if args.test_input:
+        config = workload.test_config()
+    else:
+        config = workload.central_config()
+    for item in args.param:
+        if "=" not in item:
+            raise WorkloadError(
+                f"--param expects NAME=VALUE, got {item!r}"
+            )
+        name, _, value = item.partition("=")
+        try:
+            config[name.strip()] = float(value)
+        except ValueError:
+            raise WorkloadError(
+                f"--param {name}: {value!r} is not a number"
+            ) from None
+    return workload.validate_config(config)
+
+
+def _parse_arch(args: argparse.Namespace) -> NMCConfig:
+    """NMC architecture from the --pes/--freq/--l1-lines/--vaults flags."""
+    changes: dict = {}
+    if getattr(args, "pes", None):
+        changes["n_pes"] = args.pes
+    if getattr(args, "freq", None):
+        changes["frequency_ghz"] = args.freq
+    if getattr(args, "l1_lines", None):
+        changes["l1_lines"] = args.l1_lines
+        changes["l1_ways"] = min(2, args.l1_lines)
+    if getattr(args, "vaults", None):
+        changes["n_vaults"] = args.vaults
+    return default_nmc_config().replace(**changes)
+
+
+def _campaign(args: argparse.Namespace, arch: NMCConfig | None = None):
+    cache = CampaignCache(args.cache) if getattr(args, "cache", None) else None
+    return SimulationCampaign(
+        arch or default_nmc_config(),
+        cache=cache,
+        scale=getattr(args, "scale", 1.0),
+    )
+
+
+# -------------------------------------------------------------- commands
+
+def cmd_workloads(args: argparse.Namespace) -> None:
+    rows = []
+    for w in all_workloads():
+        for i, p in enumerate(w.parameters):
+            rows.append([
+                w.name if i == 0 else "",
+                w.description if i == 0 else "",
+                p.name,
+                ", ".join(f"{lv:g}" for lv in p.levels),
+                f"{p.test:g}",
+            ])
+    print(format_table(
+        ["name", "description", "parameter", "levels (min..max)", "test"],
+        rows,
+        title="Available workloads (paper Table 2)",
+    ))
+
+
+def cmd_profile(args: argparse.Namespace) -> None:
+    workload = get_workload(args.workload)
+    config = _parse_config(workload, args)
+    start = time.perf_counter()
+    trace = workload.generate(config, scale=args.scale)
+    profile = analyze_trace(
+        trace, workload=workload.name, parameters=config
+    )
+    elapsed = time.perf_counter() - start
+    print(f"workload: {workload.name}  config: {config}")
+    print(
+        f"trace: {len(trace):,} instructions, "
+        f"{trace.memory_op_count:,} memory ops, "
+        f"{trace.thread_count} threads  ({elapsed:.2f} s)"
+    )
+    items = sorted(
+        profile.as_dict().items(), key=lambda kv: abs(kv[1]), reverse=True
+    )[: args.top]
+    print(format_table(
+        ["feature", "value"],
+        [[name, f"{value:.6g}"] for name, value in items],
+        title=f"top {args.top} profile features (of 395)",
+    ))
+
+
+def cmd_simulate(args: argparse.Namespace) -> None:
+    workload = get_workload(args.workload)
+    config = _parse_config(workload, args)
+    arch = _parse_arch(args)
+    trace = workload.generate(config, scale=args.scale)
+    start = time.perf_counter()
+    from ..nmcsim import NMCSimulator
+
+    result = NMCSimulator(arch).run(trace, workload=workload.name)
+    elapsed = time.perf_counter() - start
+    print(f"workload: {workload.name}  config: {config}")
+    print(f"architecture: {arch.n_pes} PEs @ {arch.frequency_ghz} GHz, "
+          f"L1 {arch.l1_bytes} B, {arch.n_vaults} vaults")
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["instructions", f"{result.instructions:,}"],
+            ["cycles", f"{result.cycles:,}"],
+            ["IPC", f"{result.ipc:.4f}"],
+            ["time", f"{result.time_s * 1e6:.2f} us"],
+            ["energy", f"{result.energy_j * 1e3:.4f} mJ"],
+            ["EDP", f"{result.edp:.4e} J*s"],
+            ["L1 miss ratio", f"{result.cache.miss_ratio:.1%}"],
+            ["DRAM accesses", f"{result.dram.accesses:,}"],
+            ["simulation wall-clock", f"{elapsed:.2f} s"],
+        ],
+        title="simulation result",
+    ))
+
+
+def cmd_campaign(args: argparse.Namespace) -> None:
+    workload = get_workload(args.workload)
+    campaign = _campaign(args, _parse_arch(args))
+    start = time.perf_counter()
+    training = campaign.run(workload)
+    campaign.cache.save()
+    elapsed = time.perf_counter() - start
+    rows = [
+        [
+            ", ".join(f"{k}={v:g}" for k, v in row.parameters.items()),
+            f"{row.result.ipc:.4f}",
+            f"{row.result.energy_j * 1e3:.4f}",
+        ]
+        for row in training
+    ]
+    print(format_table(
+        ["configuration", "IPC", "energy (mJ)"],
+        rows,
+        title=f"CCD campaign for {workload.name}: {len(training)} "
+              f"configurations in {elapsed:.1f} s",
+    ))
+
+
+def cmd_train(args: argparse.Namespace) -> None:
+    campaign = _campaign(args)
+    sets = []
+    for name in args.apps:
+        workload = get_workload(name)
+        print(f"running CCD campaign for {name} ...")
+        sets.append(campaign.run(workload))
+    campaign.cache.save()
+    training = TrainingSet.concat(sets)
+    trainer = NapelTrainer(
+        model=args.model, n_estimators=args.trees, tune=not args.no_tune
+    )
+    trained = trainer.train(training)
+    save_model(trained.model, args.output)
+    print(
+        f"trained {args.model} on {len(training)} rows "
+        f"({trained.train_tune_seconds:.1f} s); model saved to {args.output}"
+    )
+    if trained.ipc_tuning is not None:
+        print(f"IPC hyper-parameters:    {trained.ipc_tuning.best_params}")
+        print(f"energy hyper-parameters: {trained.energy_tuning.best_params}")
+
+
+def cmd_predict(args: argparse.Namespace) -> None:
+    model = load_model(args.model_file)
+    workload = get_workload(args.workload)
+    config = _parse_config(workload, args)
+    arch = _parse_arch(args)
+    trace = workload.generate(config, scale=args.scale)
+    profile = analyze_trace(
+        trace, workload=workload.name, parameters=config
+    )
+    start = time.perf_counter()
+    pred = model.predict(profile, arch)
+    elapsed = time.perf_counter() - start
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["IPC (aggregate)", f"{pred.ipc:.4f}"],
+            ["IPC (per PE)", f"{pred.ipc_per_pe:.4f}"],
+            ["PEs used", pred.pes_used],
+            ["time", f"{pred.time_s * 1e6:.2f} us"],
+            ["energy", f"{pred.energy_j * 1e3:.4f} mJ"],
+            ["EDP", f"{pred.edp:.4e} J*s"],
+            ["prediction wall-clock", f"{elapsed * 1e3:.1f} ms"],
+        ],
+        title=f"NAPEL prediction: {workload.name} {config}",
+    ))
+
+
+def cmd_suitability(args: argparse.Namespace) -> None:
+    workloads = [get_workload(name) for name in args.apps]
+    if len(workloads) < 2:
+        raise ReproError(
+            "suitability needs at least two workloads (the NAPEL model is "
+            "trained on the other applications)"
+        )
+    campaign = _campaign(args)
+    print(f"running CCD campaigns for {', '.join(args.apps)} ...")
+    training = campaign.run_all(workloads)
+    campaign.cache.save()
+    results = analyze_suitability(workloads, campaign, training_set=training)
+    rows = [
+        [
+            r.workload,
+            f"{r.edp_reduction_actual:8.2f}",
+            f"{r.edp_reduction_pred:8.2f}",
+            "NMC-suitable" if r.suitable_actual else "host wins",
+            f"{r.edp_mre:6.1%}",
+        ]
+        for r in results
+    ]
+    print(format_table(
+        ["app", "EDP red (sim)", "EDP red (NAPEL)", "verdict", "EDP MRE"],
+        rows,
+        title="NMC-suitability analysis (cf. paper Figure 7)",
+    ))

@@ -1,0 +1,120 @@
+"""Argument parsing and dispatch for the ``repro`` CLI."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .. import __version__
+from ..errors import ReproError
+from . import commands
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "NAPEL reproduction: near-memory-computing performance and "
+            "energy prediction via ensemble learning (DAC 2019)."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    # Shared workload/config arguments -----------------------------------
+    def add_workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("workload", help="workload name (see `workloads`)")
+        p.add_argument(
+            "--param", "-p", action="append", default=[],
+            metavar="NAME=VALUE",
+            help="input parameter (repeatable); defaults to central levels",
+        )
+        p.add_argument(
+            "--test-input", action="store_true",
+            help="use the paper's Table 2 test input",
+        )
+        p.add_argument(
+            "--scale", type=float, default=1.0,
+            help="extra trace shrink factor (default 1.0)",
+        )
+
+    def add_arch_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--pes", type=int, help="number of NMC PEs")
+        p.add_argument("--freq", type=float, help="PE frequency (GHz)")
+        p.add_argument("--l1-lines", type=int, help="L1 lines per PE")
+        p.add_argument("--vaults", type=int, help="DRAM vaults")
+
+    p = sub.add_parser("workloads", help="list workloads and parameters")
+    p.set_defaults(func=commands.cmd_workloads)
+
+    p = sub.add_parser("profile", help="phase 1: profile a configuration")
+    add_workload_args(p)
+    p.add_argument(
+        "--top", type=int, default=20,
+        help="show the N most informative features (default 20)",
+    )
+    p.set_defaults(func=commands.cmd_profile)
+
+    p = sub.add_parser("simulate", help="phase 2: simulate on the NMC system")
+    add_workload_args(p)
+    add_arch_args(p)
+    p.set_defaults(func=commands.cmd_simulate)
+
+    p = sub.add_parser("campaign", help="run a workload's CCD campaign")
+    add_workload_args(p)
+    add_arch_args(p)
+    p.add_argument("--cache", help="campaign cache file (JSON)")
+    p.set_defaults(func=commands.cmd_campaign)
+
+    p = sub.add_parser("train", help="train a NAPEL model and save it")
+    p.add_argument(
+        "apps", nargs="+", help="workloads whose CCD campaigns form the "
+        "training set",
+    )
+    p.add_argument("--output", "-o", required=True, help="model file path")
+    p.add_argument("--cache", help="campaign cache file (JSON)")
+    p.add_argument(
+        "--model", choices=("rf", "ann", "tree"), default="rf",
+        help="learner (default: rf, the paper's choice)",
+    )
+    p.add_argument("--trees", type=int, default=60, help="forest size")
+    p.add_argument(
+        "--no-tune", action="store_true", help="skip hyper-parameter tuning"
+    )
+    p.add_argument(
+        "--scale", type=float, default=1.0, help="trace shrink factor"
+    )
+    p.set_defaults(func=commands.cmd_train)
+
+    p = sub.add_parser("predict", help="predict with a saved model")
+    add_workload_args(p)
+    add_arch_args(p)
+    p.add_argument("--model-file", "-m", required=True, help="model file")
+    p.set_defaults(func=commands.cmd_predict)
+
+    p = sub.add_parser(
+        "suitability", help="EDP-based NMC-suitability analysis (Sec. 3.4)"
+    )
+    p.add_argument("apps", nargs="+", help="workloads to analyze")
+    p.add_argument("--cache", help="campaign cache file (JSON)")
+    p.add_argument(
+        "--scale", type=float, default=1.0, help="trace shrink factor"
+    )
+    p.set_defaults(func=commands.cmd_suitability)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0

@@ -1,0 +1,153 @@
+"""Model and profile analysis utilities.
+
+What drives NAPEL's predictions?  This module ties the forests' feature
+importances (impurity-based and permutation-based) back to the named
+feature catalog, renders human-readable profile summaries, and provides
+the architecture-comparison helper the design-space-exploration flow uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import NMCConfig
+from ..errors import MLError
+from ..ml import permutation_importance
+from ..profiler import ApplicationProfile
+from .dataset import ALL_FEATURE_NAMES, TrainingSet
+from .predictor import NapelModel, NapelPrediction
+from .reporting import format_table
+
+
+def top_features(
+    model, k: int = 15
+) -> list[tuple[str, float]]:
+    """The ``k`` most important named features of a fitted forest.
+
+    ``model`` must expose ``feature_importances_`` aligned with the NAPEL
+    feature matrix (one of :class:`NapelModel`'s two forests).
+    """
+    importances = getattr(model, "feature_importances_", None)
+    if importances is None:
+        raise MLError("model has no feature_importances_ (not a forest?)")
+    if len(importances) != len(ALL_FEATURE_NAMES):
+        raise MLError(
+            f"importances have {len(importances)} entries, expected "
+            f"{len(ALL_FEATURE_NAMES)}"
+        )
+    order = np.argsort(importances)[::-1][:k]
+    return [(ALL_FEATURE_NAMES[i], float(importances[i])) for i in order]
+
+
+def importance_report(
+    napel: NapelModel,
+    training: TrainingSet,
+    *,
+    k: int = 12,
+    permutation: bool = False,
+    random_state: int = 0,
+) -> str:
+    """A table of the most important features per target.
+
+    With ``permutation=True`` importances are recomputed model-agnostically
+    by shuffling columns (slower, unbiased); by default the forests'
+    impurity importances are reported.
+    """
+    rows = []
+    X = training.X()
+    for target, model, y in (
+        ("IPC", napel.ipc_model, np.log(training.y_ipc_per_pe())),
+        ("energy", napel.energy_model,
+         np.log(training.y_energy_per_instruction())),
+    ):
+        if permutation:
+            pi = permutation_importance(
+                model, X.copy(), model.predict(X),
+                n_repeats=3, random_state=random_state,
+            )
+            pairs = pi.top(ALL_FEATURE_NAMES, k)
+        else:
+            pairs = top_features(model, k)
+        for i, (name, value) in enumerate(pairs):
+            rows.append([target if i == 0 else "", i + 1, name, f"{value:.4g}"])
+    return format_table(
+        ["target", "rank", "feature", "importance"],
+        rows,
+        title="most informative model inputs",
+    )
+
+
+def profile_summary(profile: ApplicationProfile) -> str:
+    """A compact human-readable characterisation of a kernel profile."""
+    mem = profile["mix.mem_all"]
+    regular = profile["stride.regular_read"]
+    small_stride = profile["stride.frac_le_4"]
+    escape_1m = profile["traffic.bytes_1048576"]
+    rows = [
+        ["instructions", f"{profile.instruction_count:,}"],
+        ["threads", profile.thread_count],
+        ["memory intensity", f"{mem:.1%} of instructions"],
+        ["FP share", f"{profile['mix.fp_all']:.1%}"],
+        ["ideal-machine ILP", f"{profile['ilp.total']:.2f}"],
+        ["stride-predictable reads", f"{regular:.1%}"],
+        ["small-stride (<=32 B) accesses", f"{small_stride:.1%}"],
+        ["escapes a 1 MiB cache", f"{escape_1m:.1%} of accesses"],
+        ["data footprint (log2 lines)", f"{profile['footprint.data_lines']:.1f}"],
+    ]
+    verdict = (
+        "irregular / memory-bound (NMC-leaning)"
+        if small_stride < 0.5 and escape_1m > 0.2
+        else "regular / locality-friendly (host-leaning)"
+    )
+    rows.append(["first-order characterisation", verdict])
+    title = f"profile summary: {profile.workload or '(unnamed kernel)'}"
+    return format_table(["property", "value"], rows, title=title)
+
+
+@dataclass(frozen=True)
+class ArchComparison:
+    """One row of an architecture-sweep comparison."""
+
+    label: str
+    arch: NMCConfig
+    prediction: NapelPrediction
+
+
+def compare_architectures(
+    model: NapelModel,
+    profile: ApplicationProfile,
+    archs: dict[str, NMCConfig],
+) -> list[ArchComparison]:
+    """Predict one kernel across several architectures, best EDP first."""
+    if not archs:
+        raise MLError("compare_architectures needs at least one architecture")
+    results = [
+        ArchComparison(label, arch, model.predict(profile, arch))
+        for label, arch in archs.items()
+    ]
+    results.sort(key=lambda r: r.prediction.edp)
+    return results
+
+
+def format_arch_comparison(results: list[ArchComparison]) -> str:
+    rows = [
+        [
+            r.label,
+            r.arch.n_pes,
+            f"{r.arch.frequency_ghz:g}",
+            r.arch.l1_lines,
+            f"{r.prediction.ipc:7.3f}",
+            f"{r.prediction.time_s * 1e6:9.2f}",
+            f"{r.prediction.energy_j * 1e3:9.4f}",
+            f"{r.prediction.edp:.3e}",
+        ]
+        for r in results
+    ]
+    return format_table(
+        ["design", "#PEs", "GHz", "L1 lines", "IPC", "time (us)",
+         "energy (mJ)", "EDP (J*s)"],
+        rows,
+        title="architecture comparison (best EDP first)",
+    )

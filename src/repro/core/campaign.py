@@ -1,0 +1,196 @@
+"""DoE simulation campaigns (paper phase 2).
+
+A :class:`SimulationCampaign` turns a workload and a set of DoE-selected
+input configurations into a :class:`~repro.core.dataset.TrainingSet`: it
+generates each configuration's trace, profiles it (phase 1) and simulates
+it on the target NMC architecture (phase 2).
+
+A :class:`CampaignCache` memoises (workload, configuration, architecture)
+-> (profile, simulation result), because the leave-one-application-out
+evaluation and the benchmark harness revisit the same points many times.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from ..config import NMCConfig, default_nmc_config
+from ..doe import ParameterSpace, central_composite
+from ..errors import CampaignError
+from ..nmcsim import NMCSimulator, SimulationResult
+from ..profiler import ApplicationProfile, analyze_trace
+from ..workloads import Workload
+from ..workloads.base import config_seed
+from .dataset import TrainingRow, TrainingSet
+
+
+def _arch_key(arch: NMCConfig) -> str:
+    return json.dumps(dataclasses.asdict(arch), sort_keys=True, default=str)
+
+
+def _config_key(workload: str, config: Mapping[str, float], seed: int) -> str:
+    params = ",".join(f"{k}={config[k]:.8g}" for k in sorted(config))
+    return f"{workload}|{params}|seed={seed}"
+
+
+class CampaignCache:
+    """Memoises campaign points, optionally persisted as JSON on disk."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self._profiles: dict[str, ApplicationProfile] = {}
+        self._results: dict[tuple[str, str], SimulationResult] = {}
+        self.path = Path(path) if path is not None else None
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def get(
+        self, point_key: str, arch_key: str
+    ) -> tuple[ApplicationProfile, SimulationResult] | None:
+        profile = self._profiles.get(point_key)
+        result = self._results.get((point_key, arch_key))
+        if profile is not None and result is not None:
+            return profile, result
+        return None
+
+    def get_profile(self, point_key: str) -> ApplicationProfile | None:
+        return self._profiles.get(point_key)
+
+    def put(
+        self,
+        point_key: str,
+        arch_key: str,
+        profile: ApplicationProfile,
+        result: SimulationResult,
+    ) -> None:
+        self._profiles[point_key] = profile
+        self._results[(point_key, arch_key)] = result
+
+    def save(self) -> None:
+        """Persist the cache (no-op without a configured path)."""
+        if self.path is None:
+            return
+        data = {
+            "profiles": {
+                k: p.to_json_dict() for k, p in self._profiles.items()
+            },
+            "results": [
+                {"point": pk, "arch": ak, "result": r.to_json_dict()}
+                for (pk, ak), r in self._results.items()
+            ],
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(data))
+
+    def _load(self) -> None:
+        data = json.loads(self.path.read_text())
+        self._profiles = {
+            k: ApplicationProfile.from_json_dict(p)
+            for k, p in data.get("profiles", {}).items()
+        }
+        self._results = {
+            (entry["point"], entry["arch"]): SimulationResult.from_json_dict(
+                entry["result"]
+            )
+            for entry in data.get("results", [])
+        }
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+
+class SimulationCampaign:
+    """Runs DoE configurations of workloads through profile + simulation."""
+
+    def __init__(
+        self,
+        arch: NMCConfig | None = None,
+        *,
+        cache: CampaignCache | None = None,
+        scale: float = 1.0,
+    ) -> None:
+        self.arch = arch or default_nmc_config()
+        self.arch.validate()
+        self.cache = cache if cache is not None else CampaignCache()
+        self.scale = scale
+        self._simulator = NMCSimulator(self.arch)
+        #: Wall-clock seconds spent simulating, by workload (Table 4's
+        #: "DoE run" column); profiling time is included, simulation of
+        #: cached points is not re-counted.
+        self.doe_run_seconds: dict[str, float] = {}
+
+    # ------------------------------------------------------------ points
+
+    def run_point(
+        self,
+        workload: Workload,
+        config: Mapping[str, float],
+        *,
+        replicate: int = 0,
+    ) -> TrainingRow:
+        """Profile + simulate one input configuration.
+
+        ``replicate`` differentiates centre replicates of the CCD: each
+        replicate runs with a distinct RNG seed, which is how a
+        deterministic simulator exhibits the "pure error" the centre
+        replicates of a classical CCD are meant to estimate.
+        """
+        config = workload.validate_config(config)
+        seed = config_seed(workload.name, config) + replicate
+        point_key = _config_key(workload.name, config, seed)
+        arch_key = _arch_key(self.arch)
+        cached = self.cache.get(point_key, arch_key)
+        if cached is not None:
+            profile, result = cached
+        else:
+            start = time.perf_counter()
+            trace = workload.generate(config, scale=self.scale, seed=seed)
+            profile = self.cache.get_profile(point_key)
+            if profile is None:
+                profile = analyze_trace(
+                    trace, workload=workload.name, parameters=dict(config)
+                )
+            result = self._simulator.run(
+                trace, workload=workload.name, parameters=dict(config)
+            )
+            elapsed = time.perf_counter() - start
+            self.doe_run_seconds[workload.name] = (
+                self.doe_run_seconds.get(workload.name, 0.0) + elapsed
+            )
+            self.cache.put(point_key, arch_key, profile, result)
+        return TrainingRow(
+            workload=workload.name,
+            parameters=dict(config),
+            profile=profile,
+            arch=self.arch,
+            result=result,
+        )
+
+    # --------------------------------------------------------- campaigns
+
+    def run(
+        self,
+        workload: Workload,
+        configs: Sequence[Mapping[str, float]] | None = None,
+    ) -> TrainingSet:
+        """Run a workload's DoE campaign (default: its CCD, Table 4 sizes)."""
+        if configs is None:
+            space = ParameterSpace.of_workload(workload)
+            configs = central_composite(space)
+        if not configs:
+            raise CampaignError("campaign needs at least one configuration")
+        rows: list[TrainingRow] = []
+        seen: dict[str, int] = {}
+        for config in configs:
+            key = _config_key(workload.name, workload.validate_config(config), 0)
+            replicate = seen.get(key, 0)
+            seen[key] = replicate + 1
+            rows.append(self.run_point(workload, config, replicate=replicate))
+        return TrainingSet(rows)
+
+    def run_all(self, workloads: Sequence[Workload]) -> TrainingSet:
+        """CCD campaigns for several workloads, concatenated."""
+        return TrainingSet.concat(self.run(w) for w in workloads)

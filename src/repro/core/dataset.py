@@ -1,0 +1,219 @@
+"""Training-set container: (profile, architecture) -> labels.
+
+One :class:`TrainingRow` per simulated DoE configuration.  The feature
+matrix concatenates the 395 application-profile features with the NMC
+architectural features (paper Table 1); the labels are IPC and energy.
+
+Energy is learned *per instruction* (J/instr): total kernel energy scales
+trivially with the dynamic instruction count, so normalising by it lets the
+model focus on the architecture/locality interaction, and the predictor
+multiplies back by ``I_offload`` — the same unit change the paper's
+execution-time formula applies to IPC.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..config import NMCConfig
+from ..errors import CampaignError
+from ..ir import OPCODE_LATENCY, Opcode
+from ..nmcsim import SimulationResult
+from ..profiler import ApplicationProfile
+from ..profiler.features import FEATURE_NAMES, TRAFFIC_CACHE_SIZES
+
+#: Mechanistic interaction features: first-order in-order CPI and energy
+#: estimates computed from the profile x architecture pair.  They give every
+#: learner (NAPEL's forest *and* the Figure 5 baselines, identically) a
+#: physically grounded prior that transfers across applications, so the
+#: models learn corrections rather than absolute scales.
+DERIVED_FEATURE_NAMES = (
+    "prior.cpi_exec",
+    "prior.miss_per_instr",
+    "prior.stall_per_instr",
+    "prior.ipc_estimate",
+    "prior.log_epi_estimate",
+    "prior.bytes_per_instr",
+)
+
+#: Column names of the assembled feature matrix: the 395 profile features,
+#: the software thread count (known at prediction time, needed because the
+#: profile statistics themselves are thread-count-agnostic), the NMC
+#: architectural features, and the mechanistic interaction features.
+ALL_FEATURE_NAMES: tuple[str, ...] = (
+    FEATURE_NAMES
+    + ("app.threads",)
+    + NMCConfig.ARCH_FEATURE_NAMES
+    + DERIVED_FEATURE_NAMES
+)
+
+
+def derived_features(profile: ApplicationProfile, arch: NMCConfig) -> list[float]:
+    """First-order mechanistic estimates for one (profile, arch) pair."""
+    cpi_exec = sum(
+        profile[f"opcode.{int(op)}"] * lat for op, lat in OPCODE_LATENCY.items()
+    )
+    # Fraction of memory accesses escaping the PE's L1 (profile traffic
+    # feature at the largest profiled size not exceeding the L1 capacity).
+    eligible = [s for s in TRAFFIC_CACHE_SIZES if s <= arch.l1_bytes]
+    size = eligible[-1] if eligible else TRAFFIC_CACHE_SIZES[0]
+    l1_escape = profile[f"traffic.bytes_{size}"]
+    miss_per_instr = profile["mix.mem_all"] * l1_escape
+    # Sequential misses land in the already-open DRAM row (several lines
+    # share a row buffer) and skip the activation: the unit-stride fraction
+    # of the access stream sees only CAS + burst latency.
+    seq_frac = profile["stride.frac_le_1"]
+    lines_per_row = max(1, arch.row_buffer_bytes // arch.line_bytes)
+    row_hit_frac = seq_frac * (1.0 - 1.0 / lines_per_row)
+    timing = arch.timing
+    miss_ns = (
+        (1.0 - row_hit_frac) * timing.closed_row_access_ns()
+        + row_hit_frac * (timing.t_cl_ns + timing.t_bl_ns)
+    )
+    miss_cycles = miss_ns * arch.frequency_ghz
+    # Write-allocate caches fetch on store misses and later write the dirty
+    # line back: the write share of the miss stream roughly doubles its
+    # DRAM traffic, and the extra bank occupancy delays subsequent misses.
+    mem_all = max(profile["mix.mem_all"], 1e-12)
+    write_frac = (profile["mix.store"] + profile["mix.atomic"]) / mem_all
+    dram_per_instr = miss_per_instr * (1.0 + write_frac)
+    stall_per_instr = (
+        miss_per_instr * miss_cycles * (1.0 + 0.5 * write_frac)
+    )
+    # Multi-issue cores retire compute faster; out-of-order cores also
+    # overlap misses across their MSHRs (in-order cores block: mshr = 1).
+    ipc_estimate = 1.0 / (
+        cpi_exec / arch.issue_width
+        + stall_per_instr / arch.mshr_entries
+    )
+    # Energy per instruction: dynamic core energy + DRAM traffic + static
+    # power integrated over the estimated cycles (per PE share).  Row hits
+    # skip the activation energy too.
+    e = arch.energy
+    line_bits = arch.line_bytes * 8
+    epi_pj = (
+        8.0  # mean core op energy (pJ), first order
+        + profile["mix.mem_all"] * e.l1_access_pj
+        + dram_per_instr * (
+            (1.0 - row_hit_frac) * e.dram_activate_pj
+            + line_bits * e.dram_rw_pj_per_bit
+        )
+        + (e.pe_static_w + e.dram_static_w / arch.n_pes)
+        * (cpi_exec + stall_per_instr)
+        / arch.frequency_ghz  # W * ns = nJ -> x1000 pJ
+        * 1000.0
+    )
+    bytes_per_instr = miss_per_instr * arch.line_bytes
+    return [
+        cpi_exec,
+        miss_per_instr,
+        stall_per_instr,
+        ipc_estimate,
+        math.log(max(epi_pj, 1e-9)),
+        bytes_per_instr,
+    ]
+
+
+@dataclass(frozen=True)
+class TrainingRow:
+    """One simulated (workload-input, architecture) point."""
+
+    workload: str
+    parameters: dict
+    profile: ApplicationProfile
+    arch: NMCConfig
+    result: SimulationResult
+
+    @property
+    def features(self) -> np.ndarray:
+        return np.concatenate([
+            self.profile.values,
+            [float(self.profile.thread_count)],
+            np.asarray(self.arch.feature_vector()),
+            np.asarray(derived_features(self.profile, self.arch)),
+        ])
+
+    @property
+    def ipc(self) -> float:
+        return self.result.ipc
+
+    @property
+    def ipc_per_pe(self) -> float:
+        """IPC divided by the PEs actually used — the learned label.
+
+        Aggregate IPC scales with the number of active PEs, which is an
+        input parameter, not a learned quantity; normalising by it lets the
+        model learn the locality/architecture interaction.
+        """
+        return self.result.ipc / self.result.n_pes_used
+
+    @property
+    def energy_per_instruction(self) -> float:
+        return self.result.energy_j / self.result.instructions
+
+
+class TrainingSet:
+    """An ordered collection of training rows with matrix views."""
+
+    def __init__(self, rows: Sequence[TrainingRow]) -> None:
+        self.rows = list(rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    # ----------------------------------------------------------- matrices
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        return ALL_FEATURE_NAMES
+
+    def X(self) -> np.ndarray:
+        """(n, len(ALL_FEATURE_NAMES)) feature matrix."""
+        if not self.rows:
+            raise CampaignError("training set is empty")
+        return np.stack([row.features for row in self.rows])
+
+    def y_ipc(self) -> np.ndarray:
+        return np.asarray([row.ipc for row in self.rows])
+
+    def y_ipc_per_pe(self) -> np.ndarray:
+        return np.asarray([row.ipc_per_pe for row in self.rows])
+
+    def n_pes_used(self) -> np.ndarray:
+        return np.asarray([row.result.n_pes_used for row in self.rows])
+
+    def y_energy_per_instruction(self) -> np.ndarray:
+        return np.asarray([row.energy_per_instruction for row in self.rows])
+
+    def groups(self) -> np.ndarray:
+        """Workload name of every row (for leave-one-application-out)."""
+        return np.asarray([row.workload for row in self.rows])
+
+    # -------------------------------------------------------- combinators
+
+    def workloads(self) -> list[str]:
+        """Distinct workload names, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for row in self.rows:
+            seen.setdefault(row.workload, None)
+        return list(seen)
+
+    def filter(self, workload: str) -> "TrainingSet":
+        return TrainingSet([r for r in self.rows if r.workload == workload])
+
+    def exclude(self, workload: str) -> "TrainingSet":
+        return TrainingSet([r for r in self.rows if r.workload != workload])
+
+    @classmethod
+    def concat(cls, sets: Iterable["TrainingSet"]) -> "TrainingSet":
+        rows: list[TrainingRow] = []
+        for s in sets:
+            rows.extend(s.rows)
+        return cls(rows)

@@ -1,0 +1,193 @@
+"""The trained NAPEL model (paper phase B: prediction).
+
+Given a hardware-independent application profile and an NMC architecture
+configuration, the model predicts per-PE IPC and energy-per-instruction
+with two random forests (trained in log space — IPC and energy are
+ratio-scale quantities spanning decades across applications) and derives:
+
+* aggregate IPC (per-PE IPC times the PEs the kernel's thread count uses),
+* execution time via the paper's formula
+  ``T_NMC = I_offload / (IPC * f_core)``,
+* total energy ``E = epi * I_offload``,
+* the energy-delay product used by the suitability analysis.
+
+Raw model outputs are clamped to the training-label range (with a small
+margin): a prediction outside every observed label is an extrapolation
+artefact, and clamping keeps the weaker Figure 5 baselines (ANN, linear
+model tree) finite when they extrapolate wildly for unseen applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import NMCConfig
+from ..errors import MLError
+from ..profiler import ApplicationProfile
+
+#: Clamp margin in log space (allow a factor of e^0.5 ~ 1.65x beyond the
+#: observed label range before clamping).
+CLAMP_MARGIN = 0.5
+
+
+@dataclass(frozen=True)
+class NapelPrediction:
+    """One NAPEL prediction for a (kernel, architecture) pair."""
+
+    workload: str
+    ipc: float
+    ipc_per_pe: float
+    energy_per_instruction_j: float
+    instructions: int
+    pes_used: int
+    time_s: float
+    energy_j: float
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (J * s)."""
+        return self.energy_j * self.time_s
+
+
+class NapelModel:
+    """NAPEL's trained predictor: two forests + the time/energy formulas.
+
+    ``ipc_bounds`` / ``energy_bounds`` are the (min, max) of the training
+    labels in model space, used for clamping (see module docstring).
+
+    With ``residual_to_prior`` the forests were trained on the log-ratio of
+    the label to its mechanistic prior estimate (the ``prior.*`` feature
+    columns); the prior offsets are added back at prediction time.  This
+    gray-box residual formulation transfers across applications much better
+    than raw labels: the physics carries the scale, the model carries the
+    corrections.
+    """
+
+    _LN_PJ_TO_J = float(np.log(1e12))
+
+    @staticmethod
+    def _prior_columns() -> tuple[int, int]:
+        """Feature-column indices of the prior estimates."""
+        from .dataset import ALL_FEATURE_NAMES
+
+        return (
+            ALL_FEATURE_NAMES.index("prior.ipc_estimate"),
+            ALL_FEATURE_NAMES.index("prior.log_epi_estimate"),
+        )
+
+    def __init__(
+        self,
+        ipc_model,
+        energy_model,
+        *,
+        log_space: bool = True,
+        residual_to_prior: bool = True,
+        ipc_bounds: tuple[float, float] | None = None,
+        energy_bounds: tuple[float, float] | None = None,
+    ) -> None:
+        self.ipc_model = ipc_model
+        self.energy_model = energy_model
+        self.log_space = log_space
+        self.residual_to_prior = residual_to_prior
+        self.ipc_bounds = ipc_bounds
+        self.energy_bounds = energy_bounds
+
+    @classmethod
+    def prior_offsets(cls, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Log-space prior offsets (IPC, energy-per-instruction in J)."""
+        ipc_col, epi_col = cls._prior_columns()
+        ipc_prior = np.log(np.maximum(X[:, ipc_col], 1e-12))
+        epi_prior = X[:, epi_col] - cls._LN_PJ_TO_J
+        return ipc_prior, epi_prior
+
+    # ------------------------------------------------------------ helpers
+
+    @staticmethod
+    def features(profile: ApplicationProfile, arch: NMCConfig) -> np.ndarray:
+        """The model-input row for one (profile, architecture) pair."""
+        from .dataset import derived_features
+
+        return np.concatenate([
+            profile.values,
+            [float(profile.thread_count)],
+            np.asarray(arch.feature_vector()),
+            np.asarray(derived_features(profile, arch)),
+        ])
+
+    def _clamp(
+        self, raw: np.ndarray, bounds: tuple[float, float] | None
+    ) -> np.ndarray:
+        if bounds is None:
+            return raw
+        lo, hi = bounds
+        return np.clip(raw, lo - CLAMP_MARGIN, hi + CLAMP_MARGIN)
+
+    def _invert(self, raw: np.ndarray) -> np.ndarray:
+        return np.exp(raw) if self.log_space else raw
+
+    def predict_labels(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(per-PE IPC, energy-per-instruction) for feature rows ``X``.
+
+        Applies residual clamping, the prior offsets and the inverse label
+        transform; this is the one path every evaluation (prediction,
+        LOOCV, suitability) goes through, so all models are compared under
+        identical conventions.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        ipc_raw = self._clamp(
+            np.asarray(self.ipc_model.predict(X), dtype=np.float64),
+            self.ipc_bounds,
+        )
+        epi_raw = self._clamp(
+            np.asarray(self.energy_model.predict(X), dtype=np.float64),
+            self.energy_bounds,
+        )
+        if self.residual_to_prior:
+            ipc_off, epi_off = self.prior_offsets(X)
+            ipc_raw = ipc_raw + ipc_off
+            epi_raw = epi_raw + epi_off
+        return self._invert(ipc_raw), self._invert(epi_raw)
+
+    # ------------------------------------------------------------ predict
+
+    def predict(
+        self, profile: ApplicationProfile, arch: NMCConfig
+    ) -> NapelPrediction:
+        """Predict IPC, energy and execution time for one kernel profile."""
+        return self.predict_many([profile], arch)[0]
+
+    def predict_many(
+        self, profiles, arch: NMCConfig
+    ) -> list[NapelPrediction]:
+        """Batch prediction (one forest pass per target)."""
+        profiles = list(profiles)
+        if not profiles:
+            return []
+        for p in profiles:
+            if p.instruction_count <= 0:
+                raise MLError("profile has no instructions")
+        X = np.vstack([self.features(p, arch) for p in profiles])
+        ipc_per_pe, epi = self.predict_labels(X)
+        if (ipc_per_pe <= 0).any() or (epi <= 0).any():
+            raise MLError("model produced a non-positive prediction")
+        freq_hz = arch.frequency_ghz * 1e9
+        out = []
+        for p, ipc_pe, epi_v in zip(profiles, ipc_per_pe, epi):
+            pes = min(max(1, p.thread_count), arch.n_pes)
+            ipc = float(ipc_pe) * pes
+            time_s = p.instruction_count / (ipc * freq_hz)
+            out.append(
+                NapelPrediction(
+                    workload=p.workload,
+                    ipc=ipc,
+                    ipc_per_pe=float(ipc_pe),
+                    energy_per_instruction_j=float(epi_v),
+                    instructions=p.instruction_count,
+                    pes_used=pes,
+                    time_s=time_s,
+                    energy_j=float(epi_v) * p.instruction_count,
+                )
+            )
+        return out

@@ -1,0 +1,101 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+The benchmark harness prints each experiment in the same row/series layout
+the paper reports, via these formatters.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_grouped_bars(
+    title: str,
+    series: dict[str, dict[str, float]],
+    *,
+    width: int = 40,
+    marker_at: float | None = None,
+) -> str:
+    """Side-by-side horizontal bars for several series (paper-style
+    grouped bar charts, e.g. Figure 7's "Actual" vs "NAPEL" pairs).
+
+    ``series`` maps series name -> {category: value}.  A vertical marker
+    (e.g. the EDP break-even line at 1.0) can be drawn with ``marker_at``.
+    """
+    if not series:
+        return f"{title}: (empty)"
+    categories: list[str] = []
+    for values in series.values():
+        for key in values:
+            if key not in categories:
+                categories.append(key)
+    peak = max(
+        (abs(v) for values in series.values() for v in values.values()),
+        default=1.0,
+    ) or 1.0
+    glyphs = "#=%o*+"
+    lines = [title]
+    for cat in categories:
+        label_pending = True
+        for i, (name, values) in enumerate(series.items()):
+            value = values.get(cat)
+            if value is None:
+                continue
+            n = int(round(min(abs(value) / peak, 1.0) * width))
+            bar = list(f"{glyphs[i % len(glyphs)] * n:<{width}}")
+            if marker_at is not None and 0 <= marker_at <= peak:
+                pos = int(round(marker_at / peak * width))
+                if 0 <= pos < width:
+                    bar[pos] = "|"
+            label = cat if label_pending else ""
+            label_pending = False
+            lines.append(
+                f"  {label:>6s} {name[:7]:>7s} |{''.join(bar)}| {value:.3g}"
+            )
+    legend = ", ".join(
+        f"{glyphs[i % len(glyphs)]} = {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"  legend: {legend}")
+    return "\n".join(lines)
+
+
+def format_bar_series(
+    label: str,
+    values: dict[str, float],
+    *,
+    unit: str = "",
+    bar_scale: float | None = None,
+    width: int = 40,
+) -> str:
+    """A labelled horizontal bar chart (one bar per key), for figures."""
+    if not values:
+        return f"{label}: (empty)"
+    peak = bar_scale or max(abs(v) for v in values.values()) or 1.0
+    lines = [label]
+    for key, value in values.items():
+        n = int(round(min(abs(value) / peak, 1.0) * width))
+        lines.append(f"  {key:>6s} |{'#' * n:<{width}s}| {value:.3g}{unit}")
+    return "\n".join(lines)

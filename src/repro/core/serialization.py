@@ -1,0 +1,60 @@
+"""Saving and loading trained NAPEL models.
+
+Trained models are plain Python object graphs (forests of
+:class:`~repro.ml.tree.RegressionTree` nodes, numpy arrays), so standard
+pickling round-trips them exactly.  :func:`save_model` wraps the pickle
+with a format header and the package version so stale model files fail
+loudly instead of mispredicting silently.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+from ..errors import MLError
+from .predictor import NapelModel
+
+_MAGIC = "napel-model"
+_FORMAT_VERSION = 1
+
+
+def save_model(model: NapelModel, path: str | Path) -> None:
+    """Serialise a trained model to ``path``."""
+    if not isinstance(model, NapelModel):
+        raise MLError(f"expected a NapelModel, got {type(model).__name__}")
+    from .. import __version__
+
+    payload = {
+        "magic": _MAGIC,
+        "format": _FORMAT_VERSION,
+        "repro_version": __version__,
+        "model": model,
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("wb") as fh:
+        pickle.dump(payload, fh)
+
+
+def load_model(path: str | Path) -> NapelModel:
+    """Load a model saved with :func:`save_model`.
+
+    Only unpickle files you trust — pickle executes code on load.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise MLError(f"no model file at {path}")
+    with path.open("rb") as fh:
+        payload = pickle.load(fh)
+    if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
+        raise MLError(f"{path} is not a NAPEL model file")
+    if payload.get("format") != _FORMAT_VERSION:
+        raise MLError(
+            f"{path} uses model format {payload.get('format')}, "
+            f"expected {_FORMAT_VERSION}"
+        )
+    model = payload["model"]
+    if not isinstance(model, NapelModel):
+        raise MLError(f"{path} does not contain a NapelModel")
+    return model

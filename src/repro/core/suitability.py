@@ -1,0 +1,121 @@
+"""NMC-suitability analysis (paper Section 3.4, Figure 7).
+
+For each application at its *test* input (Table 2):
+
+* **host EDP** — from the POWER9 host model (the paper's measured host),
+* **actual NMC EDP** — from the cycle-level NMC simulator (the paper's
+  Ramulator "Actual" bars),
+* **predicted NMC EDP** — from a NAPEL model trained *without* that
+  application (leave-one-out, so the prediction is for a previously-unseen
+  application, as in the paper).
+
+An application is NMC-suitable when its EDP reduction (host EDP / NMC EDP)
+exceeds 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import HostConfig, NMCConfig
+from ..hostsim import HostSimulator
+from ..workloads import Workload
+from .campaign import SimulationCampaign
+from .dataset import TrainingSet
+from .pipeline import NapelTrainer
+
+
+@dataclass(frozen=True)
+class SuitabilityResult:
+    """Figure 7 data for one application."""
+
+    workload: str
+    host_time_s: float
+    host_energy_j: float
+    nmc_time_actual_s: float
+    nmc_energy_actual_j: float
+    nmc_time_pred_s: float
+    nmc_energy_pred_j: float
+
+    @property
+    def host_edp(self) -> float:
+        return self.host_energy_j * self.host_time_s
+
+    @property
+    def edp_reduction_actual(self) -> float:
+        """Host EDP / simulated NMC EDP (the paper's "Actual" bar)."""
+        return self.host_edp / (self.nmc_energy_actual_j * self.nmc_time_actual_s)
+
+    @property
+    def edp_reduction_pred(self) -> float:
+        """Host EDP / NAPEL-predicted NMC EDP (the paper's "NAPEL" bar)."""
+        return self.host_edp / (self.nmc_energy_pred_j * self.nmc_time_pred_s)
+
+    @property
+    def suitable_actual(self) -> bool:
+        return self.edp_reduction_actual > 1.0
+
+    @property
+    def suitable_pred(self) -> bool:
+        return self.edp_reduction_pred > 1.0
+
+    @property
+    def edp_mre(self) -> float:
+        """Relative error of NAPEL's EDP estimate vs the simulator's."""
+        actual = self.nmc_energy_actual_j * self.nmc_time_actual_s
+        pred = self.nmc_energy_pred_j * self.nmc_time_pred_s
+        return abs(pred - actual) / actual
+
+
+def analyze_suitability(
+    workloads: list[Workload],
+    campaign: SimulationCampaign,
+    *,
+    training_set: TrainingSet | None = None,
+    host_config: HostConfig | None = None,
+    trainer_kwargs: dict | None = None,
+) -> list[SuitabilityResult]:
+    """Run the full Figure 7 analysis over ``workloads``.
+
+    ``training_set`` defaults to the CCD campaigns of all the workloads
+    (reusing the campaign's cache).  For each application the NAPEL model
+    is retrained without that application's data.
+    """
+    host = HostSimulator(host_config)
+    if training_set is None:
+        training_set = campaign.run_all(workloads)
+    # "Our training data comprises all the collected data for all
+    # applications except the application for which the prediction will be
+    # made" (paper Section 3.3) — the collected data includes every
+    # application's test-input simulation (they are what Figure 7's
+    # "Actual" bars are made of), so the held-out model trains on the
+    # other applications' test rows too.
+    test_rows = {
+        w.name: campaign.run_point(w, w.test_config()) for w in workloads
+    }
+    results: list[SuitabilityResult] = []
+    for workload in workloads:
+        test_row = test_rows[workload.name]
+        host_result = host.evaluate(test_row.profile)
+        trainer = NapelTrainer(**(trainer_kwargs or {}))
+        train_rows = TrainingSet(
+            training_set.exclude(workload.name).rows
+            + [
+                row for name, row in test_rows.items()
+                if name != workload.name
+            ]
+        )
+        trained = trainer.train(train_rows)
+        prediction = trained.model.predict(test_row.profile, campaign.arch)
+        results.append(
+            SuitabilityResult(
+                workload=workload.name,
+                host_time_s=host_result.time_s,
+                host_energy_j=host_result.energy_j,
+                nmc_time_actual_s=test_row.result.time_s,
+                nmc_energy_actual_j=test_row.result.energy_j,
+                nmc_time_pred_s=prediction.time_s,
+                nmc_energy_pred_j=prediction.energy_j,
+            )
+        )
+    return results

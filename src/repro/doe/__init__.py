@@ -1,0 +1,30 @@
+"""Design of experiments (DoE) — paper Section 2.4.
+
+The central piece is the Box-Wilson :func:`central_composite` design (CCD)
+used by NAPEL to pick the application-input configurations to simulate for
+training data.  Full-factorial, Latin-hypercube and uniform-random designs
+are provided as baselines for the DoE ablation benchmarks.
+"""
+
+from .space import ParameterSpace
+from .box_behnken import box_behnken, box_behnken_run_count
+from .ccd import central_composite, ccd_run_count
+from .doptimal import d_optimal, quadratic_basis
+from .factorial import full_factorial
+from .lhs import latin_hypercube
+from .random_sampling import random_design
+from .rsm import ResponseSurface
+
+__all__ = [
+    "ParameterSpace",
+    "central_composite",
+    "ccd_run_count",
+    "box_behnken",
+    "box_behnken_run_count",
+    "d_optimal",
+    "quadratic_basis",
+    "full_factorial",
+    "latin_hypercube",
+    "random_design",
+    "ResponseSurface",
+]

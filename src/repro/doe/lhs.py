@@ -1,0 +1,30 @@
+"""Latin hypercube sampling (related-work baseline, cf. paper Table 5).
+
+Li et al. [24] use Latin hypercube sampling for CPU design-space
+exploration; we provide it as a DoE baseline for the ablation benchmark.
+Each of the ``n`` samples occupies its own row and column of the
+stratified unit grid, guaranteeing one-dimensional uniformity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DoEError
+from .space import ParameterSpace
+
+
+def latin_hypercube(
+    space: ParameterSpace, n: int, rng: np.random.Generator
+) -> list[dict[str, float]]:
+    """``n`` Latin-hypercube configurations over the space's full range."""
+    if n < 1:
+        raise DoEError("latin hypercube needs at least one sample")
+    k = len(space)
+    # Stratified samples: one per cell per dimension, randomly permuted.
+    cut = np.linspace(0.0, 1.0, n + 1)
+    u = rng.random((n, k))
+    points = cut[:n, None] + u * (1.0 / n)
+    for dim in range(k):
+        points[:, dim] = points[rng.permutation(n), dim]
+    return [space.from_unit(row) for row in points]

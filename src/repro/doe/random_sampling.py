@@ -1,0 +1,14 @@
+"""Uniform random design (naive baseline for the DoE ablation)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .space import ParameterSpace
+
+
+def random_design(
+    space: ParameterSpace, n: int, rng: np.random.Generator
+) -> list[dict[str, float]]:
+    """``n`` configurations drawn uniformly from the space's full range."""
+    return space.sample(n, rng)

@@ -1,0 +1,118 @@
+"""Response-surface methodology: the classical analysis of a CCD.
+
+CCD exists to fit a quadratic response surface (paper Section 2.4: "a
+nonlinear polynomial model that accounts for parameter interactions").
+:class:`ResponseSurface` performs that fit over campaign results —
+intercept, linear, interaction and square terms in the coded (unit-cube)
+parameter space — and reports R², coefficients and the surface's
+stationary point.  It doubles as a classical white-box baseline against
+NAPEL's random forest and as a diagnostic for how nonlinear a workload's
+response actually is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import DoEError
+from .doptimal import quadratic_basis
+from .space import ParameterSpace
+
+
+@dataclass
+class ResponseSurface:
+    """A fitted quadratic response surface over a parameter space."""
+
+    space: ParameterSpace
+    coef_: np.ndarray | None = None
+    r2_: float = 0.0
+    term_names_: tuple[str, ...] = field(default_factory=tuple)
+
+    # ------------------------------------------------------------ coding
+
+    def _encode(self, configs: Sequence[Mapping[str, float]]) -> np.ndarray:
+        """Map configurations into the unit cube."""
+        rows = []
+        for cfg in configs:
+            row = []
+            for p in self.space.parameters:
+                span = p.maximum - p.minimum
+                if span <= 0:
+                    raise DoEError(f"parameter {p.name!r} has zero range")
+                row.append((float(cfg[p.name]) - p.minimum) / span)
+            rows.append(row)
+        return np.asarray(rows, dtype=np.float64)
+
+    def _terms(self) -> tuple[str, ...]:
+        names = ["1"]
+        params = self.space.names
+        names.extend(params)
+        k = len(params)
+        for i in range(k):
+            for j in range(i + 1, k):
+                names.append(f"{params[i]}*{params[j]}")
+        names.extend(f"{p}^2" for p in params)
+        return tuple(names)
+
+    # --------------------------------------------------------------- fit
+
+    def fit(
+        self, configs: Sequence[Mapping[str, float]], y
+    ) -> "ResponseSurface":
+        """Least-squares fit of the quadratic surface to (configs, y)."""
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if len(configs) != len(y):
+            raise DoEError("configs and y must align")
+        if len(y) == 0:
+            raise DoEError("cannot fit an empty response")
+        X = quadratic_basis(self._encode(configs))
+        if len(y) < X.shape[1]:
+            raise DoEError(
+                f"{len(y)} runs cannot identify {X.shape[1]} quadratic "
+                f"terms; use a design with more points (CCD provides "
+                f"exactly enough)"
+            )
+        coef, *_ = np.linalg.lstsq(X, y, rcond=None)
+        self.coef_ = coef
+        residual = y - X @ coef
+        sst = float(np.sum((y - y.mean()) ** 2))
+        self.r2_ = 1.0 - float(np.sum(residual**2)) / sst if sst > 0 else 1.0
+        self.term_names_ = self._terms()
+        return self
+
+    def predict(self, configs: Sequence[Mapping[str, float]]) -> np.ndarray:
+        if self.coef_ is None:
+            raise DoEError("response surface is not fitted")
+        return quadratic_basis(self._encode(configs)) @ self.coef_
+
+    # ---------------------------------------------------------- analysis
+
+    def coefficients(self) -> dict[str, float]:
+        """Term name -> fitted coefficient (coded space)."""
+        if self.coef_ is None:
+            raise DoEError("response surface is not fitted")
+        return dict(zip(self.term_names_, self.coef_.tolist()))
+
+    def curvature(self) -> dict[str, float]:
+        """Square-term coefficients: the response's per-parameter curvature.
+
+        Large values relative to the linear terms are the nonlinearity CCD's
+        axial points exist to capture — and the reason linear models (the
+        Guo et al. baseline) fail on this problem (paper Section 3.3).
+        """
+        coeffs = self.coefficients()
+        return {
+            p: coeffs[f"{p}^2"] for p in self.space.names
+        }
+
+    def nonlinearity_ratio(self) -> float:
+        """|curvature| mass relative to |linear| mass (0 = purely linear)."""
+        coeffs = self.coefficients()
+        linear = sum(abs(coeffs[p]) for p in self.space.names)
+        square = sum(abs(v) for v in self.curvature().values())
+        if linear == 0:
+            return float("inf") if square > 0 else 0.0
+        return square / linear

@@ -1,0 +1,112 @@
+"""Parameter spaces for design of experiments.
+
+A :class:`ParameterSpace` wraps the DoE parameters of a workload (paper
+Table 2): each parameter has five levels — *minimum, low, central, high,
+maximum* — and the space knows how to produce configurations (name -> value
+dicts) at requested level combinations or at arbitrary interpolated points.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import DoEError
+from ..workloads.base import DoEParameter, LEVEL_NAMES
+
+
+class ParameterSpace:
+    """An ordered collection of DoE parameters with five levels each."""
+
+    def __init__(self, parameters: Sequence[DoEParameter]) -> None:
+        if not parameters:
+            raise DoEError("a parameter space needs at least one parameter")
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            raise DoEError(f"duplicate parameter names: {names}")
+        self.parameters = tuple(parameters)
+
+    @classmethod
+    def of_workload(cls, workload) -> "ParameterSpace":
+        """The DoE space of a :class:`~repro.workloads.Workload`."""
+        return cls(workload.parameters)
+
+    def __len__(self) -> int:
+        return len(self.parameters)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.parameters)
+
+    def parameter(self, name: str) -> DoEParameter:
+        for p in self.parameters:
+            if p.name == name:
+                return p
+        raise DoEError(f"unknown parameter {name!r}")
+
+    # -------------------------------------------------------------- levels
+
+    def config_at(self, levels: Mapping[str, str]) -> dict[str, float]:
+        """Configuration with each parameter at a named level.
+
+        ``levels`` maps parameter name -> level name; omitted parameters
+        default to their *central* level.
+        """
+        unknown = set(levels) - set(self.names)
+        if unknown:
+            raise DoEError(f"unknown parameters in levels: {sorted(unknown)}")
+        config: dict[str, float] = {}
+        for p in self.parameters:
+            level = levels.get(p.name, "central")
+            if level not in LEVEL_NAMES:
+                raise DoEError(f"unknown level {level!r} for {p.name!r}")
+            config[p.name] = p.level(level)
+        return config
+
+    def central(self) -> dict[str, float]:
+        return self.config_at({})
+
+    # -------------------------------------------------- continuous mapping
+
+    def from_unit(self, point: Sequence[float]) -> dict[str, float]:
+        """Map a point in the unit hypercube [0,1]^k into the space.
+
+        0 maps to the *minimum* level and 1 to the *maximum*; intermediate
+        coordinates interpolate linearly between min and max.  Used by the
+        Latin-hypercube and random baselines.
+        """
+        if len(point) != len(self.parameters):
+            raise DoEError(
+                f"point has {len(point)} coordinates, expected {len(self.parameters)}"
+            )
+        config: dict[str, float] = {}
+        for p, u in zip(self.parameters, point):
+            if not 0.0 <= u <= 1.0:
+                raise DoEError(f"unit coordinate {u} outside [0, 1]")
+            config[p.name] = p.minimum + u * (p.maximum - p.minimum)
+        return config
+
+    def grid(self, level_names: Iterable[str]) -> list[dict[str, float]]:
+        """Cartesian product of the given levels over all parameters."""
+        level_names = list(level_names)
+        for level in level_names:
+            if level not in LEVEL_NAMES:
+                raise DoEError(f"unknown level {level!r}")
+        configs: list[dict[str, float]] = [{}]
+        for p in self.parameters:
+            configs = [
+                {**c, p.name: p.level(level)}
+                for c in configs
+                for level in level_names
+            ]
+        return configs
+
+    def sample(
+        self, n: int, rng: np.random.Generator
+    ) -> list[dict[str, float]]:
+        """``n`` uniform random configurations within [minimum, maximum]."""
+        if n < 0:
+            raise DoEError("sample size must be >= 0")
+        points = rng.random((n, len(self.parameters)))
+        return [self.from_unit(row) for row in points]

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the NAPEL reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch framework errors without accidentally swallowing unrelated
+Python errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigError(ReproError):
+    """An architecture or framework configuration is invalid."""
+
+
+class TraceError(ReproError):
+    """A dynamic instruction trace is malformed or inconsistent."""
+
+
+class WorkloadError(ReproError):
+    """A workload was given invalid parameters or failed to generate."""
+
+
+class DoEError(ReproError):
+    """A design-of-experiments request is invalid (bad levels, bad space)."""
+
+
+class MLError(ReproError):
+    """A machine-learning model was misused (unfitted, shape mismatch...)."""
+
+
+class NotFittedError(MLError):
+    """Prediction was requested from a model that has not been fitted."""
+
+
+class SimulationError(ReproError):
+    """The NMC or host simulator encountered an inconsistent state."""
+
+
+class CampaignError(ReproError):
+    """A simulation campaign (DoE data gathering) failed."""

@@ -1,0 +1,21 @@
+"""Analytical host-CPU model (IBM POWER9 AC922 analog).
+
+Plays the role of the paper's measured host baseline (Section 3.4 /
+Figures 6-7): given a hardware-independent application profile it estimates
+execution time, power and energy of the kernel on a POWER9-class
+out-of-order multicore with a three-level cache hierarchy and DDR4 memory.
+``power.py`` mimics the AMESTER on-chip power-sensor interface used by the
+paper to measure host energy.
+"""
+
+from .cache_hierarchy import CacheHierarchyModel, LevelTraffic
+from .cpu import HostResult, HostSimulator
+from .power import PowerSensor
+
+__all__ = [
+    "HostSimulator",
+    "HostResult",
+    "CacheHierarchyModel",
+    "LevelTraffic",
+    "PowerSensor",
+]

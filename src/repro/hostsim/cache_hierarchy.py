@@ -1,0 +1,72 @@
+"""Host cache-hierarchy model driven by reuse-distance traffic features.
+
+The application profile already contains the fraction of memory accesses
+that escape an LRU cache of every power-of-two size
+(``traffic.bytes_<size>`` features).  The host hierarchy model reads those
+fractions at the L1/L2/L3 capacities to split accesses into per-level hits
+and DRAM traffic — the standard analytical single-pass cache model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import HostConfig
+from ..profiler import ApplicationProfile
+from ..profiler.features import TRAFFIC_CACHE_SIZES
+
+
+@dataclass(frozen=True)
+class LevelTraffic:
+    """Fractions of memory accesses served by each level of the hierarchy."""
+
+    l1_hit: float
+    l2_hit: float
+    l3_hit: float
+    dram: float
+
+    def validate(self) -> None:
+        total = self.l1_hit + self.l2_hit + self.l3_hit + self.dram
+        assert abs(total - 1.0) < 1e-9, f"level fractions sum to {total}"
+
+
+class CacheHierarchyModel:
+    """Maps profile traffic features onto a host cache hierarchy."""
+
+    def __init__(self, config: HostConfig) -> None:
+        self.config = config
+
+    @staticmethod
+    def _escape_fraction(profile: ApplicationProfile, capacity: int) -> float:
+        """Fraction of accesses escaping a cache of ``capacity`` bytes.
+
+        Uses the largest profiled traffic size that does not exceed the
+        capacity (profile sizes are powers of two from 128 B to 64 MiB).
+        """
+        eligible = [s for s in TRAFFIC_CACHE_SIZES if s <= capacity]
+        size = eligible[-1] if eligible else TRAFFIC_CACHE_SIZES[0]
+        return float(profile[f"traffic.bytes_{size}"])
+
+    def level_traffic(self, profile: ApplicationProfile) -> LevelTraffic:
+        """Per-level access fractions for this profile on this host.
+
+        Capacities are divided by ``cache_scale`` to match the workloads'
+        trace scaling (see :class:`~repro.config.HostConfig`).
+        """
+        cfg = self.config
+        scale = cfg.cache_scale
+        l1_escape = self._escape_fraction(profile, int(cfg.l1_bytes / scale))
+        l2_escape = self._escape_fraction(profile, int(cfg.l2_bytes / scale))
+        l3_escape = self._escape_fraction(profile, int(cfg.l3_bytes / scale))
+        # Escape fractions are monotone non-increasing with capacity by
+        # construction, but clamp against numerical edge cases.
+        l2_escape = min(l2_escape, l1_escape)
+        l3_escape = min(l3_escape, l2_escape)
+        traffic = LevelTraffic(
+            l1_hit=1.0 - l1_escape,
+            l2_hit=l1_escape - l2_escape,
+            l3_hit=l2_escape - l3_escape,
+            dram=l3_escape,
+        )
+        traffic.validate()
+        return traffic

@@ -1,0 +1,255 @@
+"""Incremental and vectorized trace construction.
+
+Two levels of API:
+
+* :class:`TraceBuilder` — scalar ``append``-style emission plus a bulk
+  column append, used directly for small/irregular code regions.
+* :class:`LoopTemplate` — describes one loop-body of IR statements once;
+  :meth:`LoopTemplate.emit` then materialises ``n`` iterations in a handful
+  of numpy operations, with per-iteration memory addresses supplied as
+  arrays.  This keeps trace generation fast for the large regular loops of
+  the PolyBench-style kernels.
+
+Register-dependence semantics: virtual registers are *renamed* by the
+analyses, i.e. only read-after-write dependencies matter.  A loop template
+whose reads are satisfied by writes earlier in the same iteration yields
+independent iterations (high ILP); a template that reads a register written
+by the previous iteration (an accumulator) creates a loop-carried serial
+chain.  Workloads use this to express their true dependence structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import TraceError
+from .instructions import MEMORY_OPCODES, NO_REG, Opcode
+from .trace import TRACE_COLUMNS, InstructionTrace
+
+
+class TraceBuilder:
+    """Accumulates instructions and freezes them into an InstructionTrace."""
+
+    def __init__(self) -> None:
+        self._chunks: list[dict[str, np.ndarray]] = []
+        # Scalar staging buffers, flushed into a chunk when bulk data arrives
+        # or at finish().
+        self._scalar: dict[str, list[int]] = {name: [] for name in TRACE_COLUMNS}
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------- scalar
+
+    def emit(
+        self,
+        opcode: Opcode,
+        dst: int = NO_REG,
+        src1: int = NO_REG,
+        src2: int = NO_REG,
+        addr: int = 0,
+        size: int = 0,
+        pc: int = 0,
+        tid: int = 0,
+    ) -> None:
+        """Append a single instruction."""
+        if opcode in MEMORY_OPCODES and size <= 0:
+            raise TraceError(f"memory opcode {opcode.name} requires size > 0")
+        s = self._scalar
+        s["opcode"].append(int(opcode))
+        s["dst"].append(dst)
+        s["src1"].append(src1)
+        s["src2"].append(src2)
+        s["addr"].append(addr)
+        s["size"].append(size)
+        s["pc"].append(pc)
+        s["tid"].append(tid)
+        self._count += 1
+
+    # Convenience wrappers ------------------------------------------------
+
+    def load(self, dst: int, addr: int, size: int = 8, *, pc: int = 0, tid: int = 0) -> None:
+        self.emit(Opcode.LOAD, dst=dst, addr=addr, size=size, pc=pc, tid=tid)
+
+    def store(self, src: int, addr: int, size: int = 8, *, pc: int = 0, tid: int = 0) -> None:
+        self.emit(Opcode.STORE, src1=src, addr=addr, size=size, pc=pc, tid=tid)
+
+    def ialu(self, dst: int, src1: int = NO_REG, src2: int = NO_REG, *, pc: int = 0, tid: int = 0) -> None:
+        self.emit(Opcode.IALU, dst=dst, src1=src1, src2=src2, pc=pc, tid=tid)
+
+    def falu(self, dst: int, src1: int = NO_REG, src2: int = NO_REG, *, pc: int = 0, tid: int = 0) -> None:
+        self.emit(Opcode.FALU, dst=dst, src1=src1, src2=src2, pc=pc, tid=tid)
+
+    def fmul(self, dst: int, src1: int = NO_REG, src2: int = NO_REG, *, pc: int = 0, tid: int = 0) -> None:
+        self.emit(Opcode.FMUL, dst=dst, src1=src1, src2=src2, pc=pc, tid=tid)
+
+    def fdiv(self, dst: int, src1: int = NO_REG, src2: int = NO_REG, *, pc: int = 0, tid: int = 0) -> None:
+        self.emit(Opcode.FDIV, dst=dst, src1=src1, src2=src2, pc=pc, tid=tid)
+
+    def branch(self, src1: int = NO_REG, *, pc: int = 0, tid: int = 0) -> None:
+        self.emit(Opcode.BRANCH, src1=src1, pc=pc, tid=tid)
+
+    # --------------------------------------------------------------- bulk
+
+    def bulk(self, **columns: np.ndarray) -> None:
+        """Append pre-built column arrays (all of equal length).
+
+        Missing columns default to zeros (``NO_REG`` for register columns).
+        """
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) != 1:
+            raise TraceError("bulk columns must have equal lengths")
+        (n,) = lengths
+        if n == 0:
+            return
+        self._flush_scalar()
+        chunk: dict[str, np.ndarray] = {}
+        for name, dtype in TRACE_COLUMNS.items():
+            if name in columns:
+                chunk[name] = np.ascontiguousarray(columns[name], dtype=dtype)
+            elif name in ("dst", "src1", "src2"):
+                chunk[name] = np.full(n, NO_REG, dtype=dtype)
+            else:
+                chunk[name] = np.zeros(n, dtype=dtype)
+        unknown = set(columns) - set(TRACE_COLUMNS)
+        if unknown:
+            raise TraceError(f"unknown trace columns: {sorted(unknown)}")
+        self._chunks.append(chunk)
+        self._count += n
+
+    def _flush_scalar(self) -> None:
+        if not self._scalar["opcode"]:
+            return
+        chunk = {
+            name: np.asarray(values, dtype=TRACE_COLUMNS[name])
+            for name, values in self._scalar.items()
+        }
+        self._chunks.append(chunk)
+        self._scalar = {name: [] for name in TRACE_COLUMNS}
+
+    # ------------------------------------------------------------- freeze
+
+    def finish(self) -> InstructionTrace:
+        """Freeze the accumulated instructions into an immutable trace."""
+        self._flush_scalar()
+        if not self._chunks:
+            return InstructionTrace.empty()
+        cols = {
+            name: np.concatenate([c[name] for c in self._chunks])
+            for name in TRACE_COLUMNS
+        }
+        return InstructionTrace(**cols)
+
+
+@dataclass(frozen=True)
+class TemplateOp:
+    """One IR statement of a :class:`LoopTemplate`.
+
+    ``addr`` may be ``None`` (non-memory op), or the string key of the
+    address array passed to :meth:`LoopTemplate.emit`.
+    """
+
+    opcode: Opcode
+    dst: int = NO_REG
+    src1: int = NO_REG
+    src2: int = NO_REG
+    addr: str | None = None
+    size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.opcode in MEMORY_OPCODES and self.addr is None:
+            raise TraceError(
+                f"memory opcode {self.opcode.name} requires an address slot"
+            )
+        if self.addr is not None and self.opcode not in MEMORY_OPCODES:
+            raise TraceError(
+                f"non-memory opcode {self.opcode.name} must not take an address"
+            )
+
+
+class LoopTemplate:
+    """A loop body emitted ``n`` times with per-iteration addresses.
+
+    Each :class:`TemplateOp` in the body receives a distinct static program
+    counter ``pc_base + position``, so instruction-reuse analysis sees the
+    loop as a small hot code region, exactly as PISA would.
+    """
+
+    def __init__(self, ops: Sequence[TemplateOp]) -> None:
+        if not ops:
+            raise TraceError("a loop template needs at least one op")
+        self.ops = tuple(ops)
+        self._addr_slots = tuple(
+            (j, op.addr, op.size) for j, op in enumerate(self.ops) if op.addr
+        )
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def address_slots(self) -> tuple[str, ...]:
+        """Names of the address arrays :meth:`emit` expects."""
+        return tuple(sorted({key for _, key, _ in self._addr_slots}))
+
+    def emit(
+        self,
+        builder: TraceBuilder,
+        iterations: int,
+        addresses: Mapping[str, np.ndarray] | None = None,
+        *,
+        tid: int = 0,
+        pc_base: int = 0,
+    ) -> None:
+        """Materialise ``iterations`` copies of the body into ``builder``."""
+        if iterations < 0:
+            raise TraceError("iterations must be >= 0")
+        if iterations == 0:
+            return
+        addresses = dict(addresses or {})
+        k = len(self.ops)
+        n = iterations * k
+
+        opcode = np.tile(
+            np.asarray([int(op.opcode) for op in self.ops], dtype=np.uint8),
+            iterations,
+        )
+        dst = np.tile(
+            np.asarray([op.dst for op in self.ops], dtype=np.int32), iterations
+        )
+        src1 = np.tile(
+            np.asarray([op.src1 for op in self.ops], dtype=np.int32), iterations
+        )
+        src2 = np.tile(
+            np.asarray([op.src2 for op in self.ops], dtype=np.int32), iterations
+        )
+        pc = np.tile(
+            pc_base + np.arange(k, dtype=np.uint32), iterations
+        )
+        addr = np.zeros(n, dtype=np.uint64)
+        size = np.zeros(n, dtype=np.uint16)
+        for j, key, op_size in self._addr_slots:
+            try:
+                slot = addresses[key]
+            except KeyError:
+                raise TraceError(f"missing address array {key!r}") from None
+            if len(slot) != iterations:
+                raise TraceError(
+                    f"address array {key!r} has length {len(slot)}, "
+                    f"expected {iterations}"
+                )
+            addr[j::k] = np.asarray(slot, dtype=np.uint64)
+            size[j::k] = op_size
+        builder.bulk(
+            opcode=opcode,
+            dst=dst,
+            src1=src1,
+            src2=src2,
+            addr=addr,
+            size=size,
+            pc=pc,
+            tid=np.full(n, tid, dtype=np.uint16),
+        )

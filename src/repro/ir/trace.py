@@ -1,0 +1,192 @@
+"""Packed dynamic-instruction trace container.
+
+Traces are stored column-wise in numpy arrays so that multi-hundred-thousand
+instruction traces stay cheap to hold and analyze.  The container is
+immutable once built (use :class:`repro.ir.builder.TraceBuilder` to build).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from ..errors import TraceError
+from .instructions import MEMORY_OPCODES, NO_REG, Instruction, Opcode
+
+#: numpy dtypes of the trace columns.
+TRACE_COLUMNS: dict[str, np.dtype] = {
+    "opcode": np.dtype(np.uint8),
+    "dst": np.dtype(np.int32),
+    "src1": np.dtype(np.int32),
+    "src2": np.dtype(np.int32),
+    "addr": np.dtype(np.uint64),
+    "size": np.dtype(np.uint16),
+    "pc": np.dtype(np.uint32),
+    "tid": np.dtype(np.uint16),
+}
+
+_MEMORY_CODES = np.array(sorted(int(op) for op in MEMORY_OPCODES), dtype=np.uint8)
+
+
+class InstructionTrace:
+    """An immutable dynamic instruction trace.
+
+    Columns (all numpy arrays of equal length):
+
+    ``opcode``
+        :class:`repro.ir.Opcode` values as ``uint8``.
+    ``dst``, ``src1``, ``src2``
+        virtual register operands, ``NO_REG`` (-1) when absent.
+    ``addr``, ``size``
+        byte address and access size for memory opcodes (0 otherwise).
+    ``pc``
+        static program counter of the emitting IR statement.
+    ``tid``
+        software thread id.
+    """
+
+    __slots__ = ("opcode", "dst", "src1", "src2", "addr", "size", "pc", "tid")
+
+    def __init__(self, **columns: np.ndarray) -> None:
+        missing = set(TRACE_COLUMNS) - set(columns)
+        extra = set(columns) - set(TRACE_COLUMNS)
+        if missing or extra:
+            raise TraceError(
+                f"trace columns mismatch: missing={sorted(missing)}, "
+                f"extra={sorted(extra)}"
+            )
+        lengths = {name: len(col) for name, col in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise TraceError(f"trace columns have unequal lengths: {lengths}")
+        for name, dtype in TRACE_COLUMNS.items():
+            arr = np.ascontiguousarray(columns[name], dtype=dtype)
+            arr.setflags(write=False)
+            object.__setattr__(self, name, arr)
+
+    # Frozen container: forbid rebinding of columns after __init__.
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("InstructionTrace is immutable")
+
+    # ------------------------------------------------------------ basics
+
+    def __len__(self) -> int:
+        return len(self.opcode)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def __getitem__(self, index: int | slice) -> "Instruction | InstructionTrace":
+        if isinstance(index, slice):
+            return InstructionTrace(
+                **{name: getattr(self, name)[index] for name in TRACE_COLUMNS}
+            )
+        i = int(index)
+        return Instruction(
+            opcode=Opcode(int(self.opcode[i])),
+            dst=int(self.dst[i]),
+            src1=int(self.src1[i]),
+            src2=int(self.src2[i]),
+            addr=int(self.addr[i]),
+            size=int(self.size[i]),
+            pc=int(self.pc[i]),
+            tid=int(self.tid[i]),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"InstructionTrace(n={len(self)}, threads={self.thread_count}, "
+            f"memory_ops={self.memory_op_count})"
+        )
+
+    # -------------------------------------------------------- properties
+
+    @property
+    def memory_mask(self) -> np.ndarray:
+        """Boolean mask selecting memory instructions."""
+        return np.isin(self.opcode, _MEMORY_CODES)
+
+    @property
+    def memory_op_count(self) -> int:
+        return int(self.memory_mask.sum())
+
+    @property
+    def thread_ids(self) -> np.ndarray:
+        """Sorted unique software thread ids present in the trace."""
+        return np.unique(self.tid)
+
+    @property
+    def thread_count(self) -> int:
+        return len(self.thread_ids)
+
+    def opcode_counts(self) -> dict[Opcode, int]:
+        """Histogram of opcodes present in the trace."""
+        values, counts = np.unique(self.opcode, return_counts=True)
+        return {Opcode(int(v)): int(c) for v, c in zip(values, counts)}
+
+    # ------------------------------------------------------------ views
+
+    def for_thread(self, tid: int) -> "InstructionTrace":
+        """The sub-trace executed by software thread ``tid`` (in order)."""
+        mask = self.tid == tid
+        return InstructionTrace(
+            **{name: getattr(self, name)[mask] for name in TRACE_COLUMNS}
+        )
+
+    def memory_accesses(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(addresses, sizes, is_write) of memory instructions, in order."""
+        mask = self.memory_mask
+        is_write = self.opcode[mask] == int(Opcode.STORE)
+        # ATOMIC counts as both read and write; report it as a write here.
+        is_write |= self.opcode[mask] == int(Opcode.ATOMIC)
+        return self.addr[mask], self.size[mask], is_write
+
+    # ------------------------------------------------------ construction
+
+    @classmethod
+    def empty(cls) -> "InstructionTrace":
+        return cls(
+            **{
+                name: np.empty(0, dtype=dtype)
+                for name, dtype in TRACE_COLUMNS.items()
+            }
+        )
+
+    @classmethod
+    def from_instructions(cls, instructions: Sequence[Instruction]) -> "InstructionTrace":
+        """Build a trace from explicit :class:`Instruction` tuples."""
+        n = len(instructions)
+        cols = {
+            name: np.empty(n, dtype=dtype) for name, dtype in TRACE_COLUMNS.items()
+        }
+        for i, ins in enumerate(instructions):
+            cols["opcode"][i] = int(ins.opcode)
+            cols["dst"][i] = ins.dst
+            cols["src1"][i] = ins.src1
+            cols["src2"][i] = ins.src2
+            cols["addr"][i] = ins.addr
+            cols["size"][i] = ins.size
+            cols["pc"][i] = ins.pc
+            cols["tid"][i] = ins.tid
+        return cls(**cols)
+
+
+def concat_traces(traces: Sequence[InstructionTrace]) -> InstructionTrace:
+    """Concatenate traces in program order.
+
+    Thread ids are preserved, so concatenating per-phase traces of the same
+    multithreaded kernel keeps the per-thread sub-traces in order.
+    """
+    if not traces:
+        return InstructionTrace.empty()
+    return InstructionTrace(
+        **{
+            name: np.concatenate([getattr(t, name) for t in traces])
+            for name in TRACE_COLUMNS
+        }
+    )
+
+
+# Re-export for convenience in type checking.
+__all__ = ["InstructionTrace", "concat_traces", "TRACE_COLUMNS", "NO_REG"]

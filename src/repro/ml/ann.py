@@ -1,0 +1,184 @@
+"""Multi-layer perceptron regressor — the Ipek et al. [17] ANN baseline.
+
+A small fully-connected network (ReLU hidden layers, linear output)
+trained with Adam on standardised inputs and targets.  Early stopping on a
+held-out validation split guards against overfitting the small DoE
+training sets — the paper notes the ANN "requires a much larger training
+dataset to reach NAPEL's accuracy" and takes up to 5x longer to train,
+both of which this implementation reproduces naturally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MLError, NotFittedError
+from .preprocessing import StandardScaler
+
+
+class MLPRegressor:
+    """Numpy MLP with Adam and early stopping."""
+
+    def __init__(
+        self,
+        hidden_layers: tuple[int, ...] = (64, 32),
+        learning_rate: float = 1e-3,
+        max_epochs: int = 400,
+        batch_size: int = 32,
+        l2: float = 1e-4,
+        validation_fraction: float = 0.15,
+        patience: int = 40,
+        random_state: int | None = None,
+    ) -> None:
+        if not hidden_layers:
+            raise MLError("at least one hidden layer is required")
+        if any(h < 1 for h in hidden_layers):
+            raise MLError("hidden layer sizes must be >= 1")
+        if not 0.0 <= validation_fraction < 1.0:
+            raise MLError("validation_fraction must be in [0, 1)")
+        self.hidden_layers = tuple(hidden_layers)
+        self.learning_rate = learning_rate
+        self.max_epochs = max_epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.validation_fraction = validation_fraction
+        self.patience = patience
+        self.random_state = random_state
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        self._x_scaler: StandardScaler | None = None
+        self._y_mean = 0.0
+        self._y_scale = 1.0
+        self.n_epochs_: int = 0
+
+    def get_params(self) -> dict:
+        return {
+            "hidden_layers": self.hidden_layers,
+            "learning_rate": self.learning_rate,
+            "max_epochs": self.max_epochs,
+            "batch_size": self.batch_size,
+            "l2": self.l2,
+            "validation_fraction": self.validation_fraction,
+            "patience": self.patience,
+            "random_state": self.random_state,
+        }
+
+    def clone(self, **overrides) -> "MLPRegressor":
+        params = self.get_params()
+        params.update(overrides)
+        return MLPRegressor(**params)
+
+    # ------------------------------------------------------------- model
+
+    def _init_weights(self, n_in: int, rng: np.random.Generator) -> None:
+        sizes = (n_in, *self.hidden_layers, 1)
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            limit = np.sqrt(2.0 / fan_in)  # He initialisation for ReLU
+            self._weights.append(rng.normal(0, limit, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+    def _forward(self, X: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        activations = [X]
+        h = X
+        last = len(self._weights) - 1
+        for i, (w, b) in enumerate(zip(self._weights, self._biases)):
+            z = h @ w + b
+            h = z if i == last else np.maximum(z, 0.0)
+            activations.append(h)
+        return h, activations
+
+    def fit(self, X, y) -> "MLPRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.ndim != 2 or len(X) != len(y):
+            raise MLError("X must be 2-D and aligned with y")
+        n = len(y)
+        if n < 2:
+            raise MLError("MLP needs at least two samples")
+        rng = np.random.default_rng(self.random_state)
+        self._x_scaler = StandardScaler().fit(X)
+        Xs = self._x_scaler.transform(X)
+        self._y_mean = float(y.mean())
+        self._y_scale = float(y.std()) or 1.0
+        ys = (y - self._y_mean) / self._y_scale
+
+        # Validation split for early stopping.
+        idx = rng.permutation(n)
+        n_val = int(n * self.validation_fraction)
+        val_idx, train_idx = idx[:n_val], idx[n_val:]
+        if len(train_idx) == 0:
+            train_idx = idx
+            val_idx = idx[:0]
+        Xt, yt = Xs[train_idx], ys[train_idx]
+        Xv, yv = Xs[val_idx], ys[val_idx]
+
+        self._init_weights(X.shape[1], rng)
+        m = [np.zeros_like(w) for w in self._weights]
+        v = [np.zeros_like(w) for w in self._weights]
+        mb = [np.zeros_like(b) for b in self._biases]
+        vb = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        best_val = np.inf
+        best_state: tuple | None = None
+        stall = 0
+        step = 0
+        for epoch in range(self.max_epochs):
+            order = rng.permutation(len(Xt))
+            for start in range(0, len(Xt), self.batch_size):
+                batch = order[start:start + self.batch_size]
+                xb, yb = Xt[batch], yt[batch]
+                pred, acts = self._forward(xb)
+                grad = 2.0 * (pred.ravel() - yb)[:, None] / len(batch)
+                # Backprop through the linear output and ReLU hiddens.
+                grads_w = []
+                grads_b = []
+                delta = grad
+                for layer in reversed(range(len(self._weights))):
+                    a_prev = acts[layer]
+                    grads_w.append(a_prev.T @ delta + self.l2 * self._weights[layer])
+                    grads_b.append(delta.sum(axis=0))
+                    if layer > 0:
+                        delta = delta @ self._weights[layer].T
+                        delta = delta * (acts[layer] > 0)
+                grads_w.reverse()
+                grads_b.reverse()
+                step += 1
+                lr = self.learning_rate
+                for i in range(len(self._weights)):
+                    m[i] = beta1 * m[i] + (1 - beta1) * grads_w[i]
+                    v[i] = beta2 * v[i] + (1 - beta2) * grads_w[i] ** 2
+                    mb[i] = beta1 * mb[i] + (1 - beta1) * grads_b[i]
+                    vb[i] = beta2 * vb[i] + (1 - beta2) * grads_b[i] ** 2
+                    mhat = m[i] / (1 - beta1**step)
+                    vhat = v[i] / (1 - beta2**step)
+                    self._weights[i] -= lr * mhat / (np.sqrt(vhat) + eps)
+                    mbh = mb[i] / (1 - beta1**step)
+                    vbh = vb[i] / (1 - beta2**step)
+                    self._biases[i] -= lr * mbh / (np.sqrt(vbh) + eps)
+            self.n_epochs_ = epoch + 1
+            if len(Xv):
+                val_pred, _ = self._forward(Xv)
+                val_loss = float(np.mean((val_pred.ravel() - yv) ** 2))
+                if val_loss < best_val - 1e-9:
+                    best_val = val_loss
+                    best_state = (
+                        [w.copy() for w in self._weights],
+                        [b.copy() for b in self._biases],
+                    )
+                    stall = 0
+                else:
+                    stall += 1
+                    if stall >= self.patience:
+                        break
+        if best_state is not None:
+            self._weights, self._biases = best_state
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if not self._weights or self._x_scaler is None:
+            raise NotFittedError("MLPRegressor is not fitted")
+        Xs = self._x_scaler.transform(np.asarray(X, dtype=np.float64))
+        pred, _ = self._forward(Xs)
+        return pred.ravel() * self._y_scale + self._y_mean

@@ -1,0 +1,139 @@
+"""Random forest regression (Breiman 2001) — NAPEL's learner.
+
+Bootstrap-aggregated CART trees with per-split random feature subsets.
+Besides prediction, the forest exposes out-of-bag (OOB) error — used by
+the hyper-parameter tuner as a cheap internal validation signal — and
+aggregated feature importances for analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MLError, NotFittedError
+from .tree import RegressionTree
+
+
+class RandomForestRegressor:
+    """Bagged ensemble of :class:`~repro.ml.tree.RegressionTree`.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_features:
+        Per-split feature subsample; default "third" (the classic
+        regression-forest setting of p/3).
+    max_depth, min_samples_leaf:
+        Passed to the base trees.
+    bootstrap:
+        Draw a bootstrap resample per tree (True for a proper forest).
+    random_state:
+        Seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_features="third",
+        max_depth: int | None = None,
+        min_samples_leaf: int = 1,
+        bootstrap: bool = True,
+        random_state: int | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise MLError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_features = max_features
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+        self.trees_: list[RegressionTree] = []
+        self.oob_prediction_: np.ndarray | None = None
+        self.feature_importances_: np.ndarray | None = None
+
+    def get_params(self) -> dict:
+        """Constructor parameters (for tuning / cloning)."""
+        return {
+            "n_estimators": self.n_estimators,
+            "max_features": self.max_features,
+            "max_depth": self.max_depth,
+            "min_samples_leaf": self.min_samples_leaf,
+            "bootstrap": self.bootstrap,
+            "random_state": self.random_state,
+        }
+
+    def clone(self, **overrides) -> "RandomForestRegressor":
+        params = self.get_params()
+        params.update(overrides)
+        return RandomForestRegressor(**params)
+
+    def fit(self, X, y) -> "RandomForestRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.ndim != 2 or len(X) != len(y):
+            raise MLError("X must be 2-D and aligned with y")
+        n = len(y)
+        if n == 0:
+            raise MLError("cannot fit on an empty dataset")
+        rng = np.random.default_rng(self.random_state)
+        self.trees_ = []
+        oob_sum = np.zeros(n)
+        oob_count = np.zeros(n)
+        importances = np.zeros(X.shape[1])
+        for _ in range(self.n_estimators):
+            tree = RegressionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                rng=np.random.default_rng(rng.integers(0, 2**63)),
+            )
+            if self.bootstrap:
+                sample = rng.integers(0, n, size=n)
+            else:
+                sample = np.arange(n)
+            tree.fit(X[sample], y[sample])
+            self.trees_.append(tree)
+            importances += tree.feature_importances_
+            if self.bootstrap:
+                oob_mask = np.ones(n, dtype=bool)
+                oob_mask[np.unique(sample)] = False
+                if oob_mask.any():
+                    pred = tree.predict(X[oob_mask])
+                    oob_sum[oob_mask] += pred
+                    oob_count[oob_mask] += 1
+        self.feature_importances_ = importances / self.n_estimators
+        if self.bootstrap and (oob_count > 0).any():
+            oob = np.full(n, np.nan)
+            seen = oob_count > 0
+            oob[seen] = oob_sum[seen] / oob_count[seen]
+            self.oob_prediction_ = oob
+        else:
+            self.oob_prediction_ = None
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if not self.trees_:
+            raise NotFittedError("RandomForestRegressor is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.zeros(len(X))
+        for tree in self.trees_:
+            out += tree.predict(X)
+        return out / len(self.trees_)
+
+    def oob_error(self, y) -> float:
+        """Out-of-bag RMSE against the training targets.
+
+        RMSE (not relative error) so the criterion stays well-defined for
+        log-transformed targets that cross zero.  Samples never left out
+        (possible with few trees) are skipped.
+        """
+        if self.oob_prediction_ is None:
+            raise MLError("OOB error requires bootstrap=True and a fit")
+        y = np.asarray(y, dtype=np.float64).ravel()
+        mask = ~np.isnan(self.oob_prediction_)
+        if not mask.any():
+            raise MLError("no out-of-bag samples available")
+        err = self.oob_prediction_[mask] - y[mask]
+        return float(np.sqrt(np.mean(err**2)))

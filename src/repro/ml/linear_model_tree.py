@@ -1,0 +1,86 @@
+"""Linear model tree — the Guo et al. [13] baseline of paper Figure 5.
+
+A shallow CART tree whose leaves hold ridge-regression models ("model
+tree" in the M5 tradition).  The paper's observation is that this learner
+"cannot capture the nonlinearity present in NMC performance and energy";
+with ~400 features and a few hundred samples, the linear leaves also
+extrapolate poorly for unseen applications — which is exactly the high MRE
+Figure 5 shows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MLError, NotFittedError
+from .linear import RidgeRegression
+from .tree import RegressionTree
+
+
+class ModelTree:
+    """Shallow regression tree with linear (ridge) models at the leaves."""
+
+    def __init__(
+        self,
+        max_depth: int = 3,
+        min_samples_leaf: int = 8,
+        alpha: float = 1.0,
+        random_state: int | None = None,
+    ) -> None:
+        if max_depth < 1:
+            raise MLError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.alpha = alpha
+        self.random_state = random_state
+        self.tree_: RegressionTree | None = None
+        self._leaf_models: dict[int, RidgeRegression] = {}
+        self._leaf_fallback: dict[int, float] = {}
+
+    def get_params(self) -> dict:
+        return {
+            "max_depth": self.max_depth,
+            "min_samples_leaf": self.min_samples_leaf,
+            "alpha": self.alpha,
+            "random_state": self.random_state,
+        }
+
+    def clone(self, **overrides) -> "ModelTree":
+        params = self.get_params()
+        params.update(overrides)
+        return ModelTree(**params)
+
+    def fit(self, X, y) -> "ModelTree":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        self.tree_ = RegressionTree(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            rng=np.random.default_rng(self.random_state),
+        ).fit(X, y)
+        leaves = self.tree_.apply(X)
+        self._leaf_models = {}
+        self._leaf_fallback = {}
+        for leaf in np.unique(leaves):
+            mask = leaves == leaf
+            self._leaf_fallback[int(leaf)] = float(y[mask].mean())
+            if mask.sum() >= 3:  # need a few points for a linear fit
+                model = RidgeRegression(alpha=self.alpha)
+                model.fit(X[mask], y[mask])
+                self._leaf_models[int(leaf)] = model
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self.tree_ is None:
+            raise NotFittedError("ModelTree is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        leaves = self.tree_.apply(X)
+        out = np.empty(len(X))
+        for leaf in np.unique(leaves):
+            mask = leaves == leaf
+            model = self._leaf_models.get(int(leaf))
+            if model is None:
+                out[mask] = self._leaf_fallback[int(leaf)]
+            else:
+                out[mask] = model.predict(X[mask])
+        return out

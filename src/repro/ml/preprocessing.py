@@ -1,0 +1,97 @@
+"""Feature preprocessing: standardisation and constant-feature screening."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MLError, NotFittedError
+
+
+def _check_matrix(X) -> np.ndarray:
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise MLError(f"expected a 2-D feature matrix, got shape {X.shape}")
+    return X
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance feature scaling.
+
+    Constant features get scale 1 so they map to zero rather than NaN.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X) -> "StandardScaler":
+        X = _check_matrix(X)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler is not fitted")
+        X = _check_matrix(X)
+        if X.shape[1] != len(self.mean_):
+            raise MLError(
+                f"feature count mismatch: {X.shape[1]} vs {len(self.mean_)}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler is not fitted")
+        return _check_matrix(X) * self.scale_ + self.mean_
+
+
+class VarianceThreshold:
+    """Screens out features whose variance is at or below a threshold.
+
+    With a fixed architecture configuration, the architectural feature
+    columns are constant across the training set; screening them keeps the
+    tree split search honest (the paper notes RF "embeds automatic
+    procedures to screen many input features" — this is the explicit
+    pre-screen).
+    """
+
+    def __init__(self, threshold: float = 0.0) -> None:
+        if threshold < 0:
+            raise MLError("threshold must be >= 0")
+        self.threshold = threshold
+        self.support_: np.ndarray | None = None
+
+    def fit(self, X) -> "VarianceThreshold":
+        X = _check_matrix(X)
+        variances = X.var(axis=0)
+        support = variances > self.threshold
+        if not support.any():
+            # Keep the single most-varying feature rather than none.
+            support[int(np.argmax(variances))] = True
+        self.support_ = support
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.support_ is None:
+            raise NotFittedError("VarianceThreshold is not fitted")
+        X = _check_matrix(X)
+        if X.shape[1] != len(self.support_):
+            raise MLError(
+                f"feature count mismatch: {X.shape[1]} vs {len(self.support_)}"
+            )
+        return X[:, self.support_]
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    @property
+    def n_selected(self) -> int:
+        if self.support_ is None:
+            raise NotFittedError("VarianceThreshold is not fitted")
+        return int(self.support_.sum())

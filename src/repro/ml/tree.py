@@ -1,0 +1,279 @@
+"""CART regression tree (the random forest's base learner).
+
+Standard variance-reduction splitting: at every node the best (feature,
+threshold) pair minimises the summed squared error of the two children.
+The split search is vectorised per feature with prefix sums, so fitting is
+O(features * n log n) per node.  ``max_features`` enables the random
+feature subsampling that random forests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MLError, NotFittedError
+
+
+@dataclass
+class _Node:
+    """One tree node: either a split (feature/threshold) or a leaf value."""
+
+    value: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "int" = -1   #: child indices into the node array (-1 = leaf)
+    right: "int" = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left < 0
+
+
+def _resolve_max_features(max_features, n_features: int) -> int:
+    """Number of features examined per split."""
+    if max_features is None:
+        return n_features
+    if isinstance(max_features, str):
+        if max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if max_features == "third":
+            return max(1, n_features // 3)
+        if max_features == "log2":
+            return max(1, int(np.log2(n_features)))
+        raise MLError(f"unknown max_features {max_features!r}")
+    if isinstance(max_features, float):
+        if not 0.0 < max_features <= 1.0:
+            raise MLError("fractional max_features must be in (0, 1]")
+        return max(1, int(max_features * n_features))
+    value = int(max_features)
+    if value < 1:
+        raise MLError("max_features must be >= 1")
+    return min(value, n_features)
+
+
+class RegressionTree:
+    """A CART regression tree.
+
+    Parameters mirror the usual conventions: ``max_depth`` bounds tree
+    height (None = unbounded), ``min_samples_leaf`` the smallest allowed
+    child, ``max_features`` the per-split feature subsample ("sqrt",
+    "third", "log2", an int, a float fraction, or None for all).
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_leaf: int = 1,
+        min_samples_split: int = 2,
+        max_features=None,
+        splitter: str = "best",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise MLError("max_depth must be >= 1 or None")
+        if min_samples_leaf < 1 or min_samples_split < 2:
+            raise MLError("invalid min_samples_leaf / min_samples_split")
+        if splitter not in ("best", "random"):
+            raise MLError("splitter must be 'best' or 'random'")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.splitter = splitter
+        self.rng = rng or np.random.default_rng()
+        self._nodes: list[_Node] = []
+        self.n_features_: int | None = None
+        self.feature_importances_: np.ndarray | None = None
+
+    # --------------------------------------------------------------- fit
+
+    def fit(self, X, y) -> "RegressionTree":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.ndim != 2:
+            raise MLError("X must be 2-D")
+        if len(X) != len(y):
+            raise MLError("X and y length mismatch")
+        if len(y) == 0:
+            raise MLError("cannot fit on an empty dataset")
+        self.n_features_ = X.shape[1]
+        self._k = _resolve_max_features(self.max_features, self.n_features_)
+        self._nodes = []
+        self._importance = np.zeros(self.n_features_)
+        self._build(X, y, np.arange(len(y)), depth=0)
+        total = self._importance.sum()
+        self.feature_importances_ = (
+            self._importance / total if total > 0 else self._importance
+        )
+        return self
+
+    def _build(self, X, y, idx: np.ndarray, depth: int) -> int:
+        node_id = len(self._nodes)
+        value = float(y[idx].mean())
+        self._nodes.append(_Node(value=value))
+        n = len(idx)
+        if (
+            n < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or np.ptp(y[idx]) == 0.0
+        ):
+            return node_id
+        split = self._best_split(X, y, idx)
+        if split is None:
+            return node_id
+        feature, threshold, gain = split
+        mask = X[idx, feature] <= threshold
+        left_idx = idx[mask]
+        right_idx = idx[~mask]
+        self._importance[feature] += gain
+        node = self._nodes[node_id]
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X, y, left_idx, depth + 1)
+        node.right = self._build(X, y, right_idx, depth + 1)
+        return node_id
+
+    def _best_split(
+        self, X, y, idx: np.ndarray
+    ) -> tuple[int, float, float] | None:
+        n = len(idx)
+        y_node = y[idx]
+        sum_all = y_node.sum()
+        sq_all = float(np.sum(y_node**2))
+        sse_parent = sq_all - sum_all**2 / n
+        features = self.rng.choice(
+            self.n_features_, size=self._k, replace=False
+        )
+        min_leaf = self.min_samples_leaf
+        if self.splitter == "random":
+            return self._random_split(
+                X, y_node, idx, features, sse_parent, min_leaf
+            )
+
+        # Vectorised over the feature subset: sort each candidate feature's
+        # column, prefix-sum the targets, and score every admissible cut of
+        # every feature in one shot.
+        Xn = X[np.ix_(idx, features)]                       # (n, k)
+        order = np.argsort(Xn, axis=0, kind="stable")
+        xs = np.take_along_axis(Xn, order, axis=0)          # sorted values
+        ys = y_node[order]                                  # aligned targets
+        cum = np.cumsum(ys, axis=0)
+        cum2 = np.cumsum(ys**2, axis=0)
+        pos = np.arange(1, n)[:, None]                      # left-side sizes
+        valid = (
+            (xs[1:] != xs[:-1])
+            & (pos >= min_leaf)
+            & (n - pos >= min_leaf)
+        )
+        if not valid.any():
+            return None
+        left_sum = cum[:-1]
+        left_sq = cum2[:-1]
+        right_sum = sum_all - left_sum
+        right_sq = sq_all - left_sq
+        with np.errstate(invalid="ignore"):
+            sse = (
+                left_sq - left_sum**2 / pos
+                + right_sq - right_sum**2 / (n - pos)
+            )
+        sse[~valid] = np.inf
+        flat = int(np.argmin(sse))
+        cut, col = divmod(flat, sse.shape[1])
+        gain = sse_parent - float(sse[cut, col])
+        if gain <= 1e-12:
+            return None
+        # Split predicate is `x <= threshold` with the threshold at the left
+        # boundary value itself: the float midpoint of two adjacent values
+        # can round up to the right value and produce an empty child.
+        threshold = float(xs[cut, col])
+        return (int(features[col]), threshold, gain)
+
+    def _random_split(
+        self, X, y_node, idx, features, sse_parent, min_leaf
+    ) -> tuple[int, float, float] | None:
+        """Extra-Trees-style splitting: one uniform random threshold per
+        candidate feature, best-scoring feature wins."""
+        n = len(idx)
+        best: tuple[int, float, float] | None = None
+        best_gain = 1e-12
+        for feature in features:
+            x = X[idx, feature]
+            lo, hi = float(x.min()), float(x.max())
+            if lo == hi:
+                continue
+            threshold = float(self.rng.uniform(lo, hi))
+            # uniform(lo, hi) can return hi itself; nudge inside.
+            if threshold >= hi:
+                threshold = lo + (hi - lo) / 2.0
+            mask = x <= threshold
+            n_left = int(mask.sum())
+            if n_left < min_leaf or n - n_left < min_leaf:
+                continue
+            left = y_node[mask]
+            right = y_node[~mask]
+            sse = (
+                float(np.sum(left**2)) - left.sum() ** 2 / n_left
+                + float(np.sum(right**2)) - right.sum() ** 2 / (n - n_left)
+            )
+            gain = sse_parent - sse
+            if gain > best_gain:
+                best_gain = gain
+                best = (int(feature), threshold, gain)
+        return best
+
+    # ----------------------------------------------------------- predict
+
+    def predict(self, X) -> np.ndarray:
+        if self.n_features_ is None:
+            raise NotFittedError("RegressionTree is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise MLError(
+                f"X must be 2-D with {self.n_features_} features, got {X.shape}"
+            )
+        out = np.empty(len(X))
+        for i, row in enumerate(X):
+            node = self._nodes[0]
+            while not node.is_leaf:
+                node = self._nodes[
+                    node.left if row[node.feature] <= node.threshold else node.right
+                ]
+            out[i] = node.value
+        return out
+
+    def apply(self, X) -> np.ndarray:
+        """Leaf index reached by every row (used by the model tree)."""
+        if self.n_features_ is None:
+            raise NotFittedError("RegressionTree is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty(len(X), dtype=np.int64)
+        for i, row in enumerate(X):
+            node_id = 0
+            node = self._nodes[0]
+            while not node.is_leaf:
+                node_id = (
+                    node.left if row[node.feature] <= node.threshold else node.right
+                )
+                node = self._nodes[node_id]
+            out[i] = node_id
+        return out
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def depth(self) -> int:
+        """Height of the fitted tree (0 for a single leaf)."""
+        if not self._nodes:
+            raise NotFittedError("RegressionTree is not fitted")
+
+        def _depth(node_id: int) -> int:
+            node = self._nodes[node_id]
+            if node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(0)

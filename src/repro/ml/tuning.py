@@ -1,0 +1,91 @@
+"""Hyper-parameter grid search (paper Section 2.5, "Train+Tune").
+
+"First, we perform as many iterations of the cross-validation process as
+hyper-parameter combinations.  Second, we compare all the generated models
+... and select the best one."  :func:`grid_search` does exactly that: one
+cross-validated score per combination, best model refitted on everything.
+
+For random forests the out-of-bag error can be used instead of k-fold CV
+(``use_oob=True``), which is substantially cheaper and statistically
+equivalent for bagged ensembles.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import MLError
+from .cross_validation import KFold, cross_val_score
+from .forest import RandomForestRegressor
+
+
+@dataclass
+class GridSearchResult:
+    """Outcome of a grid search: best model plus the full score table."""
+
+    best_model: object
+    best_params: dict
+    best_score: float
+    scores: list[tuple[dict, float]] = field(default_factory=list)
+
+
+def _combinations(grid: Mapping[str, Sequence]) -> list[dict]:
+    keys = list(grid)
+    out = []
+    for values in itertools.product(*(grid[k] for k in keys)):
+        out.append(dict(zip(keys, values)))
+    return out
+
+
+def grid_search(
+    base_model,
+    grid: Mapping[str, Sequence],
+    X,
+    y,
+    *,
+    cv: KFold | None = None,
+    use_oob: bool = False,
+) -> GridSearchResult:
+    """Exhaustive search over ``grid``; lower score (MRE) is better.
+
+    ``base_model`` must expose ``clone(**params)``; the returned best model
+    is refitted on the full data with the winning parameters.
+    """
+    combos = _combinations(grid)
+    if not combos:
+        raise MLError("empty hyper-parameter grid")
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64).ravel()
+    scores: list[tuple[dict, float]] = []
+    best_params: dict | None = None
+    best_score = np.inf
+    for params in combos:
+        candidate = base_model.clone(**params)
+        if use_oob:
+            if not isinstance(candidate, RandomForestRegressor):
+                raise MLError("use_oob requires a RandomForestRegressor")
+            candidate.fit(X, y)
+            score = candidate.oob_error(y)
+        else:
+            folds = cross_val_score(
+                lambda p=params: base_model.clone(**p), X, y,
+                cv=cv or KFold(n_splits=3, random_state=0),
+            )
+            score = float(np.mean(folds))
+        scores.append((params, score))
+        if score < best_score:
+            best_score = score
+            best_params = params
+    assert best_params is not None
+    best_model = base_model.clone(**best_params)
+    best_model.fit(X, y)
+    return GridSearchResult(
+        best_model=best_model,
+        best_params=best_params,
+        best_score=best_score,
+        scores=scores,
+    )

@@ -1,0 +1,94 @@
+"""Set-associative write-back L1 cache model for the NMC PEs.
+
+The paper's NMC PE cache is tiny — 2-way, two 64 B lines total (one set) —
+but the model is a general set-associative LRU cache so the architecture
+sweep examples can size it up (Section 3.4 suggests atax-like workloads
+would benefit from a larger NMC cache).
+
+Policy: write-back, write-allocate, LRU replacement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import NMCConfig
+from ..errors import ConfigError
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/writeback counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.writebacks += other.writebacks
+
+
+class Cache:
+    """LRU set-associative cache operating on line addresses.
+
+    ``access(line, is_write)`` returns ``(hit, writeback_line)`` where
+    ``writeback_line`` is the line address of an evicted dirty victim (or
+    ``None``).  The caller is responsible for timing; the cache only tracks
+    contents and statistics.
+    """
+
+    def __init__(self, n_lines: int, ways: int) -> None:
+        if n_lines < 1 or ways < 1:
+            raise ConfigError("cache needs >= 1 line and >= 1 way")
+        if n_lines % ways:
+            raise ConfigError("n_lines must be a multiple of ways")
+        self.ways = ways
+        self.n_sets = n_lines // ways
+        # Per set: list of [tag, dirty] in LRU order (index 0 = LRU).
+        self._sets: list[list[list]] = [[] for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    @classmethod
+    def l1_for(cls, config: NMCConfig) -> "Cache":
+        """The per-PE L1 described by an :class:`~repro.config.NMCConfig`."""
+        return cls(n_lines=config.l1_lines, ways=config.l1_ways)
+
+    def access(self, line: int, is_write: bool) -> tuple[bool, int | None]:
+        """Look up one line; returns (hit, evicted_dirty_line_or_None)."""
+        set_idx = line % self.n_sets
+        tag = line // self.n_sets
+        entries = self._sets[set_idx]
+        for pos, entry in enumerate(entries):
+            if entry[0] == tag:
+                entries.pop(pos)
+                entries.append(entry)
+                if is_write:
+                    entry[1] = True
+                self.stats.hits += 1
+                return True, None
+        # Miss: allocate (write-allocate policy); evict LRU if full.
+        self.stats.misses += 1
+        writeback: int | None = None
+        if len(entries) >= self.ways:
+            victim = entries.pop(0)
+            if victim[1]:
+                self.stats.writebacks += 1
+                writeback = victim[0] * self.n_sets + set_idx
+        entries.append([tag, is_write])
+        return False, writeback
+
+    def flush_dirty_count(self) -> int:
+        """Number of dirty lines still resident (flushed at kernel end)."""
+        return sum(
+            1 for entries in self._sets for entry in entries if entry[1]
+        )

@@ -1,0 +1,56 @@
+"""A single DRAM bank under the closed-page-with-timeout policy.
+
+Every access activates the row, performs the column access and transfers
+the burst.  The controller keeps the row open for a short linger window
+(``row_linger_ns``); within the window:
+
+* an access to the *same* row is a row-buffer hit (CAS + burst only);
+* an access to a *different* row must first precharge the open row
+  (explicit ``tRP``), then activate.
+
+Once the window expires the controller auto-precharges in the background,
+so a later access pays only the activation.  With ``row_linger_ns = 0``
+this degenerates to a strict closed-row policy.
+"""
+
+from __future__ import annotations
+
+from ...config import DRAMTiming
+
+
+class Bank:
+    """Timing state of one bank (all times in nanoseconds)."""
+
+    __slots__ = ("ready_at", "accesses", "row_hits", "open_row", "row_open_until")
+
+    def __init__(self) -> None:
+        self.ready_at = 0.0
+        self.accesses = 0
+        self.row_hits = 0
+        self.open_row = -1
+        self.row_open_until = -1.0
+
+    def access(self, now_ns: float, row: int, timing: DRAMTiming) -> float:
+        """Issue one access to ``row`` at ``now_ns``.
+
+        Returns the time at which the requested data is available.
+        """
+        start = now_ns if now_ns > self.ready_at else self.ready_at
+        self.accesses += 1
+        row_open = self.open_row >= 0 and start <= self.row_open_until
+        if row_open and row == self.open_row:
+            # Row-buffer hit: column access + burst only.
+            self.row_hits += 1
+            data_at = start + timing.t_cl_ns + timing.t_bl_ns
+            self.ready_at = start + timing.t_bl_ns
+        else:
+            # Row conflict pays an explicit precharge; an expired row was
+            # already auto-precharged in the background.
+            pre = timing.t_rp_ns if row_open else 0.0
+            data_at = start + pre + timing.closed_row_access_ns()
+            self.ready_at = start + pre + max(
+                timing.t_ras_ns, timing.t_rcd_ns + timing.t_cl_ns
+            )
+        self.open_row = row
+        self.row_open_until = data_at + timing.row_linger_ns
+        return data_at

@@ -1,0 +1,85 @@
+"""The stacked-memory cube: address mapping and vault dispatch.
+
+Address interleaving follows the HMC convention: consecutive
+row-buffer-sized blocks (256 B) rotate across vaults, then across banks
+within the vault.  This spreads streaming accesses over all vaults and
+banks, which is what gives 3D-stacked memory its internal bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...config import NMCConfig
+
+
+@dataclass
+class VaultStats:
+    """Aggregate DRAM statistics after a simulation."""
+
+    accesses: int = 0
+    reads: int = 0
+    writes: int = 0
+    max_vault_accesses: int = 0
+
+    @property
+    def activates(self) -> int:
+        """Row activations: one per access under the closed-row policy."""
+        return self.accesses
+
+
+class StackedMemory:
+    """Vaults + address mapping of the 3D-stacked DRAM cube."""
+
+    def __init__(self, config: NMCConfig) -> None:
+        from .vault import Vault  # local import to avoid cycle in docs builds
+
+        self.config = config
+        self.timing = config.timing
+        self.vaults = [
+            Vault(config.banks_per_vault) for _ in range(config.n_vaults)
+        ]
+        self._block_shift = config.row_buffer_bytes.bit_length() - 1
+        self.reads = 0
+        self.writes = 0
+
+    def route(self, addr: int) -> tuple[int, int, int]:
+        """Map a byte address to (vault index, bank index, row id).
+
+        The block id (row-buffer-sized, 256 B) is hashed with a Fibonacci
+        multiplicative hash before interleaving, so power-of-two strides do
+        not camp on a single vault or bank.  Lines within the same block
+        share a row (the row id), enabling row-buffer hits for streaming.
+        """
+        block = addr >> self._block_shift
+        folded = (block * 0x9E3779B97F4A7C15 >> 17) & 0xFFFFFFFF
+        vault = folded % self.config.n_vaults
+        bank = (folded // self.config.n_vaults) % self.config.banks_per_vault
+        return vault, bank, block
+
+    def access(self, now_ns: float, addr: int, is_write: bool) -> float:
+        """One cache-line access; returns the data-ready time (ns).
+
+        The logic-layer interconnect hop to the vault and back is added
+        here (PEs and vault controllers share the logic layer).
+        """
+        vault_idx, bank_idx, row = self.route(addr)
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        hop = self.timing.hop_ns
+        data_at = self.vaults[vault_idx].access(
+            now_ns + hop, bank_idx, row, self.timing
+        )
+        return data_at + hop
+
+    def stats(self) -> VaultStats:
+        accesses = self.reads + self.writes
+        per_vault = [v.accesses for v in self.vaults]
+        return VaultStats(
+            accesses=accesses,
+            reads=self.reads,
+            writes=self.writes,
+            max_vault_accesses=max(per_vault) if per_vault else 0,
+        )

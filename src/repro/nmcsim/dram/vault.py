@@ -1,0 +1,38 @@
+"""A vault: one vertical DRAM partition with its own controller and TSV bus.
+
+Each vault owns ``banks_per_vault`` banks (spread over the stacked layers)
+and a data bus (the TSV column) that serialises the bursts of concurrent
+bank accesses.  The vault controller is FCFS — requests are served in
+arrival order, which is what the event-driven simulator guarantees by
+construction.
+"""
+
+from __future__ import annotations
+
+from ...config import DRAMTiming
+from .bank import Bank
+
+
+class Vault:
+    """Timing state of one vault (all times in nanoseconds)."""
+
+    __slots__ = ("banks", "bus_ready_at", "accesses")
+
+    def __init__(self, banks_per_vault: int) -> None:
+        self.banks = [Bank() for _ in range(banks_per_vault)]
+        self.bus_ready_at = 0.0
+        self.accesses = 0
+
+    def access(
+        self, now_ns: float, bank_idx: int, row: int, timing: DRAMTiming
+    ) -> float:
+        """One line access through this vault; returns data-ready time."""
+        self.accesses += 1
+        bank = self.banks[bank_idx % len(self.banks)]
+        data_at = bank.access(now_ns, row, timing)
+        # The burst must additionally win the vault TSV bus.
+        burst_start = data_at - timing.t_bl_ns
+        if burst_start < self.bus_ready_at:
+            data_at = self.bus_ready_at + timing.t_bl_ns
+        self.bus_ready_at = data_at
+        return data_at

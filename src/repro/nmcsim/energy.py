@@ -1,0 +1,104 @@
+"""Energy accounting for the NMC system.
+
+Event-based: every executed instruction, cache access and DRAM operation
+contributes its per-event energy (:class:`~repro.config.NMCEnergyParams`);
+static power integrates over the kernel's execution time.  The SerDes link
+energy covers the initial offload of the kernel's inputs and the final
+result return over the off-chip link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import NMCConfig
+from ..ir import Opcode
+
+#: Opcode -> dynamic-energy attribute of NMCEnergyParams.
+_OPCODE_ENERGY_ATTR = {
+    Opcode.IALU: "int_alu_pj",
+    Opcode.IMUL: "int_mul_pj",
+    Opcode.IDIV: "int_div_pj",
+    Opcode.FALU: "fp_alu_pj",
+    Opcode.FMUL: "fp_mul_pj",
+    Opcode.FDIV: "fp_div_pj",
+    Opcode.FMA: "fp_mul_pj",
+    Opcode.LOAD: "other_pj",      # cache energy accounted separately
+    Opcode.STORE: "other_pj",
+    Opcode.ATOMIC: "int_alu_pj",
+    Opcode.BRANCH: "branch_pj",
+    Opcode.CMP: "int_alu_pj",
+    Opcode.MOVE: "other_pj",
+    Opcode.CALL: "branch_pj",
+    Opcode.RET: "branch_pj",
+    Opcode.NOP: "other_pj",
+}
+
+PJ = 1e-12
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy components of one NMC kernel execution, in joules."""
+
+    core_dynamic_j: float
+    cache_j: float
+    dram_dynamic_j: float
+    link_j: float
+    static_j: float
+
+    @property
+    def total_j(self) -> float:
+        return (
+            self.core_dynamic_j
+            + self.cache_j
+            + self.dram_dynamic_j
+            + self.link_j
+            + self.static_j
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "core_dynamic_j": self.core_dynamic_j,
+            "cache_j": self.cache_j,
+            "dram_dynamic_j": self.dram_dynamic_j,
+            "link_j": self.link_j,
+            "static_j": self.static_j,
+            "total_j": self.total_j,
+        }
+
+
+def compute_energy(
+    config: NMCConfig,
+    opcode_counts: dict[Opcode, int],
+    l1_accesses: int,
+    dram_accesses: int,
+    exec_time_s: float,
+    offload_bytes: float = 0.0,
+) -> EnergyBreakdown:
+    """Aggregate event counts into an :class:`EnergyBreakdown`.
+
+    ``offload_bytes`` is the data volume shipped over the off-chip SerDes
+    link (kernel inputs + results).  Static power covers the whole cube —
+    idle PEs are not power-gated in the reference design.
+    """
+    e = config.energy
+    core = sum(
+        count * getattr(e, _OPCODE_ENERGY_ATTR[op])
+        for op, count in opcode_counts.items()
+    )
+    cache = l1_accesses * e.l1_access_pj
+    line_bits = config.line_bytes * 8
+    dram = dram_accesses * (e.dram_activate_pj + line_bits * e.dram_rw_pj_per_bit)
+    link = offload_bytes * 8 * e.link_pj_per_bit
+    static_w = config.n_pes * e.pe_static_w + e.dram_static_w
+    static = static_w * exec_time_s / PJ  # keep everything in pJ, then scale
+    return EnergyBreakdown(
+        core_dynamic_j=core * PJ,
+        cache_j=cache * PJ,
+        dram_dynamic_j=dram * PJ,
+        link_j=link * PJ,
+        static_j=static * PJ,
+    )

@@ -1,0 +1,90 @@
+"""Off-chip SerDes link and kernel-offload cost model.
+
+The paper's execution-time formula ``T_NMC = I_offload / (IPC * f_core)``
+covers kernel execution only; shipping the kernel's inputs to the memory
+cube and its results back crosses the 16-lane 15 Gbps SerDes link
+(Table 3).  This module models that cost so the suitability analysis can
+be refined with offload overheads (an ablation the paper leaves implicit).
+
+The link is full-duplex: input upload and result download are each bounded
+by the one-direction bandwidth; a per-message packetisation overhead and a
+fixed round-trip setup latency complete the first-order model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import NMCConfig
+from ..errors import ConfigError
+
+#: Flit-level protocol overhead of HMC-style links (header+tail per packet).
+PACKET_OVERHEAD = 0.10
+
+#: One-time offload setup round trip (descriptor + doorbell), seconds.
+SETUP_LATENCY_S = 1.0e-6
+
+
+@dataclass(frozen=True)
+class OffloadCost:
+    """Cost of moving a kernel's data across the off-chip link."""
+
+    upload_bytes: float
+    download_bytes: float
+    upload_s: float
+    download_s: float
+    setup_s: float
+    energy_j: float
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end offload time (setup + upload + download)."""
+        return self.setup_s + self.upload_s + self.download_s
+
+
+class LinkModel:
+    """First-order SerDes link timing/energy model."""
+
+    def __init__(self, config: NMCConfig) -> None:
+        config.validate()
+        self.config = config
+        #: usable one-direction bandwidth after protocol overhead (B/s)
+        self.effective_bw = (
+            config.link_gbytes_per_s * 1e9 * (1.0 - PACKET_OVERHEAD)
+        )
+        if self.effective_bw <= 0:
+            raise ConfigError("link bandwidth must be positive")
+
+    def transfer_time_s(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` in one direction."""
+        if nbytes < 0:
+            raise ConfigError("transfer size must be >= 0")
+        return nbytes / self.effective_bw
+
+    def offload_cost(
+        self, upload_bytes: float, download_bytes: float
+    ) -> OffloadCost:
+        """Full offload cost for a kernel's input/result volumes."""
+        upload_s = self.transfer_time_s(upload_bytes)
+        download_s = self.transfer_time_s(download_bytes)
+        bits = (upload_bytes + download_bytes) * 8
+        energy = bits * self.config.energy.link_pj_per_bit * 1e-12
+        return OffloadCost(
+            upload_bytes=upload_bytes,
+            download_bytes=download_bytes,
+            upload_s=upload_s,
+            download_s=download_s,
+            setup_s=SETUP_LATENCY_S,
+            energy_j=energy,
+        )
+
+
+def offload_adjusted_edp(
+    kernel_time_s: float,
+    kernel_energy_j: float,
+    cost: OffloadCost,
+) -> float:
+    """EDP of the kernel including its offload overheads."""
+    time_s = kernel_time_s + cost.total_s
+    energy_j = kernel_energy_j + cost.energy_j
+    return time_s * energy_j

@@ -1,0 +1,100 @@
+"""Simulation result container shared by the NMC simulator and NAPEL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cache import CacheStats
+from .dram import VaultStats
+from .energy import EnergyBreakdown
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of simulating one kernel trace on one NMC configuration.
+
+    ``ipc`` is the headline label NAPEL trains on; ``time_s`` follows the
+    paper's formula ``T = I_offload / (IPC * f_core)`` exactly (makespan
+    cycles of the slowest PE, converted at the core frequency).
+    """
+
+    workload: str
+    instructions: int
+    cycles: int
+    time_s: float
+    ipc: float
+    energy: EnergyBreakdown
+    cache: CacheStats
+    dram: VaultStats
+    n_pes_used: int
+    parameters: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def energy_j(self) -> float:
+        return self.energy.total_j
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (J * s), the Figure 7 metric."""
+        return self.energy_j * self.time_s
+
+    @property
+    def power_w(self) -> float:
+        return self.energy_j / self.time_s if self.time_s > 0 else 0.0
+
+    def to_json_dict(self) -> dict:
+        """JSON-serialisable form (for campaign caching)."""
+        return {
+            "workload": self.workload,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "time_s": self.time_s,
+            "ipc": self.ipc,
+            "energy": self.energy.as_dict(),
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "writebacks": self.cache.writebacks,
+            },
+            "dram": {
+                "accesses": self.dram.accesses,
+                "reads": self.dram.reads,
+                "writes": self.dram.writes,
+                "max_vault_accesses": self.dram.max_vault_accesses,
+            },
+            "n_pes_used": self.n_pes_used,
+            "parameters": dict(self.parameters),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "SimulationResult":
+        energy = data["energy"]
+        return cls(
+            workload=str(data["workload"]),
+            instructions=int(data["instructions"]),
+            cycles=int(data["cycles"]),
+            time_s=float(data["time_s"]),
+            ipc=float(data["ipc"]),
+            energy=EnergyBreakdown(
+                core_dynamic_j=float(energy["core_dynamic_j"]),
+                cache_j=float(energy["cache_j"]),
+                dram_dynamic_j=float(energy["dram_dynamic_j"]),
+                link_j=float(energy["link_j"]),
+                static_j=float(energy["static_j"]),
+            ),
+            cache=CacheStats(
+                hits=int(data["cache"]["hits"]),
+                misses=int(data["cache"]["misses"]),
+                writebacks=int(data["cache"]["writebacks"]),
+            ),
+            dram=VaultStats(
+                accesses=int(data["dram"]["accesses"]),
+                reads=int(data["dram"]["reads"]),
+                writes=int(data["dram"]["writes"]),
+                max_vault_accesses=int(data["dram"]["max_vault_accesses"]),
+            ),
+            n_pes_used=int(data["n_pes_used"]),
+            parameters={
+                k: float(v) for k, v in data.get("parameters", {}).items()
+            },
+        )

@@ -1,0 +1,268 @@
+"""The trace-driven NMC simulator (paper phase 2).
+
+Execution model, matching the Table 3 NMC system and the modelling level of
+Ramulator-PIM for this paper's experiments:
+
+* each software thread is statically assigned to a PE (round-robin when
+  there are more threads than PEs; extra threads time-multiplex);
+* PEs are single-issue and in-order: every instruction occupies the pipe
+  for its opcode latency, and memory instructions *block* until the L1 (or
+  the stacked DRAM, on a miss) returns the line;
+* per-PE L1s are write-back/write-allocate; misses and dirty evictions go
+  to the vault whose address range they fall into;
+* vault/bank contention between PEs is resolved exactly, by processing all
+  PEs' memory events in global time order (heap-driven).
+
+The simulator returns IPC (total instructions / makespan cycles), execution
+time and the full energy breakdown — the labels NAPEL trains on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Mapping
+
+import numpy as np
+
+from ..config import NMCConfig, default_nmc_config
+from ..errors import SimulationError
+from ..ir import OPCODE_LATENCY, InstructionTrace, Opcode
+from .cache import Cache, CacheStats
+from .dram import StackedMemory
+from .energy import compute_energy
+from .results import SimulationResult
+
+#: numpy lookup table: opcode value -> execute latency (cycles).
+_LATENCY_LUT = np.zeros(max(int(op) for op in Opcode) + 1, dtype=np.int64)
+for _op, _lat in OPCODE_LATENCY.items():
+    _LATENCY_LUT[int(_op)] = _lat
+
+_LOAD = int(Opcode.LOAD)
+_STORE = int(Opcode.STORE)
+_ATOMIC = int(Opcode.ATOMIC)
+
+
+class _PEStream:
+    """Pre-digested per-PE instruction stream.
+
+    ``compute_ns[k]`` is the non-memory execution time preceding memory op
+    ``k`` (entry ``n_mem`` is the tail after the last memory op); ``lines``
+    and ``writes`` describe the memory ops themselves.  ``outstanding``
+    holds in-flight miss completion times for the out-of-order PE model.
+    """
+
+    __slots__ = (
+        "pe", "time_ns", "next_op", "compute_ns", "lines", "writes",
+        "cache", "finish_ns", "n_instructions", "outstanding",
+    )
+
+    def __init__(
+        self,
+        pe: int,
+        compute_ns: np.ndarray,
+        lines: np.ndarray,
+        writes: np.ndarray,
+        cache: Cache,
+        n_instructions: int,
+    ) -> None:
+        self.pe = pe
+        self.time_ns = 0.0
+        self.next_op = 0
+        self.compute_ns = compute_ns
+        self.lines = lines.tolist()
+        self.writes = writes.tolist()
+        self.cache = cache
+        self.finish_ns = 0.0
+        self.n_instructions = n_instructions
+        self.outstanding: list[float] = []
+
+    @property
+    def n_mem(self) -> int:
+        return len(self.lines)
+
+
+def _build_stream(
+    pe: int,
+    opcode: np.ndarray,
+    addr: np.ndarray,
+    cycle_ns: float,
+    line_shift: int,
+    cache: Cache,
+    issue_width: int = 1,
+) -> _PEStream:
+    lat = _LATENCY_LUT[opcode]
+    is_mem = (opcode == _LOAD) | (opcode == _STORE) | (opcode == _ATOMIC)
+    mem_pos = np.flatnonzero(is_mem)
+    lat_nonmem = np.where(is_mem, 0, lat)
+    if issue_width > 1:
+        # Multi-issue cores retire several independent ops per cycle;
+        # first-order model: compute segments shrink by the issue width.
+        lat_nonmem = lat_nonmem / issue_width
+    pref = np.concatenate(([0], np.cumsum(lat_nonmem)))
+    # Compute time between consecutive memory ops (and before the first /
+    # after the last).  lat_nonmem is zero at memory positions, so prefix
+    # differences at the positions give exactly the in-between sums.
+    bounds = np.concatenate(([0], mem_pos, [len(opcode)]))
+    compute_cycles = pref[bounds[1:]] - pref[bounds[:-1]]
+    lines = (addr[mem_pos] >> np.uint64(line_shift)).astype(np.int64)
+    writes = (opcode[mem_pos] == _STORE) | (opcode[mem_pos] == _ATOMIC)
+    return _PEStream(
+        pe=pe,
+        compute_ns=compute_cycles.astype(np.float64) * cycle_ns,
+        lines=lines,
+        writes=writes,
+        cache=cache,
+        n_instructions=len(opcode),
+    )
+
+
+class NMCSimulator:
+    """Simulates kernel traces on one NMC architecture configuration."""
+
+    def __init__(self, config: NMCConfig | None = None) -> None:
+        self.config = config or default_nmc_config()
+        self.config.validate()
+
+    def run(
+        self,
+        trace: InstructionTrace,
+        *,
+        workload: str = "",
+        parameters: Mapping[str, float] | None = None,
+    ) -> SimulationResult:
+        """Simulate one trace; returns IPC, time and energy."""
+        if len(trace) == 0:
+            raise SimulationError("cannot simulate an empty trace")
+        cfg = self.config
+        cycle_ns = cfg.cycle_ns
+        line_shift = cfg.line_bytes.bit_length() - 1
+        memory = StackedMemory(cfg)
+
+        # Assign threads to PEs round-robin; threads sharing a PE execute
+        # back-to-back (time multiplexed).
+        tids = trace.thread_ids
+        streams: list[_PEStream] = []
+        per_pe_cols: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
+        for idx, tid in enumerate(tids):
+            pe = idx % cfg.n_pes
+            sub = trace.tid == tid
+            per_pe_cols.setdefault(pe, []).append(
+                (trace.opcode[sub], trace.addr[sub])
+            )
+        for pe, parts in sorted(per_pe_cols.items()):
+            opcode = np.concatenate([p[0] for p in parts])
+            addr = np.concatenate([p[1] for p in parts])
+            streams.append(
+                _build_stream(
+                    pe, opcode, addr, cycle_ns, line_shift,
+                    Cache.l1_for(cfg), issue_width=cfg.issue_width,
+                )
+            )
+
+        # Event loop: always advance the PE whose next memory access comes
+        # earliest in global time, so bank/bus contention is seen in order.
+        #
+        # In-order PEs block on every miss.  Out-of-order PEs ("ooo") keep
+        # issuing past misses until their MSHRs fill; when the MSHR file is
+        # full, the PE stalls until the oldest outstanding miss returns.
+        l1_cycle_ns = cycle_ns  # one-cycle L1 access
+        ooo = cfg.pe_type == "ooo"
+        mshrs = cfg.mshr_entries
+        heap: list[tuple[float, int]] = []
+        for i, s in enumerate(streams):
+            if s.n_mem:
+                heapq.heappush(heap, (s.time_ns + float(s.compute_ns[0]), i))
+            else:
+                s.finish_ns = float(s.compute_ns[0])
+        while heap:
+            t, i = heapq.heappop(heap)
+            s = streams[i]
+            k = s.next_op
+            line = s.lines[k]
+            is_write = s.writes[k]
+            hit, writeback = s.cache.access(line, is_write)
+            if hit:
+                t += l1_cycle_ns
+            elif not ooo:
+                t = memory.access(t, line << line_shift, bool(is_write)) + l1_cycle_ns
+            else:
+                done = memory.access(t, line << line_shift, bool(is_write))
+                s.outstanding.append(done)
+                if len(s.outstanding) >= mshrs:
+                    # MSHRs full: stall until the oldest miss completes.
+                    oldest = min(s.outstanding)
+                    s.outstanding.remove(oldest)
+                    t = max(t, oldest) + l1_cycle_ns
+                else:
+                    t += l1_cycle_ns  # issue continues under the miss
+            if writeback is not None:
+                # Dirty eviction: posted write, does not block the PE but
+                # occupies the bank.
+                memory.access(t, writeback << line_shift, True)
+            s.next_op = k + 1
+            if s.next_op < s.n_mem:
+                heapq.heappush(
+                    heap, (t + float(s.compute_ns[s.next_op]), i)
+                )
+            else:
+                finish = t + float(s.compute_ns[s.n_mem])
+                if s.outstanding:
+                    finish = max(finish, max(s.outstanding))
+                    s.outstanding.clear()
+                s.finish_ns = finish
+
+        makespan_ns = max(s.finish_ns for s in streams)
+        if makespan_ns <= 0:
+            raise SimulationError("simulation produced a non-positive makespan")
+        cycles = max(1, int(round(makespan_ns / cycle_ns)))
+        instructions = len(trace)
+        ipc = instructions / cycles
+
+        # Aggregate statistics.
+        cache_stats = CacheStats()
+        for s in streams:
+            cache_stats.merge(s.cache.stats)
+        # Dirty lines still resident are flushed back at kernel completion.
+        flush_writes = sum(s.cache.flush_dirty_count() for s in streams)
+        for _ in range(flush_writes):
+            memory.writes += 1
+        dram_stats = memory.stats()
+
+        addrs, _sizes, _w = trace.memory_accesses()
+        footprint_lines = len(np.unique(addrs >> np.uint64(line_shift)))
+        offload_bytes = float(footprint_lines * cfg.line_bytes)
+
+        time_s = makespan_ns * 1e-9
+        energy = compute_energy(
+            cfg,
+            trace.opcode_counts(),
+            l1_accesses=cache_stats.accesses,
+            dram_accesses=dram_stats.accesses,
+            exec_time_s=time_s,
+            offload_bytes=offload_bytes,
+        )
+        return SimulationResult(
+            workload=workload,
+            instructions=instructions,
+            cycles=cycles,
+            time_s=time_s,
+            ipc=ipc,
+            energy=energy,
+            cache=cache_stats,
+            dram=dram_stats,
+            n_pes_used=len(streams),
+            parameters=dict(parameters or {}),
+        )
+
+
+def simulate(
+    trace: InstructionTrace,
+    config: NMCConfig | None = None,
+    *,
+    workload: str = "",
+    parameters: Mapping[str, float] | None = None,
+) -> SimulationResult:
+    """Convenience wrapper: simulate ``trace`` on ``config`` (Table 3 default)."""
+    return NMCSimulator(config).run(
+        trace, workload=workload, parameters=parameters
+    )

@@ -1,0 +1,87 @@
+"""Post-hoc statistics and reports over simulation results.
+
+Turns a :class:`~repro.nmcsim.results.SimulationResult` into the derived
+quantities an architect inspects: achieved bandwidth, PE utilisation,
+memory intensity, per-component energy shares — and renders them as a
+plain-text report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import NMCConfig, default_nmc_config
+from ..errors import SimulationError
+from .results import SimulationResult
+
+
+@dataclass(frozen=True)
+class SimulationStats:
+    """Derived metrics of one simulation."""
+
+    ipc_per_pe: float
+    dram_bandwidth_gbs: float      #: achieved DRAM bandwidth (GB/s)
+    bandwidth_utilisation: float   #: fraction of peak internal bandwidth
+    l1_miss_ratio: float
+    misses_per_kilo_instruction: float
+    energy_shares: dict            #: component -> fraction of total energy
+    average_power_w: float
+
+
+def derive_stats(
+    result: SimulationResult, config: NMCConfig | None = None
+) -> SimulationStats:
+    """Compute :class:`SimulationStats` for a simulation result."""
+    config = config or default_nmc_config()
+    if result.time_s <= 0:
+        raise SimulationError("result has non-positive execution time")
+    dram_bytes = result.dram.accesses * config.line_bytes
+    achieved = dram_bytes / result.time_s / 1e9
+    # Peak internal bandwidth: every vault bus streaming one line per tBL.
+    peak = (
+        config.n_vaults * config.line_bytes
+        / config.timing.t_bl_ns
+    )  # bytes/ns == GB/s
+    total_e = result.energy.total_j
+    shares = {
+        name: value / total_e if total_e > 0 else 0.0
+        for name, value in result.energy.as_dict().items()
+        if name != "total_j"
+    }
+    return SimulationStats(
+        ipc_per_pe=result.ipc / result.n_pes_used,
+        dram_bandwidth_gbs=achieved,
+        bandwidth_utilisation=achieved / peak if peak > 0 else 0.0,
+        l1_miss_ratio=result.cache.miss_ratio,
+        misses_per_kilo_instruction=(
+            1000.0 * result.cache.misses / result.instructions
+        ),
+        energy_shares=shares,
+        average_power_w=result.power_w,
+    )
+
+
+def format_stats(
+    result: SimulationResult, config: NMCConfig | None = None
+) -> str:
+    """Human-readable report of a simulation's derived statistics."""
+    from ..core.reporting import format_table
+
+    stats = derive_stats(result, config)
+    rows = [
+        ["workload", result.workload or "(unnamed)"],
+        ["instructions", f"{result.instructions:,}"],
+        ["PEs used", result.n_pes_used],
+        ["aggregate IPC", f"{result.ipc:.4f}"],
+        ["per-PE IPC", f"{stats.ipc_per_pe:.4f}"],
+        ["execution time", f"{result.time_s * 1e6:.2f} us"],
+        ["L1 miss ratio", f"{stats.l1_miss_ratio:.1%}"],
+        ["misses / kilo-instruction", f"{stats.misses_per_kilo_instruction:.1f}"],
+        ["DRAM bandwidth", f"{stats.dram_bandwidth_gbs:.2f} GB/s"],
+        ["bandwidth utilisation", f"{stats.bandwidth_utilisation:.1%}"],
+        ["total energy", f"{result.energy_j * 1e3:.4f} mJ"],
+        ["average power", f"{stats.average_power_w:.2f} W"],
+    ]
+    for name, share in stats.energy_shares.items():
+        rows.append([f"energy share: {name}", f"{share:.1%}"])
+    return format_table(["metric", "value"], rows, title="simulation report")

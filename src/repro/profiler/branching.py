@@ -1,0 +1,35 @@
+"""Branch-behaviour features.
+
+Control-flow statistics: branch density, mean basic-block length, number of
+distinct static branch sites, and branches per memory operation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..ir import CONTROL_OPCODES, InstructionTrace
+
+
+def branch_features(trace: InstructionTrace) -> dict[str, float]:
+    n = len(trace)
+    if n == 0:
+        return {
+            "branch.density": 0.0,
+            "branch.avg_basic_block": 0.0,
+            "branch.unique_branch_sites": 0.0,
+            "branch.per_memory_op": 0.0,
+        }
+    control_codes = np.array(sorted(int(op) for op in CONTROL_OPCODES), dtype=np.uint8)
+    is_control = np.isin(trace.opcode, control_codes)
+    n_control = int(is_control.sum())
+    mem_ops = trace.memory_op_count
+    unique_sites = len(np.unique(trace.pc[is_control])) if n_control else 0
+    return {
+        "branch.density": n_control / n,
+        "branch.avg_basic_block": n / n_control if n_control else float(n),
+        "branch.unique_branch_sites": math.log2(1.0 + unique_sites),
+        "branch.per_memory_op": n_control / mem_ops if mem_ops else 0.0,
+    }

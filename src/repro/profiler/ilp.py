@@ -1,0 +1,171 @@
+"""Instruction-level parallelism on an ideal machine (paper Table 1, "ILP").
+
+The ideal machine has infinite functional units and perfect register
+renaming: only read-after-write dependencies (through registers and through
+memory) constrain scheduling.  ILP is the number of instructions divided by
+the dependence-DAG critical-path length.
+
+Besides the classic infinite-window ILP, windowed variants (the machine may
+only look ahead ``w`` instructions; approximated by scheduling consecutive
+chunks of ``w`` instructions independently and serialising the chunks) and
+per-class dependence-chain ILP (integer, floating-point, memory) are
+reported, mirroring PISA's ILP sub-features.
+"""
+
+from __future__ import annotations
+
+from ..ir import InstructionTrace, Opcode
+from .features import ILP_WINDOWS
+
+#: Default cap on the number of instructions analysed; ILP converges quickly
+#: for loop-dominated kernels, and the cap keeps profiling fast.
+DEFAULT_SAMPLE_LIMIT = 15_000
+
+_INT_CODES = frozenset(
+    int(op) for op in (Opcode.IALU, Opcode.IMUL, Opcode.IDIV, Opcode.CMP)
+)
+_FP_CODES = frozenset(
+    int(op) for op in (Opcode.FALU, Opcode.FMUL, Opcode.FDIV, Opcode.FMA)
+)
+_MEM_CODES = frozenset(
+    int(op) for op in (Opcode.LOAD, Opcode.STORE, Opcode.ATOMIC)
+)
+_LOAD = int(Opcode.LOAD)
+_STORE = int(Opcode.STORE)
+_ATOMIC = int(Opcode.ATOMIC)
+
+
+def _chunk_depths(
+    opcodes: list[int],
+    dsts: list[int],
+    src1s: list[int],
+    src2s: list[int],
+    lines: list[int],
+    window: int | None,
+) -> tuple[int, int, int, int]:
+    """Total serialized DAG depth plus per-class chain depths.
+
+    With ``window=None`` the whole stream is one chunk (infinite window).
+    Returns (total_depth, int_chain, fp_chain, mem_chain).
+    """
+    n = len(opcodes)
+    if n == 0:
+        return 0, 0, 0, 0
+    total_depth = 0
+    int_chain = fp_chain = mem_chain = 0
+    start = 0
+    step = window if window else n
+    while start < n:
+        end = min(start + step, n)
+        reg_level: dict[int, int] = {}
+        store_level: dict[int, int] = {}
+        # Per-class chain levels keyed by register.
+        int_level: dict[int, int] = {}
+        fp_level: dict[int, int] = {}
+        depth = 0
+        chunk_int = chunk_fp = chunk_mem = 0
+        mem_serial = 0  # level of the last memory op chain within the chunk
+        for i in range(start, end):
+            op = opcodes[i]
+            level = 0
+            s1 = src1s[i]
+            if s1 >= 0:
+                level = reg_level.get(s1, 0)
+            s2 = src2s[i]
+            if s2 >= 0:
+                l2 = reg_level.get(s2, 0)
+                if l2 > level:
+                    level = l2
+            if op == _LOAD or op == _ATOMIC:
+                line = lines[i]
+                sl = store_level.get(line, 0)
+                if sl > level:
+                    level = sl
+            level += 1
+            if level > depth:
+                depth = level
+            d = dsts[i]
+            if d >= 0:
+                reg_level[d] = level
+            if op == _STORE or op == _ATOMIC:
+                store_level[lines[i]] = level
+            # Per-class chains: an op extends the chain of its class if it
+            # consumes a value produced by the same class.
+            if op in _INT_CODES:
+                cl = 0
+                if s1 >= 0:
+                    cl = int_level.get(s1, 0)
+                if s2 >= 0:
+                    cl = max(cl, int_level.get(s2, 0))
+                cl += 1
+                if d >= 0:
+                    int_level[d] = cl
+                if cl > chunk_int:
+                    chunk_int = cl
+            elif op in _FP_CODES:
+                cl = 0
+                if s1 >= 0:
+                    cl = fp_level.get(s1, 0)
+                if s2 >= 0:
+                    cl = max(cl, fp_level.get(s2, 0))
+                cl += 1
+                if d >= 0:
+                    fp_level[d] = cl
+                if cl > chunk_fp:
+                    chunk_fp = cl
+            elif op in _MEM_CODES:
+                # Memory chain: the deepest dependence level reached by a
+                # memory op approximates the length of the address-dependence
+                # chain feeding memory accesses (pointer chasing deepens it).
+                if level > mem_serial:
+                    mem_serial = level
+        chunk_mem = min(depth, mem_serial)
+        total_depth += depth
+        int_chain += chunk_int
+        fp_chain += chunk_fp
+        mem_chain += chunk_mem
+        start = end
+    return total_depth, int_chain, fp_chain, mem_chain
+
+
+def ilp_features(
+    trace: InstructionTrace,
+    *,
+    sample_limit: int = DEFAULT_SAMPLE_LIMIT,
+    line_bytes: int = 64,
+) -> dict[str, float]:
+    """ILP feature family: total, windowed, and per-class chain ILP."""
+    n = min(len(trace), sample_limit)
+    out: dict[str, float] = {}
+    if n == 0:
+        out["ilp.total"] = 0.0
+        for w in ILP_WINDOWS:
+            out[f"ilp.window_{w}"] = 0.0
+        out["ilp.int_chain"] = 0.0
+        out["ilp.fp_chain"] = 0.0
+        out["ilp.mem_chain"] = 0.0
+        return out
+
+    shift = line_bytes.bit_length() - 1
+    opcodes = trace.opcode[:n].tolist()
+    dsts = trace.dst[:n].tolist()
+    src1s = trace.src1[:n].tolist()
+    src2s = trace.src2[:n].tolist()
+    lines = (trace.addr[:n] >> shift).tolist()
+
+    depth, int_chain, fp_chain, mem_chain = _chunk_depths(
+        opcodes, dsts, src1s, src2s, lines, window=None
+    )
+    out["ilp.total"] = n / depth if depth else 0.0
+
+    n_int = sum(1 for op in opcodes if op in _INT_CODES)
+    n_fp = sum(1 for op in opcodes if op in _FP_CODES)
+    n_mem = sum(1 for op in opcodes if op in _MEM_CODES)
+    out["ilp.int_chain"] = n_int / int_chain if int_chain else 0.0
+    out["ilp.fp_chain"] = n_fp / fp_chain if fp_chain else 0.0
+    out["ilp.mem_chain"] = n_mem / mem_chain if mem_chain else 0.0
+
+    for w in ILP_WINDOWS:
+        d, _, _, _ = _chunk_depths(opcodes, dsts, src1s, src2s, lines, window=w)
+        out[f"ilp.window_{w}"] = n / d if d else 0.0
+    return out

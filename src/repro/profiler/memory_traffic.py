@@ -1,0 +1,45 @@
+"""Memory-traffic features (paper Table 1, "Memory traffic").
+
+"Percentage of memory reads/writes that need to access memory" for a range
+of cache sizes: derived analytically from the reuse-distance histograms — an
+access escapes a fully-associative LRU cache of ``C`` lines iff its reuse
+distance is ≥ ``C`` (cold accesses always escape).
+
+For each cache size we report the read miss fraction, write miss fraction,
+and the fraction of total accessed bytes that goes to memory.
+"""
+
+from __future__ import annotations
+
+from ..ir import InstructionTrace
+from .features import TRAFFIC_CACHE_SIZES
+from .reuse_distance import ReuseDistanceHistogram
+
+
+def memory_traffic_features(
+    trace: InstructionTrace,
+    hists: dict[str, ReuseDistanceHistogram],
+    *,
+    line_bytes: int = 64,
+) -> dict[str, float]:
+    """Traffic escape fractions at :data:`TRAFFIC_CACHE_SIZES` cache sizes."""
+    out: dict[str, float] = {}
+    read_hist = hists["read"]
+    write_hist = hists["write"]
+    all_hist = hists["all"]
+    for size in TRAFFIC_CACHE_SIZES:
+        capacity_lines = max(1, size // line_bytes)
+        read_miss = _miss_with_cold(read_hist, capacity_lines)
+        write_miss = _miss_with_cold(write_hist, capacity_lines)
+        bytes_frac = _miss_with_cold(all_hist, capacity_lines)
+        out[f"traffic.read_miss_{size}"] = read_miss
+        out[f"traffic.write_miss_{size}"] = write_miss
+        out[f"traffic.bytes_{size}"] = bytes_frac
+    return out
+
+
+def _miss_with_cold(hist: ReuseDistanceHistogram, capacity_lines: int) -> float:
+    """Miss ratio including cold misses (they always go to memory)."""
+    if hist.total == 0:
+        return 0.0
+    return hist.miss_ratio(capacity_lines)

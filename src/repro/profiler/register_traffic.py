@@ -1,0 +1,32 @@
+"""Register-traffic features (paper Table 1, "Register traffic").
+
+Average number of register operands read/written per instruction, plus the
+number of distinct virtual registers the kernel uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import NO_REG, InstructionTrace
+
+
+def register_traffic_features(trace: InstructionTrace) -> dict[str, float]:
+    n = len(trace)
+    if n == 0:
+        return {
+            "reg.reads_per_instr": 0.0,
+            "reg.writes_per_instr": 0.0,
+            "reg.operands_per_instr": 0.0,
+            "reg.unique_registers": 0.0,
+        }
+    reads = int((trace.src1 != NO_REG).sum()) + int((trace.src2 != NO_REG).sum())
+    writes = int((trace.dst != NO_REG).sum())
+    regs = np.concatenate([trace.dst, trace.src1, trace.src2])
+    unique = len(np.unique(regs[regs != NO_REG]))
+    return {
+        "reg.reads_per_instr": reads / n,
+        "reg.writes_per_instr": writes / n,
+        "reg.operands_per_instr": (reads + writes) / n,
+        "reg.unique_registers": float(unique),
+    }

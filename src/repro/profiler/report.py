@@ -1,0 +1,120 @@
+"""Profile comparison and reporting utilities.
+
+NAPEL's whole premise is that the 395-feature profile separates workloads
+that behave differently on NMC hardware.  :func:`compare_profiles` makes
+that separation inspectable: which features differ most between two
+kernels, in standardised units.  :func:`profile_distance` gives the
+aggregate dissimilarity used to reason about training-set coverage (the
+paper attributes its highest errors to "applications [that] exhibit quite
+different characteristics compared to the other evaluated applications").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TraceError
+from .features import FEATURE_NAMES
+from .profile import ApplicationProfile
+
+
+@dataclass(frozen=True)
+class FeatureDelta:
+    """One feature's difference between two profiles."""
+
+    name: str
+    value_a: float
+    value_b: float
+
+    @property
+    def delta(self) -> float:
+        return self.value_b - self.value_a
+
+
+def compare_profiles(
+    a: ApplicationProfile,
+    b: ApplicationProfile,
+    *,
+    top: int = 15,
+) -> list[FeatureDelta]:
+    """The ``top`` most different features between two profiles.
+
+    Differences are ranked in normalised units (delta divided by the
+    larger magnitude), so bounded fractions and wide-range log features
+    rank comparably.
+    """
+    if top < 1:
+        raise TraceError("top must be >= 1")
+    scale = np.maximum(np.abs(a.values), np.abs(b.values))
+    scale[scale == 0] = 1.0
+    normalised = np.abs(b.values - a.values) / scale
+    order = np.argsort(normalised)[::-1][:top]
+    return [
+        FeatureDelta(
+            name=FEATURE_NAMES[i],
+            value_a=float(a.values[i]),
+            value_b=float(b.values[i]),
+        )
+        for i in order
+    ]
+
+
+def profile_distance(a: ApplicationProfile, b: ApplicationProfile) -> float:
+    """Normalised L2 distance between two profiles (0 = identical).
+
+    Every feature contributes at most 1 (same normalisation as
+    :func:`compare_profiles`), so the distance is comparable across
+    profile pairs.
+    """
+    scale = np.maximum(np.abs(a.values), np.abs(b.values))
+    scale[scale == 0] = 1.0
+    normalised = (b.values - a.values) / scale
+    return float(np.linalg.norm(normalised) / np.sqrt(len(normalised)))
+
+
+def nearest_profiles(
+    target: ApplicationProfile,
+    candidates: dict[str, ApplicationProfile],
+) -> list[tuple[str, float]]:
+    """Candidates sorted by distance to ``target`` (closest first).
+
+    A prediction for a profile whose nearest training neighbours are far
+    away is an extrapolation — the situation behind the paper's worst
+    per-application errors.
+    """
+    if not candidates:
+        raise TraceError("nearest_profiles needs at least one candidate")
+    pairs = [
+        (name, profile_distance(target, p)) for name, p in candidates.items()
+    ]
+    pairs.sort(key=lambda kv: kv[1])
+    return pairs
+
+
+def format_comparison(
+    a: ApplicationProfile,
+    b: ApplicationProfile,
+    *,
+    label_a: str = "A",
+    label_b: str = "B",
+    top: int = 12,
+) -> str:
+    """Plain-text rendering of :func:`compare_profiles`."""
+    from ..core.reporting import format_table
+
+    deltas = compare_profiles(a, b, top=top)
+    rows = [
+        [d.name, f"{d.value_a:.4g}", f"{d.value_b:.4g}", f"{d.delta:+.4g}"]
+        for d in deltas
+    ]
+    distance = profile_distance(a, b)
+    return format_table(
+        ["feature", label_a, label_b, "delta"],
+        rows,
+        title=(
+            f"most different features: {label_a} vs {label_b} "
+            f"(distance {distance:.3f})"
+        ),
+    )

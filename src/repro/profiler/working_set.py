@@ -1,0 +1,37 @@
+"""Working-set growth features.
+
+The trace is split into :data:`~repro.profiler.features.WORKING_SET_CHECKPOINTS`
+equal segments; after each segment we record the fraction of the kernel's
+final data footprint (distinct cache lines) that has already been touched.
+Streaming kernels grow their working set linearly; kernels with a small hot
+set saturate early.  This curve is a compact signature of temporal phase
+behaviour that complements the reuse-distance CDF.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import InstructionTrace
+from .features import WORKING_SET_CHECKPOINTS
+
+
+def working_set_features(
+    trace: InstructionTrace, *, line_bytes: int = 64
+) -> dict[str, float]:
+    names = [f"wset.frac_{i}" for i in range(WORKING_SET_CHECKPOINTS)]
+    addrs, _sizes, _w = trace.memory_accesses()
+    n = len(addrs)
+    if n == 0:
+        return {name: 0.0 for name in names}
+    shift = np.uint64(line_bytes.bit_length() - 1)
+    lines = (addrs >> shift).astype(np.int64)
+    # First-touch positions of each distinct line.
+    _unique, first_idx = np.unique(lines, return_index=True)
+    total = len(first_idx)
+    out: dict[str, float] = {}
+    for i in range(WORKING_SET_CHECKPOINTS):
+        cutoff = (i + 1) * n // WORKING_SET_CHECKPOINTS
+        touched = int((first_idx < cutoff).sum())
+        out[names[i]] = touched / total if total else 0.0
+    return out

@@ -1,0 +1,30 @@
+"""The evaluated workloads (paper Table 2).
+
+Twelve kernels from PolyBench and Rodinia, re-implemented as parameterized
+dynamic-trace generators: ``atax``, ``bfs``, ``bp``, ``chol``, ``gemv``,
+``gesu``, ``gram``, ``kme``, ``lu``, ``mvt``, ``syrk``, ``trmm``.
+
+Each workload declares its DoE parameters with the paper's five CCD levels
+(*minimum, low, central, high, maximum*) and *test* input, and generates the
+instruction trace of its NMC-offload kernel region for any parameter point.
+"""
+
+from .base import (
+    AddressSpace,
+    DoEParameter,
+    SizeMapping,
+    Workload,
+    partition_range,
+)
+from .registry import WORKLOAD_NAMES, all_workloads, get_workload
+
+__all__ = [
+    "Workload",
+    "DoEParameter",
+    "SizeMapping",
+    "AddressSpace",
+    "partition_range",
+    "get_workload",
+    "all_workloads",
+    "WORKLOAD_NAMES",
+]

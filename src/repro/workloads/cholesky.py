@@ -1,0 +1,96 @@
+"""``chol`` — Cholesky decomposition (PolyBench).
+
+Left-looking Cholesky ``A = L L^T``: for every column ``k`` the kernel
+divides the sub-column by the pivot, then applies a rank-1 update to the
+trailing submatrix.  The trailing update repeatedly sweeps a shrinking but
+large triangular region, and the column accesses stride by the full row
+length — poor spatial locality over a working set that outgrows the host
+caches quickly.  The paper finds cholesky memory-intensive with irregular
+access and a good NMC fit (Section 3.4).
+
+Note on Table 2: the paper prints chol's dimension levels as
+``64 384 128 320 512``, which is not monotone in the min..max order; we use
+the sorted levels ``(64, 128, 320, 384, 512)``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..ir import InstructionTrace, TraceBuilder
+from . import _patterns as pat
+from .base import AddressSpace, DoEParameter, SizeMapping, Workload, partition_range
+
+#: Byte spacing of scaled matrix elements (one 64 B line per element).
+ELEM = 64
+
+
+class Cholesky(Workload):
+    name = "chol"
+    description = "Cholesky Decomposition"
+
+    _DIM = SizeMapping(alpha=4.2, beta=1 / 3, minimum=12)
+    _THREADS = SizeMapping(alpha=1.0, beta=1.0, minimum=1, apply_scale=False)
+    _ITER = SizeMapping(alpha=0.04, beta=1.0, minimum=1, maximum=2)
+
+    @property
+    def parameters(self) -> tuple[DoEParameter, ...]:
+        return (
+            DoEParameter("dimensions", (64, 128, 320, 384, 512), 2000, self._DIM),
+            DoEParameter("threads", (4, 8, 16, 32, 64), 32, self._THREADS),
+            DoEParameter("iterations", (10, 20, 30, 50, 80), 60, self._ITER),
+        )
+
+    def _generate(
+        self,
+        sizes: Mapping[str, int],
+        raw: Mapping[str, float],
+        rng: np.random.Generator,
+    ) -> InstructionTrace:
+        n = sizes["dimensions"]
+        threads = sizes["threads"]
+        repeats = sizes["iterations"]
+        # Each scaled matrix element stands for a cache-line-sized block of
+        # the full-size matrix, so elements are laid out one line (64 B)
+        # apart: the trailing-update working set measured in cache lines
+        # matches the full-scale kernel's (see DESIGN.md, trace scaling).
+        space = AddressSpace()
+        a_base = space.alloc(n * n * ELEM)
+
+        divide = pat.scalar_divide()
+        update = pat.rank1_update()
+        builder = TraceBuilder()
+        for _rep in range(repeats):
+            for k in range(n - 1):
+                below = np.arange(k + 1, n, dtype=np.int64)
+                # Column scaling: A[i][k] /= A[k][k] — stride-n column walk.
+                col_k = pat.row_major(a_base, below, np.full(len(below), k), n, elem=ELEM)
+                divide.emit(
+                    builder, len(below),
+                    {"x": col_k, "x_out": col_k},
+                    tid=k % threads, pc_base=0,
+                )
+                # Trailing rank-1 update of the lower triangle, row-parallel:
+                # A[i][j] -= A[i][k] * A[j][k]  for k < j <= i < n.
+                for tid, (r0, r1) in enumerate(partition_range(len(below), threads)):
+                    if r0 == r1:
+                        continue
+                    rows = below[r0:r1]
+                    counts = rows - k  # row i updates columns k+1 .. i
+                    i = np.repeat(rows, counts)
+                    j = np.concatenate(
+                        [np.arange(k + 1, r + 1, dtype=np.int64) for r in rows]
+                    )
+                    update.emit(
+                        builder, len(i),
+                        {
+                            "l": pat.row_major(a_base, i, np.full(len(i), k), n, elem=ELEM),
+                            "u": pat.row_major(a_base, j, np.full(len(i), k), n, elem=ELEM),
+                            "a": pat.row_major(a_base, i, j, n, elem=ELEM),
+                            "a_out": pat.row_major(a_base, i, j, n, elem=ELEM),
+                        },
+                        tid=tid, pc_base=16,
+                    )
+        return builder.finish()

@@ -1,0 +1,82 @@
+"""``lu`` — LU decomposition (PolyBench).
+
+Right-looking LU without pivoting: for each pivot ``k``, scale the
+sub-column, then rank-1-update the trailing submatrix.  Unlike our
+Cholesky (which walks columns), this implementation processes the trailing
+update *row-major with blocking*, the way PolyBench's loop nest streams —
+consecutive ``j`` accesses are unit-stride and the pivot row stays
+cache-resident.  The paper finds lu locality-friendly and therefore not
+NMC-suitable (Section 3.4, observation three); the contrast with chol is
+the access order, not the arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..ir import InstructionTrace, TraceBuilder
+from . import _patterns as pat
+from .base import AddressSpace, DoEParameter, SizeMapping, Workload, partition_range
+
+
+class Lu(Workload):
+    name = "lu"
+    description = "LU Decomposition"
+
+    _DIM = SizeMapping(alpha=3.5, beta=1 / 3, minimum=12)
+    _THREADS = SizeMapping(alpha=1.0, beta=1.0, minimum=1, apply_scale=False)
+    _ITER = SizeMapping(alpha=0.004, beta=1.0, minimum=1, maximum=2)
+
+    @property
+    def parameters(self) -> tuple[DoEParameter, ...]:
+        return (
+            DoEParameter("dimensions", (196, 256, 320, 420, 512), 2000, self._DIM),
+            DoEParameter("threads", (4, 8, 16, 32, 64), 32, self._THREADS),
+            DoEParameter("iterations", (98, 128, 256, 420, 512), 2000, self._ITER),
+        )
+
+    def _generate(
+        self,
+        sizes: Mapping[str, int],
+        raw: Mapping[str, float],
+        rng: np.random.Generator,
+    ) -> InstructionTrace:
+        n = sizes["dimensions"]
+        threads = sizes["threads"]
+        repeats = sizes["iterations"]
+        space = AddressSpace()
+        a_base = space.alloc(n * n * 8)
+
+        divide = pat.scalar_divide()
+        update = pat.rank1_update()
+        builder = TraceBuilder()
+        for _rep in range(repeats):
+            for k in range(n - 1):
+                below = np.arange(k + 1, n, dtype=np.int64)
+                # Row-major pivot-row scaling A[k][j] /= A[k][k]: unit stride.
+                row_k = pat.row_major(a_base, np.full(len(below), k), below, n)
+                divide.emit(
+                    builder, len(below), {"x": row_k, "x_out": row_k},
+                    tid=k % threads, pc_base=0,
+                )
+                # Trailing update, row-parallel, inner loop over j (unit
+                # stride): A[i][j] -= A[i][k] * A[k][j].
+                for tid, (r0, r1) in enumerate(partition_range(len(below), threads)):
+                    if r0 == r1:
+                        continue
+                    rows = below[r0:r1]
+                    i, j = pat.tile_ij(rows, len(below))
+                    j = below[j % len(below)]
+                    update.emit(
+                        builder, len(i),
+                        {
+                            "l": pat.row_major(a_base, i, np.full(len(i), k), n),
+                            "u": pat.row_major(a_base, np.full(len(i), k), j, n),
+                            "a": pat.row_major(a_base, i, j, n),
+                            "a_out": pat.row_major(a_base, i, j, n),
+                        },
+                        tid=tid, pc_base=16,
+                    )
+        return builder.finish()

@@ -1,0 +1,44 @@
+"""Workload registry: name -> singleton instance lookup."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..errors import WorkloadError
+from .atax import Atax
+from .base import Workload
+from .bfs import Bfs
+from .bp import Bp
+from .cholesky import Cholesky
+from .gemv import Gemv
+from .gesummv import Gesummv
+from .gramschmidt import GramSchmidt
+from .kmeans import KMeans
+from .lu import Lu
+from .mvt import Mvt
+from .syrk import Syrk
+from .trmm import Trmm
+
+_WORKLOAD_CLASSES: tuple[type[Workload], ...] = (
+    Atax, Bfs, Bp, Cholesky, Gemv, Gesummv,
+    GramSchmidt, KMeans, Lu, Mvt, Syrk, Trmm,
+)
+
+#: Paper-order workload names (Table 2).
+WORKLOAD_NAMES: tuple[str, ...] = tuple(cls.name for cls in _WORKLOAD_CLASSES)
+
+
+@lru_cache(maxsize=None)
+def get_workload(name: str) -> Workload:
+    """Look up a workload by its Table 2 short name (e.g. ``"atax"``)."""
+    for cls in _WORKLOAD_CLASSES:
+        if cls.name == name:
+            return cls()
+    raise WorkloadError(
+        f"unknown workload {name!r}; available: {', '.join(WORKLOAD_NAMES)}"
+    )
+
+
+def all_workloads() -> list[Workload]:
+    """All twelve evaluated workloads, in paper (Table 2) order."""
+    return [get_workload(name) for name in WORKLOAD_NAMES]

@@ -1,0 +1,133 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in (
+            ["workloads"],
+            ["profile", "atax"],
+            ["simulate", "atax"],
+            ["campaign", "atax"],
+            ["train", "atax", "-o", "x.pkl"],
+            ["predict", "atax", "-m", "x.pkl"],
+            ["suitability", "atax", "mvt"],
+        ):
+            args = parser.parse_args(command)
+            assert callable(args.func)
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+
+class TestWorkloadsCommand:
+    def test_lists_all_twelve(self, capsys):
+        code, out, _ = run_cli(capsys, "workloads")
+        assert code == 0
+        for name in ("atax", "bfs", "kme", "trmm"):
+            assert name in out
+
+
+class TestProfileCommand:
+    def test_profiles_central_config(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "profile", "atax", "--scale", "4", "--top", "5"
+        )
+        assert code == 0
+        assert "instructions" in out
+        assert "profile features" in out
+
+    def test_custom_param(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "profile", "atax", "--scale", "4",
+            "-p", "dimensions=600", "-p", "threads=4",
+        )
+        assert code == 0
+        assert "dimensions" in out
+
+    def test_bad_param_syntax(self, capsys):
+        code, _, err = run_cli(
+            capsys, "profile", "atax", "-p", "dimensions"
+        )
+        assert code == 2
+        assert "NAME=VALUE" in err
+
+    def test_unknown_workload(self, capsys):
+        code, _, err = run_cli(capsys, "profile", "nope")
+        assert code == 2
+        assert "unknown workload" in err
+
+
+class TestSimulateCommand:
+    def test_simulates(self, capsys):
+        code, out, _ = run_cli(capsys, "simulate", "mvt", "--scale", "4")
+        assert code == 0
+        assert "IPC" in out and "energy" in out
+
+    def test_arch_flags(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "simulate", "mvt", "--scale", "4",
+            "--pes", "8", "--freq", "2.0", "--l1-lines", "16",
+        )
+        assert code == 0
+        assert "8 PEs @ 2.0 GHz" in out
+
+
+class TestTrainPredictRoundtrip:
+    def test_train_then_predict(self, capsys, tmp_path):
+        model_path = tmp_path / "m.pkl"
+        cache_path = tmp_path / "cache.json"
+        code, out, _ = run_cli(
+            capsys, "train", "atax", "-o", str(model_path),
+            "--cache", str(cache_path), "--scale", "4",
+            "--trees", "10", "--no-tune",
+        )
+        assert code == 0
+        assert model_path.exists()
+        assert cache_path.exists()
+
+        code, out, _ = run_cli(
+            capsys, "predict", "atax", "-m", str(model_path), "--scale", "4",
+        )
+        assert code == 0
+        assert "IPC (aggregate)" in out
+
+    def test_predict_missing_model(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "predict", "atax", "-m", str(tmp_path / "none.pkl"),
+        )
+        assert code == 2
+        assert "no model file" in err
+
+
+class TestCampaignCommand:
+    def test_runs_ccd(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "campaign", "atax", "--scale", "4",
+            "--cache", str(tmp_path / "c.json"),
+        )
+        assert code == 0
+        assert "11 configurations" in out
+
+
+class TestSuitabilityCommand:
+    def test_needs_two_apps(self, capsys):
+        code, _, err = run_cli(capsys, "suitability", "atax")
+        assert code == 2
+        assert "at least two" in err

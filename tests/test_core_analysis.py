@@ -1,0 +1,106 @@
+"""Tests for the analysis utilities (repro.core.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro import NapelTrainer, SimulationCampaign, analyze_trace, default_nmc_config, get_workload
+from repro.core.analysis import (
+    compare_architectures,
+    format_arch_comparison,
+    importance_report,
+    profile_summary,
+    top_features,
+)
+from repro.errors import MLError
+
+
+@pytest.fixture(scope="module")
+def trained_with_data():
+    campaign = SimulationCampaign(scale=3.0)
+    training = campaign.run(get_workload("atax"))
+    trained = NapelTrainer(n_estimators=15, tune=False).train(training)
+    return campaign, training, trained
+
+
+class TestTopFeatures:
+    def test_returns_named_pairs(self, trained_with_data):
+        _, _, trained = trained_with_data
+        pairs = top_features(trained.model.ipc_model, k=5)
+        assert len(pairs) == 5
+        assert all(isinstance(name, str) for name, _ in pairs)
+        values = [v for _, v in pairs]
+        assert values == sorted(values, reverse=True)
+
+    def test_rejects_model_without_importances(self):
+        with pytest.raises(MLError):
+            top_features(object())
+
+
+class TestImportanceReport:
+    def test_contains_both_targets(self, trained_with_data):
+        _, training, trained = trained_with_data
+        report = importance_report(trained.model, training, k=4)
+        assert "IPC" in report
+        assert "energy" in report
+
+    def test_permutation_variant_runs(self, trained_with_data):
+        _, training, trained = trained_with_data
+        report = importance_report(
+            trained.model, training, k=3, permutation=True
+        )
+        assert "feature" in report
+
+
+class TestProfileSummary:
+    def test_summary_renders(self):
+        atax = get_workload("atax")
+        profile = analyze_trace(
+            atax.generate(atax.central_config(), scale=3.0), workload="atax"
+        )
+        text = profile_summary(profile)
+        assert "profile summary: atax" in text
+        assert "memory intensity" in text
+
+    def test_verdict_for_irregular_kernel(self):
+        bfs = get_workload("bfs")
+        profile = analyze_trace(
+            bfs.generate(bfs.central_config(), scale=2.0), workload="bfs"
+        )
+        assert "NMC-leaning" in profile_summary(profile)
+
+    def test_verdict_for_streaming_kernel(self):
+        gemv = get_workload("gemv")
+        profile = analyze_trace(
+            gemv.generate(gemv.central_config(), scale=2.0), workload="gemv"
+        )
+        assert "host-leaning" in profile_summary(gemv and profile)
+
+
+class TestCompareArchitectures:
+    def test_sorted_by_edp(self, trained_with_data):
+        campaign, _, trained = trained_with_data
+        atax = get_workload("atax")
+        profile = analyze_trace(
+            atax.generate(atax.central_config(), scale=3.0), workload="atax"
+        )
+        archs = {
+            "base": default_nmc_config(),
+            "fast": default_nmc_config().replace(frequency_ghz=2.0),
+            "wide": default_nmc_config().replace(n_pes=64),
+        }
+        results = compare_architectures(trained.model, profile, archs)
+        edps = [r.prediction.edp for r in results]
+        assert edps == sorted(edps)
+        text = format_arch_comparison(results)
+        assert "architecture comparison" in text
+        for label in archs:
+            assert label in text
+
+    def test_empty_archs_rejected(self, trained_with_data):
+        _, _, trained = trained_with_data
+        atax = get_workload("atax")
+        profile = analyze_trace(
+            atax.generate(atax.central_config(), scale=3.0)
+        )
+        with pytest.raises(MLError):
+            compare_architectures(trained.model, profile, {})

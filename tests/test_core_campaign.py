@@ -1,0 +1,113 @@
+"""Tests for the DoE campaign runner and training-set container."""
+
+import numpy as np
+import pytest
+
+from repro import SimulationCampaign, get_workload
+from repro.core import CampaignCache
+from repro.core.dataset import ALL_FEATURE_NAMES, TrainingSet
+from repro.errors import CampaignError
+
+
+class TestTrainingSet:
+    def test_matrix_shapes(self, small_campaign):
+        _, training = small_campaign
+        X = training.X()
+        assert X.shape == (len(training), len(ALL_FEATURE_NAMES))
+        assert np.isfinite(X).all()
+        assert len(training.y_ipc()) == len(training)
+        assert (training.y_ipc() > 0).all()
+        assert (training.y_energy_per_instruction() > 0).all()
+
+    def test_per_pe_label(self, small_campaign):
+        _, training = small_campaign
+        per_pe = training.y_ipc_per_pe()
+        agg = training.y_ipc()
+        pes = training.n_pes_used()
+        assert np.allclose(per_pe * pes, agg)
+
+    def test_groups_and_filtering(self, small_campaign):
+        _, training = small_campaign
+        assert set(training.workloads()) == {"atax", "mvt"}
+        atax_only = training.filter("atax")
+        without = training.exclude("atax")
+        assert len(atax_only) + len(without) == len(training)
+        assert set(atax_only.groups()) == {"atax"}
+        assert "atax" not in set(without.groups())
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(CampaignError):
+            TrainingSet([]).X()
+
+    def test_concat(self, small_campaign):
+        _, training = small_campaign
+        doubled = TrainingSet.concat([training, training])
+        assert len(doubled) == 2 * len(training)
+
+
+class TestCampaign:
+    def test_default_design_is_ccd(self, atax):
+        campaign = SimulationCampaign(scale=4.0)
+        training = campaign.run(atax)
+        assert len(training) == 11  # paper Table 4 for atax
+
+    def test_rows_carry_metadata(self, small_campaign):
+        _, training = small_campaign
+        row = training.rows[0]
+        assert row.workload == "atax"
+        assert "dimensions" in row.parameters
+        assert row.result.ipc > 0
+        assert row.profile.instruction_count == row.result.instructions
+
+    def test_cache_hit_avoids_resimulation(self, atax):
+        cache = CampaignCache()
+        campaign = SimulationCampaign(cache=cache, scale=4.0)
+        config = {"dimensions": 500, "threads": 4}
+        campaign.run_point(atax, config)
+        first_time = campaign.doe_run_seconds["atax"]
+        campaign.run_point(atax, config)
+        assert campaign.doe_run_seconds["atax"] == first_time
+
+    def test_cached_rows_identical(self, atax):
+        cache = CampaignCache()
+        campaign = SimulationCampaign(cache=cache, scale=4.0)
+        config = {"dimensions": 500, "threads": 4}
+        a = campaign.run_point(atax, config)
+        b = campaign.run_point(atax, config)
+        assert a.result.ipc == b.result.ipc
+        assert np.array_equal(a.profile.values, b.profile.values)
+
+    def test_replicates_get_distinct_seeds(self, atax):
+        campaign = SimulationCampaign(scale=4.0)
+        configs = [{"dimensions": 1500, "threads": 16}] * 3
+        training = campaign.run(atax, configs)
+        assert len(training) == 3
+
+    def test_empty_config_list_rejected(self, atax):
+        campaign = SimulationCampaign(scale=4.0)
+        with pytest.raises(CampaignError):
+            campaign.run(atax, [])
+
+    def test_doe_run_seconds_accumulates(self, small_campaign):
+        campaign, _ = small_campaign
+        assert campaign.doe_run_seconds["atax"] > 0
+        assert campaign.doe_run_seconds["mvt"] > 0
+
+
+class TestCampaignCacheDisk:
+    def test_save_and_reload(self, tmp_path, atax):
+        path = tmp_path / "cache.json"
+        cache = CampaignCache(path)
+        campaign = SimulationCampaign(cache=cache, scale=4.0)
+        row = campaign.run_point(atax, {"dimensions": 500, "threads": 4})
+        cache.save()
+
+        fresh = CampaignCache(path)
+        assert len(fresh) == 1
+        campaign2 = SimulationCampaign(cache=fresh, scale=4.0)
+        row2 = campaign2.run_point(atax, {"dimensions": 500, "threads": 4})
+        assert row2.result.ipc == pytest.approx(row.result.ipc)
+        assert campaign2.doe_run_seconds == {}  # everything came from cache
+
+    def test_save_without_path_is_noop(self):
+        CampaignCache().save()  # must not raise

@@ -1,0 +1,115 @@
+"""Tests for the derived (prior) features and the feature-matrix layout."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import default_nmc_config
+from repro.core.dataset import (
+    ALL_FEATURE_NAMES,
+    DERIVED_FEATURE_NAMES,
+    derived_features,
+)
+from repro.core.predictor import NapelModel
+from repro.profiler import analyze_trace
+from repro.profiler.features import FEATURE_NAMES
+from _helpers import build_random_trace, build_stream_trace
+
+
+@pytest.fixture(scope="module")
+def stream_profile():
+    return analyze_trace(build_stream_trace(3000))
+
+
+@pytest.fixture(scope="module")
+def random_profile():
+    return analyze_trace(build_random_trace(3000))
+
+
+class TestFeatureLayout:
+    def test_column_structure(self):
+        n_profile = len(FEATURE_NAMES)
+        assert ALL_FEATURE_NAMES[:n_profile] == FEATURE_NAMES
+        assert ALL_FEATURE_NAMES[n_profile] == "app.threads"
+        assert ALL_FEATURE_NAMES[-len(DERIVED_FEATURE_NAMES):] == (
+            DERIVED_FEATURE_NAMES
+        )
+
+    def test_prior_columns_resolve(self):
+        ipc_col, epi_col = NapelModel._prior_columns()
+        assert ALL_FEATURE_NAMES[ipc_col] == "prior.ipc_estimate"
+        assert ALL_FEATURE_NAMES[epi_col] == "prior.log_epi_estimate"
+
+    def test_features_method_matches_layout(self, stream_profile):
+        row = NapelModel.features(stream_profile, default_nmc_config())
+        assert row.shape == (len(ALL_FEATURE_NAMES),)
+        values = derived_features(stream_profile, default_nmc_config())
+        assert np.allclose(row[-len(values):], values)
+
+
+class TestDerivedFeatures:
+    def test_count_matches_names(self, stream_profile):
+        values = derived_features(stream_profile, default_nmc_config())
+        assert len(values) == len(DERIVED_FEATURE_NAMES)
+
+    def test_irregular_misses_more(self, stream_profile, random_profile):
+        arch = default_nmc_config()
+        stream_vals = dict(zip(
+            DERIVED_FEATURE_NAMES, derived_features(stream_profile, arch)
+        ))
+        random_vals = dict(zip(
+            DERIVED_FEATURE_NAMES, derived_features(random_profile, arch)
+        ))
+        assert random_vals["prior.miss_per_instr"] > 0
+        assert (
+            random_vals["prior.ipc_estimate"]
+            < stream_vals["prior.ipc_estimate"]
+        )
+        assert (
+            random_vals["prior.log_epi_estimate"]
+            > stream_vals["prior.log_epi_estimate"]
+        )
+
+    def test_row_hit_discount_for_streams(self, stream_profile):
+        """Sequential streams see a lower estimated miss cost than the
+        closed-row worst case."""
+        arch = default_nmc_config()
+        vals = dict(zip(
+            DERIVED_FEATURE_NAMES, derived_features(stream_profile, arch)
+        ))
+        worst_cycles = (
+            arch.timing.closed_row_access_ns() * arch.frequency_ghz
+        )
+        implied = vals["prior.stall_per_instr"] / max(
+            vals["prior.miss_per_instr"], 1e-12
+        )
+        # The write-traffic factor can add up to 1.5x, but the row-hit
+        # discount dominates for a unit-stride stream.
+        assert implied < worst_cycles * 1.2
+
+    def test_faster_arch_raises_ipc_estimate(self, random_profile):
+        base = default_nmc_config()
+        ooo = base.replace(pe_type="ooo", issue_width=2, mshr_entries=8)
+        v_base = dict(zip(
+            DERIVED_FEATURE_NAMES, derived_features(random_profile, base)
+        ))
+        v_ooo = dict(zip(
+            DERIVED_FEATURE_NAMES, derived_features(random_profile, ooo)
+        ))
+        assert v_ooo["prior.ipc_estimate"] > v_base["prior.ipc_estimate"]
+
+    def test_prior_offsets_roundtrip(self, stream_profile):
+        arch = default_nmc_config()
+        X = NapelModel.features(stream_profile, arch)[None, :]
+        ipc_off, epi_off = NapelModel.prior_offsets(X)
+        vals = dict(zip(
+            DERIVED_FEATURE_NAMES, derived_features(stream_profile, arch)
+        ))
+        assert ipc_off[0] == pytest.approx(
+            math.log(vals["prior.ipc_estimate"])
+        )
+        # epi offset converts the pJ-space log estimate to joules.
+        assert epi_off[0] == pytest.approx(
+            vals["prior.log_epi_estimate"] - math.log(1e12)
+        )

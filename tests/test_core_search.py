@@ -1,0 +1,95 @@
+"""Tests for the genetic design search (repro.core.search)."""
+
+import numpy as np
+import pytest
+
+from repro import NapelTrainer, SimulationCampaign, analyze_trace, get_workload
+from repro.core import genetic_search, grid_space, explore
+from repro.errors import MLError
+
+KNOBS = {
+    "n_pes": (8, 16, 32, 64),
+    "frequency_ghz": (0.8, 1.25, 1.75),
+    "l1_lines": (2, 8, 32, 128),
+}
+
+
+@pytest.fixture(scope="module")
+def model_and_profile():
+    campaign = SimulationCampaign(scale=3.0)
+    mvt = get_workload("mvt")
+    training = campaign.run(mvt)
+    trained = NapelTrainer(n_estimators=12, tune=False).train(training)
+    profile = analyze_trace(
+        mvt.generate(mvt.central_config(), scale=3.0), workload="mvt"
+    )
+    return trained.model, profile
+
+
+class TestGeneticSearch:
+    def test_finds_near_optimal_design(self, model_and_profile):
+        """The GA must reach (or approach) the exhaustive-grid optimum."""
+        model, profile = model_and_profile
+        exhaustive = explore(model, profile, grid_space(KNOBS))
+        true_best = min(p.edp for p in exhaustive)
+        result = genetic_search(
+            model, profile, KNOBS,
+            population=16, generations=10, random_state=0,
+        )
+        assert result.best.edp <= true_best * 1.05
+
+    def test_history_monotone_nonincreasing(self, model_and_profile):
+        model, profile = model_and_profile
+        result = genetic_search(
+            model, profile, KNOBS,
+            population=12, generations=8, random_state=1,
+        )
+        assert all(
+            a >= b - 1e-18 for a, b in zip(result.history, result.history[1:])
+        )
+        assert result.evaluations >= 12 * 9  # initial + per-generation
+
+    def test_objectives(self, model_and_profile):
+        model, profile = model_and_profile
+        by_time = genetic_search(
+            model, profile, KNOBS, objective="time",
+            population=12, generations=6, random_state=2,
+        )
+        by_energy = genetic_search(
+            model, profile, KNOBS, objective="energy",
+            population=12, generations=6, random_state=2,
+        )
+        # Optimising time prefers fast clocks; optimising energy does not
+        # necessarily — the chosen designs must be fit for their objective.
+        assert by_time.best.time_s <= by_energy.best.time_s + 1e-12
+        assert by_energy.best.energy_j <= by_time.best.energy_j + 1e-12
+
+    def test_reproducible_with_seed(self, model_and_profile):
+        model, profile = model_and_profile
+        a = genetic_search(
+            model, profile, KNOBS, population=10, generations=4, random_state=7
+        )
+        b = genetic_search(
+            model, profile, KNOBS, population=10, generations=4, random_state=7
+        )
+        assert a.best.changes == b.best.changes
+        assert a.history == b.history
+
+    def test_parameter_validation(self, model_and_profile):
+        model, profile = model_and_profile
+        with pytest.raises(MLError):
+            genetic_search(model, profile, {})
+        with pytest.raises(MLError):
+            genetic_search(model, profile, KNOBS, objective="bogus")
+        with pytest.raises(MLError):
+            genetic_search(model, profile, KNOBS, population=2)
+        with pytest.raises(MLError):
+            genetic_search(model, profile, KNOBS, population=8, elite=8)
+
+    def test_single_knob_space(self, model_and_profile):
+        model, profile = model_and_profile
+        result = genetic_search(
+            model, profile, {"n_pes": (8, 16, 32)},
+            population=6, generations=3, random_state=0,
+        )
+        assert result.best.arch.n_pes in (8, 16, 32)

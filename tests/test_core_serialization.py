@@ -1,0 +1,71 @@
+"""Tests for model save/load (repro.core.serialization)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import NapelTrainer, load_model, save_model
+from repro.errors import MLError
+
+
+@pytest.fixture(scope="module")
+def trained_model(small_campaign_for_serialization):
+    _, training = small_campaign_for_serialization
+    return NapelTrainer(n_estimators=10, tune=False).train(training), training
+
+
+@pytest.fixture(scope="module")
+def small_campaign_for_serialization():
+    from repro import SimulationCampaign, get_workload
+
+    campaign = SimulationCampaign(scale=4.0)
+    atax = get_workload("atax")
+    return campaign, campaign.run(atax)
+
+
+class TestSaveLoad:
+    def test_roundtrip_predictions_identical(self, tmp_path, trained_model):
+        trained, training = trained_model
+        path = tmp_path / "model.pkl"
+        save_model(trained.model, path)
+        restored = load_model(path)
+        X = training.X()
+        a_ipc, a_epi = trained.model.predict_labels(X)
+        b_ipc, b_epi = restored.predict_labels(X)
+        assert np.array_equal(a_ipc, b_ipc)
+        assert np.array_equal(a_epi, b_epi)
+        assert restored.ipc_bounds == trained.model.ipc_bounds
+        assert restored.residual_to_prior == trained.model.residual_to_prior
+
+    def test_creates_parent_directories(self, tmp_path, trained_model):
+        trained, _ = trained_model
+        path = tmp_path / "deep" / "nested" / "model.pkl"
+        save_model(trained.model, path)
+        assert path.exists()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(MLError, match="no model file"):
+            load_model(tmp_path / "absent.pkl")
+
+    def test_rejects_non_model_save(self, tmp_path):
+        with pytest.raises(MLError, match="NapelModel"):
+            save_model("not a model", tmp_path / "x.pkl")
+
+    def test_rejects_foreign_pickle(self, tmp_path):
+        path = tmp_path / "foreign.pkl"
+        with path.open("wb") as fh:
+            pickle.dump({"something": "else"}, fh)
+        with pytest.raises(MLError, match="not a NAPEL model"):
+            load_model(path)
+
+    def test_rejects_wrong_format_version(self, tmp_path, trained_model):
+        trained, _ = trained_model
+        path = tmp_path / "old.pkl"
+        with path.open("wb") as fh:
+            pickle.dump(
+                {"magic": "napel-model", "format": 99, "model": trained.model},
+                fh,
+            )
+        with pytest.raises(MLError, match="format"):
+            load_model(path)

@@ -1,0 +1,49 @@
+"""Tests for the exception hierarchy (repro.errors)."""
+
+import pytest
+
+from repro.errors import (
+    CampaignError,
+    ConfigError,
+    DoEError,
+    MLError,
+    NotFittedError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ConfigError, TraceError, WorkloadError, DoEError, MLError,
+        NotFittedError, SimulationError, CampaignError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_not_fitted_is_ml_error(self):
+        assert issubclass(NotFittedError, MLError)
+
+    def test_catching_base_does_not_mask_others(self):
+        with pytest.raises(ValueError):
+            try:
+                raise ValueError("unrelated")
+            except ReproError:  # pragma: no cover - must not trigger
+                pytest.fail("ReproError must not catch ValueError")
+
+    def test_framework_raises_only_repro_errors_at_api_boundaries(self):
+        """Spot checks: bad inputs surface as ReproError subclasses."""
+        from repro import get_workload
+        from repro.doe import ParameterSpace
+        from repro.ml import RandomForestRegressor
+
+        with pytest.raises(ReproError):
+            get_workload("not-a-workload")
+        with pytest.raises(ReproError):
+            ParameterSpace([])
+        with pytest.raises(ReproError):
+            RandomForestRegressor(n_estimators=-1)

@@ -1,0 +1,136 @@
+"""Tests for the POWER9 host model (repro.hostsim)."""
+
+import pytest
+
+from repro.config import default_host_config
+from repro.errors import SimulationError
+from repro.hostsim import CacheHierarchyModel, HostSimulator, PowerSensor
+from repro.profiler import analyze_trace
+from _helpers import build_random_trace, build_stream_trace
+
+
+@pytest.fixture(scope="module")
+def stream_profile():
+    return analyze_trace(build_stream_trace(4000), workload="stream")
+
+
+@pytest.fixture(scope="module")
+def random_profile():
+    return analyze_trace(build_random_trace(4000), workload="random")
+
+
+class TestCacheHierarchy:
+    def test_fractions_partition(self, stream_profile):
+        model = CacheHierarchyModel(default_host_config())
+        levels = model.level_traffic(stream_profile)
+        total = levels.l1_hit + levels.l2_hit + levels.l3_hit + levels.dram
+        assert total == pytest.approx(1.0)
+        assert all(
+            f >= 0 for f in (levels.l1_hit, levels.l2_hit, levels.l3_hit, levels.dram)
+        )
+
+    def test_random_profile_misses_more(self, stream_profile, random_profile):
+        model = CacheHierarchyModel(default_host_config())
+        assert (
+            model.level_traffic(random_profile).dram
+            > model.level_traffic(stream_profile).dram
+        )
+
+    def test_cache_scale_increases_misses(self, random_profile):
+        unscaled = CacheHierarchyModel(default_host_config().replace(cache_scale=1.0))
+        scaled = CacheHierarchyModel(default_host_config().replace(cache_scale=512.0))
+        assert (
+            scaled.level_traffic(random_profile).dram
+            >= unscaled.level_traffic(random_profile).dram
+        )
+
+
+class TestHostSimulator:
+    def test_basic_result(self, stream_profile):
+        result = HostSimulator().evaluate(stream_profile)
+        assert result.time_s > 0
+        assert result.energy_j > 0
+        assert result.power_w > default_host_config().energy.idle_w / 2
+        assert result.edp == pytest.approx(result.energy_j * result.time_s)
+
+    def test_irregular_is_slower_per_instruction(
+        self, stream_profile, random_profile
+    ):
+        host = HostSimulator()
+        regular = host.evaluate(stream_profile)
+        irregular = host.evaluate(random_profile)
+        t_reg = regular.time_s / regular.instructions
+        t_irr = irregular.time_s / irregular.instructions
+        assert t_irr > t_reg
+
+    def test_more_threads_is_faster(self, stream_profile):
+        host = HostSimulator()
+        t1 = host.evaluate(stream_profile, threads=1).time_s
+        t16 = host.evaluate(stream_profile, threads=16).time_s
+        assert t16 < t1
+
+    def test_smt_gains_diminish(self, random_profile):
+        host = HostSimulator()
+        t16 = host.evaluate(random_profile, threads=16).time_s
+        t32 = host.evaluate(random_profile, threads=32).time_s
+        t64 = host.evaluate(random_profile, threads=64).time_s
+        assert t32 < t16
+        gain_32 = t16 / t32
+        gain_64 = t32 / t64
+        assert gain_64 < gain_32
+
+    def test_threads_capped_at_hardware(self, stream_profile):
+        result = HostSimulator().evaluate(stream_profile, threads=1000)
+        assert result.threads == default_host_config().hardware_threads
+
+    def test_prefetch_mlp_for_streams(self, stream_profile, random_profile):
+        host = HostSimulator()
+        mlp_stream = host._effective_mlp(stream_profile)
+        mlp_random = host._effective_mlp(random_profile)
+        assert mlp_stream > 3 * mlp_random
+
+    def test_bandwidth_bound_reported(self, stream_profile):
+        cfg = default_host_config().replace(dram_bandwidth_gbs=0.001)
+        result = HostSimulator(cfg).evaluate(stream_profile)
+        assert result.time_s == pytest.approx(result.bandwidth_time_s)
+
+    def test_atomics_add_time(self):
+        from repro.workloads import get_workload
+
+        kme = get_workload("kme")
+        profile = analyze_trace(
+            kme.generate(kme.central_config(), scale=2.0), workload="kme"
+        )
+        host = HostSimulator()
+        t = host.evaluate(profile)
+        assert profile["mix.atomic"] > 0
+        assert t.time_s > 0
+
+
+class TestPowerSensor:
+    def make(self, stream_profile=None):
+        profile = stream_profile or analyze_trace(build_stream_trace(2000))
+        result = HostSimulator().evaluate(profile)
+        return result, PowerSensor(result)
+
+    def test_samples_inside_run(self, stream_profile):
+        result, sensor = self.make(stream_profile)
+        sample = sensor.sample(result.time_s / 2)
+        assert sample.power_w == pytest.approx(result.power_w)
+
+    def test_idle_outside_run(self, stream_profile):
+        result, sensor = self.make(stream_profile)
+        assert sensor.sample(result.time_s * 2).power_w == 60.0
+
+    def test_energy_integration_matches_model(self, stream_profile):
+        result, sensor = self.make(stream_profile)
+        assert sensor.energy_j() == pytest.approx(result.energy_j, rel=0.01)
+
+    def test_trace_length(self, stream_profile):
+        _, sensor = self.make(stream_profile)
+        assert len(sensor.trace(50)) == 50
+
+    def test_invalid_samples(self, stream_profile):
+        _, sensor = self.make(stream_profile)
+        with pytest.raises(SimulationError):
+            sensor.trace(0)

@@ -1,0 +1,153 @@
+"""Tests for TraceBuilder and LoopTemplate (repro.ir.builder)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.ir import (
+    LoopTemplate,
+    NO_REG,
+    Opcode,
+    TemplateOp,
+    TraceBuilder,
+    validate_trace,
+)
+
+
+class TestTraceBuilder:
+    def test_scalar_emission(self):
+        b = TraceBuilder()
+        b.load(1, addr=0x1000)
+        b.fmul(2, 1, 3)
+        b.store(2, addr=0x2000)
+        trace = b.finish()
+        assert len(trace) == 3
+        assert trace[0].opcode == Opcode.LOAD
+        assert trace[2].addr == 0x2000
+        validate_trace(trace)
+
+    def test_memory_requires_size(self):
+        b = TraceBuilder()
+        with pytest.raises(TraceError, match="size"):
+            b.emit(Opcode.LOAD, dst=1, addr=64, size=0)
+
+    def test_bulk_defaults(self):
+        b = TraceBuilder()
+        b.bulk(opcode=np.full(4, int(Opcode.IALU), dtype=np.uint8))
+        trace = b.finish()
+        assert len(trace) == 4
+        assert (trace.dst == NO_REG).all()
+        assert (trace.addr == 0).all()
+
+    def test_bulk_rejects_unequal_lengths(self):
+        b = TraceBuilder()
+        with pytest.raises(TraceError, match="equal"):
+            b.bulk(
+                opcode=np.zeros(2, dtype=np.uint8),
+                addr=np.zeros(3, dtype=np.uint64),
+            )
+
+    def test_bulk_rejects_unknown_columns(self):
+        b = TraceBuilder()
+        with pytest.raises(TraceError, match="unknown"):
+            b.bulk(opcode=np.zeros(1, dtype=np.uint8), bogus=np.zeros(1))
+
+    def test_scalar_and_bulk_interleave_in_order(self):
+        b = TraceBuilder()
+        b.ialu(1)
+        b.bulk(opcode=np.full(2, int(Opcode.NOP), dtype=np.uint8))
+        b.branch(1)
+        trace = b.finish()
+        assert [int(o) for o in trace.opcode] == [
+            int(Opcode.IALU), int(Opcode.NOP), int(Opcode.NOP),
+            int(Opcode.BRANCH),
+        ]
+
+    def test_len_tracks_pending(self):
+        b = TraceBuilder()
+        b.ialu(1)
+        b.ialu(2)
+        assert len(b) == 2
+
+    def test_empty_finish(self):
+        assert len(TraceBuilder().finish()) == 0
+
+
+class TestTemplateOp:
+    def test_memory_requires_addr_slot(self):
+        with pytest.raises(TraceError, match="address slot"):
+            TemplateOp(Opcode.LOAD, dst=1)
+
+    def test_non_memory_rejects_addr_slot(self):
+        with pytest.raises(TraceError, match="must not take"):
+            TemplateOp(Opcode.IALU, dst=1, addr="x")
+
+
+class TestLoopTemplate:
+    def make(self):
+        return LoopTemplate([
+            TemplateOp(Opcode.LOAD, dst=1, addr="x", size=4),
+            TemplateOp(Opcode.FALU, dst=2, src1=1),
+            TemplateOp(Opcode.BRANCH, src1=2),
+        ])
+
+    def test_emit_count_and_order(self):
+        t = self.make()
+        b = TraceBuilder()
+        t.emit(b, 5, {"x": np.arange(5) * 8}, tid=3, pc_base=100)
+        trace = b.finish()
+        assert len(trace) == 15
+        assert trace[0].opcode == Opcode.LOAD
+        assert trace[1].opcode == Opcode.FALU
+        assert trace[3].opcode == Opcode.LOAD  # next iteration
+        assert (trace.tid == 3).all()
+
+    def test_pc_assignment(self):
+        t = self.make()
+        b = TraceBuilder()
+        t.emit(b, 2, {"x": np.zeros(2)}, pc_base=10)
+        trace = b.finish()
+        assert trace.pc.tolist() == [10, 11, 12, 10, 11, 12]
+
+    def test_addresses_interleaved(self):
+        t = self.make()
+        b = TraceBuilder()
+        t.emit(b, 3, {"x": np.asarray([8, 16, 24])})
+        trace = b.finish()
+        assert trace.addr[0::3].tolist() == [8, 16, 24]
+        assert (trace.addr[1::3] == 0).all()
+
+    def test_sizes_only_on_memory_ops(self):
+        t = self.make()
+        b = TraceBuilder()
+        t.emit(b, 2, {"x": np.zeros(2)})
+        trace = b.finish()
+        assert trace.size[0::3].tolist() == [4, 4]
+        assert (trace.size[1::3] == 0).all()
+        validate_trace(trace)
+
+    def test_missing_address_array(self):
+        t = self.make()
+        with pytest.raises(TraceError, match="missing address"):
+            t.emit(TraceBuilder(), 2, {})
+
+    def test_wrong_address_length(self):
+        t = self.make()
+        with pytest.raises(TraceError, match="length"):
+            t.emit(TraceBuilder(), 2, {"x": np.zeros(3)})
+
+    def test_zero_iterations_is_noop(self):
+        b = TraceBuilder()
+        self.make().emit(b, 0, {"x": np.zeros(0)})
+        assert len(b.finish()) == 0
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(TraceError):
+            self.make().emit(TraceBuilder(), -1, {"x": np.zeros(0)})
+
+    def test_empty_template_rejected(self):
+        with pytest.raises(TraceError):
+            LoopTemplate([])
+
+    def test_address_slots_property(self):
+        assert self.make().address_slots == ("x",)

@@ -1,0 +1,112 @@
+"""Tests for the packed trace container (repro.ir.trace)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.ir import Instruction, InstructionTrace, Opcode, concat_traces
+
+
+def make_trace(n=10, tid=0):
+    instrs = [
+        Instruction(Opcode.LOAD, dst=1, addr=64 * i, size=8, pc=i % 3, tid=tid)
+        for i in range(n)
+    ]
+    return InstructionTrace.from_instructions(instrs)
+
+
+class TestConstruction:
+    def test_from_instructions_roundtrip(self):
+        ins = Instruction(Opcode.FMUL, dst=2, src1=1, src2=3, pc=7, tid=4)
+        trace = InstructionTrace.from_instructions([ins])
+        assert trace[0] == ins
+
+    def test_empty(self):
+        trace = InstructionTrace.empty()
+        assert len(trace) == 0
+        assert trace.memory_op_count == 0
+        assert trace.thread_count == 0
+
+    def test_unequal_columns_rejected(self):
+        cols = {
+            name: np.zeros(3, dtype=dt)
+            for name, dt in (
+                ("opcode", np.uint8), ("dst", np.int32), ("src1", np.int32),
+                ("src2", np.int32), ("addr", np.uint64), ("size", np.uint16),
+                ("pc", np.uint32),
+            )
+        }
+        cols["tid"] = np.zeros(4, dtype=np.uint16)
+        with pytest.raises(TraceError, match="unequal"):
+            InstructionTrace(**cols)
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(TraceError, match="mismatch"):
+            InstructionTrace(opcode=np.zeros(1, dtype=np.uint8))
+
+    def test_immutability(self):
+        trace = make_trace()
+        with pytest.raises(AttributeError):
+            trace.opcode = np.zeros(1, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            trace.opcode[0] = 3
+
+
+class TestViews:
+    def test_len_and_iter(self):
+        trace = make_trace(5)
+        assert len(trace) == 5
+        assert len(list(trace)) == 5
+
+    def test_slicing_returns_trace(self):
+        trace = make_trace(10)
+        part = trace[2:5]
+        assert isinstance(part, InstructionTrace)
+        assert len(part) == 3
+        assert part[0].addr == 64 * 2
+
+    def test_memory_mask(self, stream_trace):
+        mask = stream_trace.memory_mask
+        # The stream template has 2 memory ops out of 6.
+        assert mask.sum() == len(stream_trace) // 3
+
+    def test_for_thread(self):
+        t0 = make_trace(4, tid=0)
+        t1 = make_trace(6, tid=1)
+        both = concat_traces([t0, t1])
+        assert both.thread_count == 2
+        assert len(both.for_thread(1)) == 6
+        assert len(both.for_thread(0)) == 4
+
+    def test_opcode_counts(self, stream_trace):
+        counts = stream_trace.opcode_counts()
+        n_iter = len(stream_trace) // 6
+        assert counts[Opcode.LOAD] == n_iter
+        assert counts[Opcode.STORE] == n_iter
+        assert counts[Opcode.BRANCH] == n_iter
+
+    def test_memory_accesses_order_and_type(self):
+        trace = InstructionTrace.from_instructions([
+            Instruction(Opcode.LOAD, dst=1, addr=0, size=8),
+            Instruction(Opcode.IALU, dst=2, src1=1),
+            Instruction(Opcode.STORE, src1=2, addr=64, size=8),
+            Instruction(Opcode.ATOMIC, dst=3, addr=128, size=8),
+        ])
+        addrs, sizes, is_write = trace.memory_accesses()
+        assert addrs.tolist() == [0, 64, 128]
+        assert sizes.tolist() == [8, 8, 8]
+        assert is_write.tolist() == [False, True, True]
+
+
+class TestConcat:
+    def test_concat_preserves_order(self):
+        a, b = make_trace(3), make_trace(2)
+        merged = concat_traces([a, b])
+        assert len(merged) == 5
+        assert merged[3].addr == 0
+
+    def test_concat_empty_list(self):
+        assert len(concat_traces([])) == 0
+
+    def test_repr(self):
+        assert "n=10" in repr(make_trace(10))

@@ -1,0 +1,167 @@
+"""Tests for the ANN, model tree, ridge and preprocessing modules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MLError, NotFittedError
+from repro.ml import (
+    MLPRegressor,
+    ModelTree,
+    RidgeRegression,
+    StandardScaler,
+    VarianceThreshold,
+    r2_score,
+)
+
+
+def linear_data(n=200, seed=0, noise=0.0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 6))
+    y = 1.0 + 2 * X[:, 0] - 3 * X[:, 1] + noise * rng.normal(size=n)
+    return X, y
+
+
+class TestRidge:
+    def test_recovers_linear_relation(self):
+        X, y = linear_data()
+        model = RidgeRegression(alpha=1e-6).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.999
+
+    def test_regularisation_shrinks_coefficients(self):
+        X, y = linear_data(noise=0.1)
+        weak = RidgeRegression(alpha=1e-6).fit(X, y)
+        strong = RidgeRegression(alpha=1e3).fit(X, y)
+        assert np.abs(strong.coef_).sum() < np.abs(weak.coef_).sum()
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            RidgeRegression().predict(np.zeros((1, 2)))
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(MLError):
+            RidgeRegression(alpha=-1)
+
+    def test_constant_feature_tolerated(self):
+        X, y = linear_data()
+        X = np.hstack([X, np.ones((len(X), 1))])
+        model = RidgeRegression().fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+
+
+class TestModelTree:
+    def test_piecewise_linear_function(self):
+        # Two linear regimes split on x0: ideal for a model tree.
+        rng = np.random.default_rng(0)
+        X = rng.random((300, 4))
+        y = np.where(X[:, 0] > 0.5, 5 + 4 * X[:, 1], -5 - 2 * X[:, 1])
+        model = ModelTree(max_depth=2, random_state=0).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.98
+
+    def test_small_leaves_fall_back_to_mean(self):
+        X = np.random.default_rng(0).random((6, 3))
+        y = np.arange(6.0)
+        model = ModelTree(max_depth=3, min_samples_leaf=1).fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+
+    def test_clone(self):
+        clone = ModelTree(max_depth=3).clone(max_depth=5)
+        assert clone.max_depth == 5
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            ModelTree().predict(np.zeros((1, 2)))
+
+    def test_invalid_depth(self):
+        with pytest.raises(MLError):
+            ModelTree(max_depth=0)
+
+
+class TestMLP:
+    def test_learns_nonlinear_function(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((400, 4))
+        y = np.sin(4 * X[:, 0]) + X[:, 1] ** 2
+        model = MLPRegressor(
+            hidden_layers=(32, 16), max_epochs=300, random_state=0
+        ).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.8
+
+    def test_reproducible(self):
+        X, y = linear_data()
+        a = MLPRegressor(max_epochs=50, random_state=7).fit(X, y)
+        b = MLPRegressor(max_epochs=50, random_state=7).fit(X, y)
+        Xt = np.random.default_rng(0).random((10, 6))
+        assert np.allclose(a.predict(Xt), b.predict(Xt))
+
+    def test_early_stopping_records_epochs(self):
+        X, y = linear_data()
+        model = MLPRegressor(
+            max_epochs=300, patience=5, random_state=0
+        ).fit(X, y)
+        assert model.n_epochs_ <= 300
+
+    def test_invalid_layers(self):
+        with pytest.raises(MLError):
+            MLPRegressor(hidden_layers=())
+        with pytest.raises(MLError):
+            MLPRegressor(hidden_layers=(0,))
+
+    def test_clone(self):
+        clone = MLPRegressor(hidden_layers=(8,)).clone(learning_rate=0.5)
+        assert clone.learning_rate == 0.5
+        assert clone.hidden_layers == (8,)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(MLError):
+            MLPRegressor().fit(np.zeros((1, 2)), np.zeros(1))
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            MLPRegressor().predict(np.zeros((1, 2)))
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        X = np.random.default_rng(0).random((100, 4)) * 10 + 3
+        Xs = StandardScaler().fit_transform(X)
+        assert np.allclose(Xs.mean(axis=0), 0, atol=1e-9)
+        assert np.allclose(Xs.std(axis=0), 1, atol=1e-9)
+
+    def test_constant_column_maps_to_zero(self):
+        X = np.ones((10, 2))
+        Xs = StandardScaler().fit_transform(X)
+        assert (Xs == 0).all()
+
+    def test_inverse_roundtrip(self):
+        X = np.random.default_rng(1).random((50, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((1, 2)))
+
+    def test_feature_mismatch(self):
+        scaler = StandardScaler().fit(np.zeros((5, 3)))
+        with pytest.raises(MLError):
+            scaler.transform(np.zeros((5, 4)))
+
+
+class TestVarianceThreshold:
+    def test_drops_constant_columns(self):
+        X = np.hstack([
+            np.random.default_rng(0).random((20, 2)),
+            np.ones((20, 1)),
+        ])
+        vt = VarianceThreshold().fit(X)
+        assert vt.n_selected == 2
+        assert vt.transform(X).shape == (20, 2)
+
+    def test_keeps_at_least_one(self):
+        X = np.ones((10, 3))
+        vt = VarianceThreshold().fit(X)
+        assert vt.n_selected == 1
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(MLError):
+            VarianceThreshold(threshold=-1.0)

@@ -1,0 +1,163 @@
+"""Tests for the CART tree and random forest (repro.ml.tree / .forest)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MLError, NotFittedError
+from repro.ml import RandomForestRegressor, RegressionTree, r2_score
+
+
+def step_data(n=200, seed=0):
+    """y is a step function of x0 — trivially learnable by one split."""
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 5))
+    y = np.where(X[:, 0] > 0.5, 10.0, 1.0)
+    return X, y
+
+
+def smooth_data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 8))
+    y = 3 * X[:, 0] + np.sin(6 * X[:, 1]) + 0.5 * X[:, 2] * X[:, 3]
+    return X, y
+
+
+class TestRegressionTree:
+    def test_learns_step_function_exactly(self):
+        X, y = step_data()
+        tree = RegressionTree().fit(X, y)
+        assert r2_score(y, tree.predict(X)) > 0.999
+
+    def test_single_leaf_for_constant_target(self):
+        X = np.random.default_rng(0).random((50, 3))
+        tree = RegressionTree().fit(X, np.full(50, 7.0))
+        assert tree.n_nodes == 1
+        assert (tree.predict(X) == 7.0).all()
+
+    def test_max_depth_respected(self):
+        X, y = smooth_data()
+        tree = RegressionTree(max_depth=3).fit(X, y)
+        assert tree.depth <= 3
+
+    def test_min_samples_leaf(self):
+        X, y = smooth_data(100)
+        tree = RegressionTree(min_samples_leaf=20).fit(X, y)
+        leaves = tree.apply(X)
+        _, counts = np.unique(leaves, return_counts=True)
+        assert counts.min() >= 20
+
+    def test_prediction_is_training_mean_at_leaves(self):
+        X, y = smooth_data(80)
+        tree = RegressionTree(max_depth=2).fit(X, y)
+        leaves = tree.apply(X)
+        preds = tree.predict(X)
+        for leaf in np.unique(leaves):
+            mask = leaves == leaf
+            assert preds[mask][0] == pytest.approx(y[mask].mean())
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            RegressionTree().predict(np.zeros((1, 3)))
+
+    def test_feature_count_checked(self):
+        X, y = step_data()
+        tree = RegressionTree().fit(X, y)
+        with pytest.raises(MLError):
+            tree.predict(np.zeros((2, 99)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(MLError):
+            RegressionTree().fit(np.zeros((0, 3)), np.zeros(0))
+
+    def test_feature_importances_identify_signal(self):
+        X, y = step_data(400)
+        tree = RegressionTree(rng=np.random.default_rng(1)).fit(X, y)
+        assert int(np.argmax(tree.feature_importances_)) == 0
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_max_features_variants(self):
+        X, y = smooth_data(100)
+        for mf in ("sqrt", "third", "log2", 3, 0.5, None):
+            RegressionTree(max_features=mf, rng=np.random.default_rng(0)).fit(X, y)
+
+    def test_bad_max_features(self):
+        X, y = step_data(50)
+        with pytest.raises(MLError):
+            RegressionTree(max_features="bogus").fit(X, y)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_predictions_within_target_range(self, seed):
+        X, y = smooth_data(60, seed=seed)
+        tree = RegressionTree(rng=np.random.default_rng(seed)).fit(X, y)
+        preds = tree.predict(np.random.default_rng(seed + 1).random((30, 8)))
+        assert preds.min() >= y.min() - 1e-9
+        assert preds.max() <= y.max() + 1e-9
+
+
+class TestRandomForest:
+    def test_beats_single_tree_on_noise(self):
+        rng = np.random.default_rng(3)
+        X = rng.random((250, 10))
+        y = 3 * X[:, 0] + np.sin(6 * X[:, 1]) + 0.3 * rng.normal(size=250)
+        Xt = rng.random((100, 10))
+        yt = 3 * Xt[:, 0] + np.sin(6 * Xt[:, 1])
+        tree = RegressionTree(rng=np.random.default_rng(0)).fit(X, y)
+        # Same feature policy as the single tree (all features) so the
+        # comparison isolates the variance reduction of bagging.
+        forest = RandomForestRegressor(
+            n_estimators=50, max_features=None, random_state=0
+        ).fit(X, y)
+        tree_err = np.abs(tree.predict(Xt) - yt).mean()
+        forest_err = np.abs(forest.predict(Xt) - yt).mean()
+        assert forest_err < tree_err
+
+    def test_reproducible_with_seed(self):
+        X, y = smooth_data()
+        a = RandomForestRegressor(n_estimators=10, random_state=42).fit(X, y)
+        b = RandomForestRegressor(n_estimators=10, random_state=42).fit(X, y)
+        Xt = np.random.default_rng(1).random((20, 8))
+        assert np.array_equal(a.predict(Xt), b.predict(Xt))
+
+    def test_different_seeds_differ(self):
+        X, y = smooth_data()
+        a = RandomForestRegressor(n_estimators=10, random_state=1).fit(X, y)
+        b = RandomForestRegressor(n_estimators=10, random_state=2).fit(X, y)
+        Xt = np.random.default_rng(1).random((20, 8))
+        assert not np.array_equal(a.predict(Xt), b.predict(Xt))
+
+    def test_oob_prediction_available(self):
+        X, y = smooth_data()
+        forest = RandomForestRegressor(n_estimators=25, random_state=0).fit(X, y)
+        assert forest.oob_prediction_ is not None
+        # OOB RMSE should be well below the target spread.
+        assert forest.oob_error(y) < y.std()
+
+    def test_no_bootstrap_has_no_oob(self):
+        X, y = smooth_data(100)
+        forest = RandomForestRegressor(
+            n_estimators=5, bootstrap=False, random_state=0
+        ).fit(X, y)
+        with pytest.raises(MLError):
+            forest.oob_error(y)
+
+    def test_clone_overrides(self):
+        forest = RandomForestRegressor(n_estimators=10)
+        clone = forest.clone(min_samples_leaf=4)
+        assert clone.min_samples_leaf == 4
+        assert clone.n_estimators == 10
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            RandomForestRegressor().predict(np.zeros((1, 3)))
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(MLError):
+            RandomForestRegressor(n_estimators=0)
+
+    def test_feature_importances_identify_signal(self):
+        X, y = step_data(300)
+        forest = RandomForestRegressor(n_estimators=20, random_state=0).fit(X, y)
+        assert int(np.argmax(forest.feature_importances_)) == 0

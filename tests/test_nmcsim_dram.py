@@ -1,0 +1,122 @@
+"""Tests for the 3D-stacked DRAM model (repro.nmcsim.dram)."""
+
+import pytest
+
+from repro.config import DRAMTiming, default_nmc_config
+from repro.nmcsim.dram import Bank, StackedMemory, Vault
+
+
+TIMING = DRAMTiming()
+
+
+class TestBank:
+    def test_closed_row_latency(self):
+        bank = Bank()
+        data_at = bank.access(0.0, row=1, timing=TIMING)
+        assert data_at == pytest.approx(TIMING.closed_row_access_ns())
+
+    def test_row_hit_within_linger(self):
+        bank = Bank()
+        first = bank.access(0.0, row=1, timing=TIMING)
+        second = bank.access(first, row=1, timing=TIMING)
+        # Row hit: only CAS + burst (no new activation, no precharge).
+        assert second - first <= TIMING.t_cl_ns + TIMING.t_bl_ns + 1e-9
+        assert bank.row_hits == 1
+
+    def test_different_row_pays_precharge_and_activation(self):
+        bank = Bank()
+        first = bank.access(0.0, row=1, timing=TIMING)
+        second = bank.access(first, row=2, timing=TIMING)
+        # Conflict while the row lingers open: tRP + full access.
+        assert second - first >= (
+            TIMING.t_rp_ns + TIMING.closed_row_access_ns() - 1e-9
+        )
+        assert bank.row_hits == 0
+
+    def test_row_closes_after_linger(self):
+        bank = Bank()
+        first = bank.access(0.0, row=1, timing=TIMING)
+        late = first + TIMING.row_linger_ns + 100.0
+        second = bank.access(late, row=1, timing=TIMING)
+        assert second - late >= TIMING.closed_row_access_ns() - 1e-9
+
+    def test_back_to_back_same_bank_serialises(self):
+        bank = Bank()
+        bank.access(0.0, row=1, timing=TIMING)
+        # Second access must wait for the first activation to settle
+        # (tRAS) and the conflicting row to precharge (tRP).
+        second = bank.access(0.0, row=2, timing=TIMING)
+        assert second >= TIMING.t_ras_ns + TIMING.t_rp_ns
+
+    def test_strict_closed_row_with_zero_linger(self):
+        timing = DRAMTiming(row_linger_ns=0.0)
+        bank = Bank()
+        first = bank.access(0.0, row=1, timing=timing)
+        second = bank.access(first + 1.0, row=1, timing=timing)
+        assert bank.row_hits == 0
+        assert second - (first + 1.0) >= timing.closed_row_access_ns() - 1e-9
+
+
+class TestVault:
+    def test_bus_serialises_bursts(self):
+        vault = Vault(banks_per_vault=4)
+        # Two simultaneous accesses to different banks share the TSV bus.
+        a = vault.access(0.0, bank_idx=0, row=0, timing=TIMING)
+        b = vault.access(0.0, bank_idx=1, row=1, timing=TIMING)
+        assert b >= a + TIMING.t_bl_ns - 1e-9
+
+    def test_access_counter(self):
+        vault = Vault(banks_per_vault=2)
+        vault.access(0.0, 0, 0, TIMING)
+        vault.access(0.0, 1, 1, TIMING)
+        assert vault.accesses == 2
+
+
+class TestStackedMemory:
+    def setup_method(self):
+        self.mem = StackedMemory(default_nmc_config())
+
+    def test_route_is_deterministic_and_in_range(self):
+        cfg = self.mem.config
+        for addr in (0, 64, 4096, 1 << 20, (1 << 31) + 192):
+            vault, bank, row = self.mem.route(addr)
+            assert 0 <= vault < cfg.n_vaults
+            assert 0 <= bank < cfg.banks_per_vault
+            assert self.mem.route(addr) == (vault, bank, row)
+
+    def test_same_block_same_route(self):
+        # Two lines in the same 256 B block share vault/bank/row.
+        assert self.mem.route(0) == self.mem.route(192)
+
+    def test_hashing_spreads_power_of_two_strides(self):
+        """Strided access (the bp weight walk) must not camp on one vault."""
+        vaults = [self.mem.route(i * 48 * 1024)[0] for i in range(256)]
+        counts = {v: vaults.count(v) for v in set(vaults)}
+        assert max(counts.values()) < 0.2 * len(vaults)
+
+    def test_access_counts_reads_writes(self):
+        self.mem.access(0.0, 0, is_write=False)
+        self.mem.access(0.0, 64, is_write=True)
+        stats = self.mem.stats()
+        assert stats.reads == 1 and stats.writes == 1
+        assert stats.accesses == 2
+        assert stats.activates == 2
+
+    def test_access_latency_includes_hops(self):
+        data_at = self.mem.access(0.0, 0, is_write=False)
+        expected = TIMING.closed_row_access_ns() + 2 * TIMING.hop_ns
+        assert data_at == pytest.approx(expected)
+
+    def test_parallel_vaults_overlap(self):
+        # Accesses to different vaults at t=0 all complete at the minimum
+        # latency (no serialisation across vaults).
+        times = []
+        seen_vaults = set()
+        addr = 0
+        while len(seen_vaults) < 4:
+            vault, _, _ = self.mem.route(addr)
+            if vault not in seen_vaults:
+                seen_vaults.add(vault)
+                times.append(self.mem.access(0.0, addr, False))
+            addr += 256
+        assert max(times) == pytest.approx(min(times))

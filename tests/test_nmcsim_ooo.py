@@ -1,0 +1,93 @@
+"""Tests for the out-of-order PE extension (pe_type='ooo')."""
+
+import pytest
+
+from repro import default_nmc_config
+from repro.errors import ConfigError
+from repro.nmcsim import NMCSimulator
+from _helpers import build_random_trace, build_stream_trace
+
+
+def ooo_config(**overrides):
+    base = dict(pe_type="ooo", issue_width=2, mshr_entries=8)
+    base.update(overrides)
+    return default_nmc_config().replace(**base)
+
+
+class TestConfigValidation:
+    def test_defaults_are_inorder(self):
+        cfg = default_nmc_config()
+        assert cfg.pe_type == "inorder"
+        assert cfg.issue_width == 1
+        assert cfg.mshr_entries == 1
+
+    def test_unknown_pe_type(self):
+        with pytest.raises(ConfigError):
+            default_nmc_config().replace(pe_type="vliw")
+
+    def test_inorder_must_have_one_mshr(self):
+        with pytest.raises(ConfigError):
+            default_nmc_config().replace(mshr_entries=4)
+
+    def test_invalid_issue_width(self):
+        with pytest.raises(ConfigError):
+            default_nmc_config().replace(issue_width=0)
+
+    def test_arch_features_include_core_knobs(self):
+        cfg = ooo_config()
+        features = dict(
+            zip(type(cfg).ARCH_FEATURE_NAMES, cfg.feature_vector())
+        )
+        assert features["arch.issue_width"] == 2.0
+        assert features["arch.mshr_entries"] == 8.0
+
+
+class TestOooTiming:
+    def test_ooo_faster_on_irregular(self):
+        trace = build_random_trace(4000)
+        t_in = NMCSimulator(default_nmc_config()).run(trace).time_s
+        t_ooo = NMCSimulator(ooo_config()).run(trace).time_s
+        # MSHR overlap hides most of the random-miss latency.
+        assert t_ooo < t_in / 2
+
+    def test_more_mshrs_never_slower(self):
+        trace = build_random_trace(3000)
+        t2 = NMCSimulator(ooo_config(mshr_entries=2)).run(trace).time_s
+        t16 = NMCSimulator(ooo_config(mshr_entries=16)).run(trace).time_s
+        assert t16 <= t2 * 1.01
+
+    def test_single_mshr_ooo_close_to_inorder(self):
+        """One MSHR serialises misses: close to the blocking core."""
+        trace = build_random_trace(2000)
+        t_in = NMCSimulator(
+            default_nmc_config().replace(issue_width=1)
+        ).run(trace).time_s
+        t_ooo1 = NMCSimulator(
+            ooo_config(issue_width=1, mshr_entries=1)
+        ).run(trace).time_s
+        assert t_ooo1 == pytest.approx(t_in, rel=0.15)
+
+    def test_issue_width_speeds_compute(self):
+        trace = build_stream_trace(3000)
+        t1 = NMCSimulator(
+            ooo_config(issue_width=1, mshr_entries=4)
+        ).run(trace).time_s
+        t4 = NMCSimulator(
+            ooo_config(issue_width=4, mshr_entries=4)
+        ).run(trace).time_s
+        assert t4 < t1
+
+    def test_results_still_consistent(self):
+        trace = build_random_trace(2000)
+        result = NMCSimulator(ooo_config()).run(trace)
+        assert result.ipc == pytest.approx(
+            result.instructions / result.cycles
+        )
+        assert result.cache.accesses == trace.memory_op_count
+        assert result.energy_j > 0
+
+    def test_deterministic(self):
+        trace = build_random_trace(1500)
+        a = NMCSimulator(ooo_config()).run(trace)
+        b = NMCSimulator(ooo_config()).run(trace)
+        assert a.cycles == b.cycles

@@ -1,0 +1,153 @@
+"""Tests for the remaining profile analyses: traffic, registers, footprint,
+stride, branches, working set."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    Instruction,
+    InstructionTrace,
+    LoopTemplate,
+    Opcode,
+    TemplateOp,
+    TraceBuilder,
+)
+from repro.profiler import (
+    branch_features,
+    data_reuse_features,
+    footprint_features,
+    memory_traffic_features,
+    register_traffic_features,
+    stride_features,
+    working_set_features,
+)
+from _helpers import build_random_trace, build_stream_trace  # noqa: F401
+
+
+class TestMemoryTraffic:
+    def test_stream_misses_only_cold_lines(self, stream_trace):
+        _, hists = data_reuse_features(stream_trace)
+        feats = memory_traffic_features(stream_trace, hists)
+        # Sequential 8 B accesses: 8 per 64 B line, load+store per element
+        # => 1 miss per 16 accesses at any capacity (all cold).
+        assert feats["traffic.bytes_65536"] == pytest.approx(1 / 16, abs=0.01)
+
+    def test_random_trace_misses_everywhere(self, random_trace):
+        _, hists = data_reuse_features(random_trace)
+        feats = memory_traffic_features(random_trace, hists)
+        assert feats["traffic.bytes_128"] > 0.95
+        assert feats["traffic.bytes_1048576"] > 0.5
+
+    def test_miss_fraction_monotone_in_cache_size(self, random_trace):
+        from repro.profiler.features import TRAFFIC_CACHE_SIZES
+
+        _, hists = data_reuse_features(random_trace)
+        feats = memory_traffic_features(random_trace, hists)
+        values = [feats[f"traffic.bytes_{s}"] for s in TRAFFIC_CACHE_SIZES]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestRegisterTraffic:
+    def test_counts(self):
+        trace = InstructionTrace.from_instructions([
+            Instruction(Opcode.FALU, dst=1, src1=2, src2=3),
+            Instruction(Opcode.BRANCH, src1=1),
+        ])
+        feats = register_traffic_features(trace)
+        assert feats["reg.reads_per_instr"] == pytest.approx(1.5)
+        assert feats["reg.writes_per_instr"] == pytest.approx(0.5)
+        assert feats["reg.unique_registers"] == 3
+
+    def test_empty(self):
+        feats = register_traffic_features(InstructionTrace.empty())
+        assert feats["reg.operands_per_instr"] == 0.0
+
+
+class TestFootprint:
+    def test_distinct_lines(self):
+        b = TraceBuilder()
+        for i in range(16):
+            b.load(1, addr=i * 64, size=8)   # 16 distinct lines
+            b.load(1, addr=i * 64, size=8)   # revisited
+        feats = footprint_features(b.finish())
+        assert feats["footprint.data_lines"] == pytest.approx(
+            np.log2(1 + 16), abs=0.01
+        )
+
+    def test_read_write_volumes(self):
+        b = TraceBuilder()
+        b.load(1, addr=0, size=8)
+        b.store(1, addr=64, size=4)
+        feats = footprint_features(b.finish())
+        assert feats["footprint.read_bytes"] == pytest.approx(np.log2(9))
+        assert feats["footprint.write_bytes"] == pytest.approx(np.log2(5))
+
+    def test_empty(self):
+        feats = footprint_features(InstructionTrace.empty())
+        assert all(v == 0.0 for v in feats.values())
+
+
+class TestStride:
+    def test_unit_stride_stream_is_regular(self, stream_trace):
+        feats = stride_features(stream_trace)
+        assert feats["stride.regular_read"] > 0.99
+        assert feats["stride.frac_le_1"] > 0.99
+        assert feats["stride.dominant_frac"] > 0.99
+        assert feats["stride.entropy"] < 0.1
+
+    def test_random_trace_is_irregular(self, random_trace):
+        feats = stride_features(random_trace)
+        assert feats["stride.regular_read"] < 0.05
+        assert feats["stride.frac_le_1"] < 0.05
+        assert feats["stride.entropy"] > 5.0
+
+    def test_large_constant_stride_detected(self):
+        b = TraceBuilder()
+        t = LoopTemplate([TemplateOp(Opcode.LOAD, dst=1, addr="x")])
+        n = 500
+        t.emit(b, n, {"x": np.arange(n, dtype=np.int64) * 4096})
+        feats = stride_features(b.finish())
+        # Predictable (constant stride) but far beyond the small buckets.
+        assert feats["stride.regular_read"] > 0.99
+        assert feats["stride.frac_le_256"] < 0.01
+
+    def test_empty(self):
+        feats = stride_features(InstructionTrace.empty())
+        assert all(v == 0.0 for v in feats.values())
+
+
+class TestBranches:
+    def test_density_and_block_length(self, stream_trace):
+        feats = branch_features(stream_trace)
+        assert feats["branch.density"] == pytest.approx(1 / 6)
+        assert feats["branch.avg_basic_block"] == pytest.approx(6.0)
+
+    def test_no_branches(self):
+        trace = InstructionTrace.from_instructions(
+            [Instruction(Opcode.IALU, dst=1)] * 5
+        )
+        feats = branch_features(trace)
+        assert feats["branch.density"] == 0.0
+        assert feats["branch.avg_basic_block"] == 5.0
+
+
+class TestWorkingSet:
+    def test_stream_grows_linearly(self, stream_trace):
+        feats = working_set_features(stream_trace)
+        values = [feats[f"wset.frac_{i}"] for i in range(8)]
+        assert values[-1] == pytest.approx(1.0)
+        # Linear growth: each checkpoint adds ~1/8 of the footprint.
+        assert values[3] == pytest.approx(0.5, abs=0.05)
+
+    def test_hot_set_saturates_early(self):
+        b = TraceBuilder()
+        t = LoopTemplate([TemplateOp(Opcode.LOAD, dst=1, addr="x")])
+        addrs = np.tile(np.arange(8, dtype=np.int64) * 64, 100)
+        t.emit(b, len(addrs), {"x": addrs})
+        feats = working_set_features(b.finish())
+        assert feats["wset.frac_0"] == pytest.approx(1.0)
+
+    def test_monotone(self, random_trace):
+        feats = working_set_features(random_trace)
+        values = [feats[f"wset.frac_{i}"] for i in range(8)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))

@@ -1,0 +1,42 @@
+"""Tests for the feature catalog (repro.profiler.features)."""
+
+from repro.profiler import FEATURE_NAMES, TOTAL_FEATURES, feature_groups
+
+
+class TestCatalog:
+    def test_total_is_395(self):
+        """The paper reports exactly 395 application-profile features."""
+        assert TOTAL_FEATURES == 395
+
+    def test_names_are_unique(self):
+        assert len(set(FEATURE_NAMES)) == len(FEATURE_NAMES)
+
+    def test_groups_cover_all_names(self):
+        flattened = [n for names in feature_groups().values() for n in names]
+        assert tuple(flattened) == FEATURE_NAMES
+
+    def test_group_inventory(self):
+        groups = feature_groups()
+        assert len(groups["mix"]) == 19
+        assert len(groups["opcode_mix"]) == 16
+        assert len(groups["ilp"]) == 10
+        assert len(groups["traffic"]) == 60
+        assert len(groups["register"]) == 4
+        assert len(groups["footprint"]) == 6
+
+    def test_reuse_groups_sizes(self):
+        groups = feature_groups()
+        for stream in ("read", "write", "all"):
+            assert len(groups[f"data_reuse_cdf_{stream}"]) == 32
+            assert len(groups[f"data_reuse_pdf_{stream}"]) == 32
+
+    def test_paper_table1_families_present(self):
+        """Every Table 1 application-feature family maps to catalog names."""
+        names = set(FEATURE_NAMES)
+        assert "mix.mem_all" in names            # instruction mix
+        assert "ilp.total" in names              # ILP
+        assert "drd.all.cdf_0" in names          # data reuse distance
+        assert "ird.cdf_0" in names              # instruction reuse distance
+        assert "traffic.read_miss_128" in names  # memory traffic
+        assert "reg.operands_per_instr" in names # register traffic
+        assert "footprint.data_bytes" in names   # memory footprint

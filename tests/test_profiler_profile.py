@@ -1,0 +1,88 @@
+"""Tests for profile assembly (repro.profiler.profile)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.profiler import (
+    ApplicationProfile,
+    FEATURE_NAMES,
+    TOTAL_FEATURES,
+    analyze_trace,
+)
+from _helpers import build_random_trace, build_stream_trace
+
+
+class TestAnalyzeTrace:
+    def test_full_vector(self, stream_trace):
+        profile = analyze_trace(stream_trace, workload="stream")
+        assert profile.values.shape == (TOTAL_FEATURES,)
+        assert np.isfinite(profile.values).all()
+        assert profile.workload == "stream"
+        assert profile.instruction_count == len(stream_trace)
+
+    def test_indexing_by_name(self, stream_trace):
+        profile = analyze_trace(stream_trace)
+        assert profile["mix.load"] == pytest.approx(1 / 6)
+        assert 0 <= profile["drd.all.cdf_0"] <= 1
+
+    def test_as_dict_alignment(self, stream_trace):
+        profile = analyze_trace(stream_trace)
+        d = profile.as_dict()
+        assert list(d) == list(FEATURE_NAMES)
+        assert d["mix.store"] == profile["mix.store"]
+
+    def test_deterministic(self, stream_trace):
+        a = analyze_trace(stream_trace)
+        b = analyze_trace(stream_trace)
+        assert np.array_equal(a.values, b.values)
+
+    def test_distinguishes_regular_from_irregular(self):
+        regular = analyze_trace(build_stream_trace(3000))
+        irregular = analyze_trace(build_random_trace(3000))
+        assert regular["stride.regular_read"] > irregular["stride.regular_read"]
+        assert (
+            irregular["traffic.bytes_1048576"]
+            > regular["traffic.bytes_1048576"]
+        )
+
+    def test_json_roundtrip(self, stream_trace):
+        profile = analyze_trace(
+            stream_trace, workload="s", parameters={"n": 10}
+        )
+        restored = ApplicationProfile.from_json_dict(profile.to_json_dict())
+        assert np.array_equal(restored.values, profile.values)
+        assert restored.workload == "s"
+        assert restored.parameters == {"n": 10.0}
+        assert restored.instruction_count == profile.instruction_count
+
+    def test_thread_count_recorded(self, atax):
+        trace = atax.generate({"dimensions": 800, "threads": 8}, scale=3.0)
+        profile = analyze_trace(trace)
+        assert profile.thread_count == 8
+
+
+class TestApplicationProfile:
+    def test_wrong_length_rejected(self):
+        with pytest.raises(TraceError, match="395"):
+            ApplicationProfile(
+                values=np.zeros(10), instruction_count=1, thread_count=1
+            )
+
+    def test_values_immutable(self, stream_trace):
+        profile = analyze_trace(stream_trace)
+        with pytest.raises(ValueError):
+            profile.values[0] = 99.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(100, 2000))
+    def test_fractions_in_unit_interval(self, n):
+        profile = analyze_trace(build_stream_trace(n))
+        for prefix in ("mix.", "opcode.", "drd.", "ird.", "traffic.", "wset."):
+            for name in FEATURE_NAMES:
+                if name.startswith(prefix) and not name.endswith(
+                    ("mean_log2", "median_log2")
+                ):
+                    assert -1e-9 <= profile[name] <= 1 + 1e-9, name

@@ -1,0 +1,99 @@
+"""Tests for profile comparison utilities (repro.profiler.report)."""
+
+import pytest
+
+from repro import analyze_trace, get_workload
+from repro.errors import TraceError
+from repro.profiler import (
+    compare_profiles,
+    format_comparison,
+    nearest_profiles,
+    profile_distance,
+)
+from _helpers import build_random_trace, build_stream_trace
+
+
+@pytest.fixture(scope="module")
+def stream_p():
+    return analyze_trace(build_stream_trace(2500), workload="stream")
+
+
+@pytest.fixture(scope="module")
+def random_p():
+    return analyze_trace(build_random_trace(2500), workload="random")
+
+
+class TestCompareProfiles:
+    def test_identical_profiles_rank_zero_deltas(self, stream_p):
+        deltas = compare_profiles(stream_p, stream_p, top=5)
+        assert all(d.delta == 0 for d in deltas)
+
+    def test_stride_features_separate_stream_from_random(
+        self, stream_p, random_p
+    ):
+        # Many features differ maximally between the two extremes; the
+        # stride family must be among the fully-separating ones.
+        deltas = compare_profiles(stream_p, random_p, top=395)
+        by_name = {d.name: d for d in deltas}
+        d = by_name["stride.regular_read"]
+        assert abs(d.delta) > 0.9
+
+    def test_top_validation(self, stream_p):
+        with pytest.raises(TraceError):
+            compare_profiles(stream_p, stream_p, top=0)
+
+    def test_delta_direction(self, stream_p, random_p):
+        deltas = {
+            d.name: d for d in compare_profiles(stream_p, random_p, top=395)
+        }
+        d = deltas["stride.regular_read"]
+        assert d.value_a > d.value_b  # stream more regular than random
+        assert d.delta < 0
+
+
+class TestProfileDistance:
+    def test_zero_for_identical(self, stream_p):
+        assert profile_distance(stream_p, stream_p) == 0.0
+
+    def test_symmetric(self, stream_p, random_p):
+        assert profile_distance(stream_p, random_p) == pytest.approx(
+            profile_distance(random_p, stream_p)
+        )
+
+    def test_bounded_by_one(self, stream_p, random_p):
+        assert 0 < profile_distance(stream_p, random_p) <= 1.0
+
+    def test_similar_kernels_closer_than_dissimilar(self):
+        gemv = get_workload("gemv")
+        mvt = get_workload("mvt")
+        bfs = get_workload("bfs")
+        p_gemv = analyze_trace(gemv.generate(gemv.central_config(), scale=2.0))
+        p_mvt = analyze_trace(mvt.generate(mvt.central_config(), scale=2.0))
+        p_bfs = analyze_trace(bfs.generate(bfs.central_config(), scale=2.0))
+        # Two matrix-vector kernels are closer to each other than to BFS.
+        assert profile_distance(p_gemv, p_mvt) < profile_distance(p_gemv, p_bfs)
+
+
+class TestNearestProfiles:
+    def test_orders_by_distance(self, stream_p, random_p):
+        other_stream = analyze_trace(
+            build_stream_trace(2000), workload="stream2"
+        )
+        ranked = nearest_profiles(
+            stream_p, {"stream2": other_stream, "random": random_p}
+        )
+        assert ranked[0][0] == "stream2"
+        assert ranked[0][1] < ranked[1][1]
+
+    def test_empty_candidates(self, stream_p):
+        with pytest.raises(TraceError):
+            nearest_profiles(stream_p, {})
+
+
+class TestFormatComparison:
+    def test_renders(self, stream_p, random_p):
+        text = format_comparison(
+            stream_p, random_p, label_a="stream", label_b="random", top=5
+        )
+        assert "stream vs random" in text
+        assert "delta" in text

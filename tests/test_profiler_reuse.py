@@ -1,0 +1,117 @@
+"""Tests for reuse-distance analysis (repro.profiler.reuse_distance)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.profiler import reuse_distances
+from repro.profiler.reuse_distance import (
+    COLD_DISTANCE,
+    ReuseDistanceHistogram,
+)
+
+
+class TestReuseDistances:
+    def test_all_cold(self):
+        d = reuse_distances(np.array([1, 2, 3, 4]))
+        assert (d == COLD_DISTANCE).all()
+
+    def test_immediate_reuse_is_zero(self):
+        d = reuse_distances(np.array([7, 7, 7]))
+        assert d.tolist() == [COLD_DISTANCE, 0, 0]
+
+    def test_classic_example(self):
+        # a b c a : distance of the second 'a' is 2 (b and c in between)
+        d = reuse_distances(np.array([1, 2, 3, 1]))
+        assert d[3] == 2
+
+    def test_repeated_interleaving(self):
+        # a b a b : each reuse skips exactly one other element
+        d = reuse_distances(np.array([1, 2, 1, 2, 1]))
+        assert d.tolist() == [COLD_DISTANCE, COLD_DISTANCE, 1, 1, 1]
+
+    def test_duplicate_between_does_not_double_count(self):
+        # a b b a : only ONE distinct element between the two a's
+        d = reuse_distances(np.array([1, 2, 2, 1]))
+        assert d[3] == 1
+
+    def test_empty(self):
+        assert len(reuse_distances(np.array([], dtype=np.int64))) == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=200))
+    def test_matches_naive_algorithm(self, keys):
+        """Fenwick-based distances == brute-force stack distances."""
+        keys = np.asarray(keys)
+        fast = reuse_distances(keys)
+        last: dict[int, int] = {}
+        for t, key in enumerate(keys.tolist()):
+            if key not in last:
+                assert fast[t] == COLD_DISTANCE
+            else:
+                between = len(set(keys[last[key] + 1:t].tolist()) - {key})
+                assert fast[t] == between
+            last[key] = t
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 50), min_size=2, max_size=300))
+    def test_distance_bounded_by_alphabet(self, keys):
+        d = reuse_distances(np.asarray(keys))
+        reused = d[d >= 0]
+        if len(reused):
+            assert reused.max() < len(set(keys))
+
+
+class TestHistogram:
+    def make(self, distances):
+        return ReuseDistanceHistogram.from_distances(
+            np.asarray(distances, dtype=np.int64), n_buckets=8
+        )
+
+    def test_bucket_boundaries(self):
+        hist = self.make([0, 1, 2, 3, 4, 8])
+        # bucket 0: d=0; bucket 1: d=1; bucket 2: d in [2,4); bucket 3: [4,8)
+        assert hist.counts.tolist() == [1, 1, 2, 1, 1, 0, 0, 0]
+
+    def test_cold_counted_separately(self):
+        hist = self.make([COLD_DISTANCE, COLD_DISTANCE, 0])
+        assert hist.cold == 2
+        assert hist.total == 3
+
+    def test_cdf_is_hit_ratio(self):
+        # 3 accesses: one cold, two with distance 0.
+        hist = self.make([COLD_DISTANCE, 0, 0])
+        cdf = hist.cdf()
+        assert cdf[0] == pytest.approx(2 / 3)
+        assert cdf[-1] == pytest.approx(2 / 3)  # cold never hits
+
+    def test_cdf_monotone(self):
+        hist = self.make([0, 1, 3, 9, 100, COLD_DISTANCE])
+        cdf = hist.cdf()
+        assert (np.diff(cdf) >= 0).all()
+
+    def test_pdf_sums_to_reused_fraction(self):
+        hist = self.make([COLD_DISTANCE, 0, 2, 5])
+        assert hist.pdf().sum() == pytest.approx(3 / 4)
+
+    def test_miss_ratio_extremes(self):
+        hist = self.make([0, 0, 0, 0])
+        assert hist.miss_ratio(1024) == pytest.approx(0.0)
+        assert hist.miss_ratio(0) == 1.0
+
+    def test_miss_ratio_with_cold(self):
+        hist = self.make([COLD_DISTANCE, 0])
+        # Cold access always misses regardless of capacity.
+        assert hist.miss_ratio(1 << 20) == pytest.approx(0.5)
+
+    def test_empty_stream(self):
+        hist = self.make([])
+        assert hist.miss_ratio(64) == 0.0
+        assert (hist.cdf() == 0).all()
+
+    def test_stats_all_cold(self):
+        hist = self.make([COLD_DISTANCE] * 3)
+        # No reuse at all: stats report the maximal bucket.
+        assert hist.mean_log2() == len(hist.counts)
+        assert hist.median_log2() == len(hist.counts)

@@ -1,0 +1,47 @@
+"""Tests for the grouped-bar chart renderer."""
+
+from repro.core.reporting import format_grouped_bars
+
+
+class TestGroupedBars:
+    def test_renders_all_series_and_categories(self):
+        out = format_grouped_bars(
+            "demo",
+            {
+                "Actual": {"atax": 1.3, "bfs": 11.0},
+                "NAPEL": {"atax": 0.9, "bfs": 12.0},
+            },
+        )
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        bar_lines = [l for l in lines if "|" in l]
+        assert sum("Actual" in line for line in bar_lines) == 2
+        assert sum("NAPEL" in line for line in bar_lines) == 2
+        assert "legend" in lines[-1]
+
+    def test_bars_scale_to_peak(self):
+        out = format_grouped_bars(
+            "x", {"s": {"a": 10.0, "b": 5.0}}, width=20
+        )
+        lines = [l for l in out.splitlines() if "|" in l]
+        assert lines[0].count("#") == 2 * lines[1].count("#")
+
+    def test_marker_drawn(self):
+        out = format_grouped_bars(
+            "x", {"s": {"a": 2.0}}, width=20, marker_at=1.0
+        )
+        bar_line = [l for l in out.splitlines() if "|" in l][0]
+        inner = bar_line.split("|")[1]
+        assert "|" in bar_line  # delimiters
+        # Marker at 1.0 of peak 2.0: midway through the bar body.
+        body = bar_line[bar_line.index("|") + 1:bar_line.rindex("|")]
+        assert body[10] == "|" or body[9] == "|"
+
+    def test_empty(self):
+        assert "(empty)" in format_grouped_bars("t", {})
+
+    def test_missing_category_in_one_series(self):
+        out = format_grouped_bars(
+            "t", {"a": {"x": 1.0}, "b": {"y": 2.0}}
+        )
+        assert "x" in out and "y" in out

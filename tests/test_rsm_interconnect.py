@@ -1,0 +1,132 @@
+"""Tests for the response-surface model and the off-chip link model."""
+
+import numpy as np
+import pytest
+
+from repro import SimulationCampaign, default_nmc_config, get_workload
+from repro.doe import ParameterSpace, ResponseSurface, central_composite
+from repro.errors import ConfigError, DoEError
+from repro.nmcsim import LinkModel, offload_adjusted_edp
+from repro.nmcsim.interconnect import PACKET_OVERHEAD, SETUP_LATENCY_S
+from repro.workloads.base import DoEParameter
+
+
+def make_space():
+    return ParameterSpace([
+        DoEParameter("x", (0, 25, 50, 75, 100), 50),
+        DoEParameter("y", (0, 25, 50, 75, 100), 50),
+    ])
+
+
+class TestResponseSurface:
+    def quadratic_truth(self, cfg):
+        # y = 2 + 3u - 4v + uv + 5u^2 in coded space.
+        u, v = cfg["x"] / 100.0, cfg["y"] / 100.0
+        return 2 + 3 * u - 4 * v + u * v + 5 * u * u
+
+    def test_recovers_known_surface(self):
+        space = make_space()
+        configs = central_composite(space)
+        y = [self.quadratic_truth(c) for c in configs]
+        surface = ResponseSurface(space).fit(configs, y)
+        assert surface.r2_ > 0.9999
+        coeffs = surface.coefficients()
+        assert coeffs["1"] == pytest.approx(2.0, abs=1e-6)
+        assert coeffs["x"] == pytest.approx(3.0, abs=1e-6)
+        assert coeffs["y"] == pytest.approx(-4.0, abs=1e-6)
+        assert coeffs["x*y"] == pytest.approx(1.0, abs=1e-6)
+        assert coeffs["x^2"] == pytest.approx(5.0, abs=1e-6)
+
+    def test_prediction_interpolates(self):
+        space = make_space()
+        configs = central_composite(space)
+        y = [self.quadratic_truth(c) for c in configs]
+        surface = ResponseSurface(space).fit(configs, y)
+        probe = {"x": 60.0, "y": 30.0}
+        assert surface.predict([probe])[0] == pytest.approx(
+            self.quadratic_truth(probe), abs=1e-6
+        )
+
+    def test_curvature_and_nonlinearity(self):
+        space = make_space()
+        configs = central_composite(space)
+        y = [self.quadratic_truth(c) for c in configs]
+        surface = ResponseSurface(space).fit(configs, y)
+        assert surface.curvature()["x"] == pytest.approx(5.0, abs=1e-6)
+        assert surface.nonlinearity_ratio() == pytest.approx(5.0 / 7.0, abs=1e-6)
+
+    def test_ccd_provides_enough_runs(self):
+        """CCD run counts always identify the quadratic model."""
+        space = make_space()
+        # quadratic terms for k=2: 6 <= 11 CCD runs.
+        configs = central_composite(space)
+        ResponseSurface(space).fit(configs, np.arange(len(configs)))
+
+    def test_too_few_runs_rejected(self):
+        space = make_space()
+        with pytest.raises(DoEError, match="cannot identify"):
+            ResponseSurface(space).fit(
+                [space.central()] * 3, np.zeros(3)
+            )
+
+    def test_unfitted_predict(self):
+        with pytest.raises(DoEError):
+            ResponseSurface(make_space()).predict([{"x": 1, "y": 1}])
+
+    def test_fits_real_campaign_ipc(self):
+        """A quadratic surface explains most of a workload's CCD response."""
+        workload = get_workload("mvt")
+        campaign = SimulationCampaign(scale=3.0)
+        space = ParameterSpace.of_workload(workload)
+        configs = central_composite(space)
+        training = campaign.run(workload, configs)
+        y = np.log(training.y_ipc())
+        surface = ResponseSurface(space).fit(
+            [row.parameters for row in training], y
+        )
+        assert surface.r2_ > 0.7
+
+
+class TestLinkModel:
+    def test_effective_bandwidth(self):
+        link = LinkModel(default_nmc_config())
+        raw = default_nmc_config().link_gbytes_per_s * 1e9
+        assert link.effective_bw == pytest.approx(raw * (1 - PACKET_OVERHEAD))
+
+    def test_transfer_time_scales_linearly(self):
+        link = LinkModel(default_nmc_config())
+        t1 = link.transfer_time_s(1 << 20)
+        t2 = link.transfer_time_s(2 << 20)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_negative_bytes_rejected(self):
+        link = LinkModel(default_nmc_config())
+        with pytest.raises(ConfigError):
+            link.transfer_time_s(-1)
+
+    def test_offload_cost_components(self):
+        link = LinkModel(default_nmc_config())
+        cost = link.offload_cost(upload_bytes=1 << 20, download_bytes=1 << 10)
+        assert cost.total_s == pytest.approx(
+            cost.upload_s + cost.download_s + SETUP_LATENCY_S
+        )
+        assert cost.upload_s > cost.download_s
+        e = default_nmc_config().energy
+        expected = ((1 << 20) + (1 << 10)) * 8 * e.link_pj_per_bit * 1e-12
+        assert cost.energy_j == pytest.approx(expected)
+
+    def test_offload_adjusted_edp_exceeds_kernel_edp(self):
+        link = LinkModel(default_nmc_config())
+        cost = link.offload_cost(1 << 20, 1 << 16)
+        kernel_edp = 1e-4 * 1e-3
+        adjusted = offload_adjusted_edp(1e-4, 1e-3, cost)
+        assert adjusted > kernel_edp
+
+    def test_small_kernel_dominated_by_offload(self):
+        """Offload overheads can flip tiny kernels: the amortisation point
+        the paper's 'once trained, the DoE simulation time is amortised'
+        argument mirrors for data movement."""
+        link = LinkModel(default_nmc_config())
+        cost = link.offload_cost(64 << 20, 64 << 20)  # 128 MiB round trip
+        tiny_kernel = offload_adjusted_edp(1e-6, 1e-6, cost)
+        assert tiny_kernel > 100 * (1e-6 * 1e-6)

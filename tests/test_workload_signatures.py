@@ -1,0 +1,97 @@
+"""Signature tests: every workload's profile matches its documented class.
+
+Each Table 2 workload claims a memory-behaviour class in its module
+docstring (streaming vs irregular, atomics, footprint).  These tests pin
+those claims to measurable profile features, so a regression in a trace
+generator that silently changes an access pattern fails loudly.
+"""
+
+import pytest
+
+from repro import analyze_trace, get_workload
+
+#: Expected signature per workload:
+#: (regular: stride.frac_le_4 class, atomics expected, memory-bound class)
+#: regularity: "stream" (>0.5 small strides), "irregular" (<0.35)
+SIGNATURES = {
+    "atax": dict(regularity="mixed", atomics=False),
+    "bfs": dict(regularity="irregular", atomics=True),
+    "bp": dict(regularity="irregular", atomics=False),
+    "chol": dict(regularity="irregular", atomics=False),
+    "gemv": dict(regularity="stream", atomics=False),
+    "gesu": dict(regularity="stream", atomics=False),
+    "gram": dict(regularity="irregular", atomics=False),
+    "kme": dict(regularity="irregular", atomics=True),
+    "lu": dict(regularity="stream", atomics=False),
+    "mvt": dict(regularity="stream", atomics=False),
+    "syrk": dict(regularity="stream", atomics=False),
+    "trmm": dict(regularity="stream", atomics=False),
+}
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    out = {}
+    for name in SIGNATURES:
+        w = get_workload(name)
+        out[name] = analyze_trace(
+            w.generate(w.central_config(), scale=2.0), workload=name
+        )
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(SIGNATURES))
+def test_regularity_class(name, profiles):
+    """Prefetchability = min(stride-predictable, small-stride) — the same
+    definition the host model's MLP estimate uses."""
+    profile = profiles[name]
+    prefetchable = min(
+        profile["stride.regular_read"], profile["stride.frac_le_4"]
+    )
+    expected = SIGNATURES[name]["regularity"]
+    if expected == "stream":
+        assert prefetchable > 0.5, (name, prefetchable)
+    elif expected == "irregular":
+        assert prefetchable < 0.35, (name, prefetchable)
+    else:  # mixed: atax's two phases split the access stream
+        assert 0.3 < prefetchable < 0.9, (name, prefetchable)
+
+
+@pytest.mark.parametrize("name", sorted(SIGNATURES))
+def test_atomic_usage(name, profiles):
+    has_atomics = profiles[name]["mix.atomic"] > 0
+    assert has_atomics == SIGNATURES[name]["atomics"], name
+
+
+@pytest.mark.parametrize("name", sorted(SIGNATURES))
+def test_memory_intensity_in_plausible_band(name, profiles):
+    """All kernels are loop nests: 15-60% memory instructions."""
+    mem = profiles[name]["mix.mem_all"]
+    assert 0.15 < mem < 0.60, (name, mem)
+
+
+@pytest.mark.parametrize("name", sorted(SIGNATURES))
+def test_profiles_are_mutually_distinguishable(name, profiles):
+    """No two workloads produce near-identical profiles."""
+    import numpy as np
+
+    me = profiles[name].values
+    for other, p in profiles.items():
+        if other == name:
+            continue
+        distance = float(np.linalg.norm(me - p.values))
+        assert distance > 1e-3, (name, other)
+
+
+def test_irregular_group_misses_more_than_streaming(profiles):
+    """Group-level contrast backing the Figure 7 split."""
+    irregular = [
+        profiles[n]["traffic.bytes_1048576"]
+        for n, sig in SIGNATURES.items() if sig["regularity"] == "irregular"
+    ]
+    streaming = [
+        profiles[n]["traffic.bytes_1048576"]
+        for n, sig in SIGNATURES.items() if sig["regularity"] == "stream"
+    ]
+    assert min(irregular) > 0.0
+    assert sum(irregular) / len(irregular) > sum(streaming) / len(streaming)
