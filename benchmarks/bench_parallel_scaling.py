@@ -1,0 +1,121 @@
+"""Parallel-execution scaling: campaign + forest fit at jobs in {1, 2, 4}.
+
+Companion to ``bench_table4_training_time.py``: where Table 4 reports the
+absolute stage costs, this records how the two dominant stages — the DoE
+simulation campaign and the bootstrap-forest fit — scale with worker
+processes, and verifies the engine's determinism contract (parallel output
+bit-identical to serial) on the exact artefacts being timed.
+
+Emits ``results/parallel_scaling.json`` with per-job-count wall-clock and
+speedup, plus a rendered table.  On single-core or pool-less hosts the
+record still captures the (absent) speedup honestly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from _bench_utils import RESULTS_DIR, emit
+
+from repro import SimulationCampaign, get_workload
+from repro.core.reporting import format_table
+from repro.ml import RandomForestRegressor
+from repro.parallel import process_pool_available
+
+JOB_COUNTS = (1, 2, 4)
+
+
+def _campaign_configs():
+    """A 12-point atax design (the acceptance workload size)."""
+    return [
+        {"dimensions": d, "threads": t}
+        for d, t in [
+            (500, 4), (650, 4), (750, 8), (900, 8),
+            (1100, 8), (1250, 8), (1400, 16), (1500, 16),
+            (1700, 16), (1900, 16), (2100, 32), (2300, 32),
+        ]
+    ]
+
+
+def test_parallel_scaling_record():
+    atax = get_workload("atax")
+    configs = _campaign_configs()
+    record = {
+        "host_cpus": os.cpu_count(),
+        "pool_available": process_pool_available(),
+        "job_counts": list(JOB_COUNTS),
+        "campaign": {},
+        "forest_fit": {},
+    }
+
+    # --- campaign: 12 uncached points per run (fresh cache each time) ---
+    baseline_set = None
+    for jobs in JOB_COUNTS:
+        campaign = SimulationCampaign(scale=1.5, jobs=jobs)
+        start = time.perf_counter()
+        training = campaign.run(atax, configs)
+        record["campaign"][str(jobs)] = time.perf_counter() - start
+        if baseline_set is None:
+            baseline_set = training
+        else:
+            # Determinism contract: identical TrainingSet at any job count.
+            assert np.array_equal(baseline_set.X(), training.X())
+            assert np.array_equal(
+                baseline_set.y_ipc_per_pe(), training.y_ipc_per_pe()
+            )
+
+    # --- forest fit: training-set features, Table-4-sized ensemble -----
+    X = baseline_set.X()
+    y = baseline_set.y_ipc_per_pe()
+    # Tile the 12 campaign rows so the fit is heavy enough to time.
+    X = np.tile(X, (24, 1))
+    y = np.tile(y, 24)
+    baseline_pred = None
+    for jobs in JOB_COUNTS:
+        forest = RandomForestRegressor(
+            n_estimators=48, random_state=0, jobs=jobs
+        )
+        start = time.perf_counter()
+        forest.fit(X, y)
+        record["forest_fit"][str(jobs)] = time.perf_counter() - start
+        pred = forest.predict(baseline_set.X())
+        if baseline_pred is None:
+            baseline_pred = pred
+        else:
+            # Bit-identical forests regardless of worker count.
+            assert np.array_equal(baseline_pred, pred)
+
+    for stage in ("campaign", "forest_fit"):
+        base = record[stage]["1"]
+        for jobs in JOB_COUNTS[1:]:
+            record[stage][f"speedup_{jobs}"] = base / record[stage][str(jobs)]
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "parallel_scaling.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+
+    rows = [
+        [
+            stage,
+            *(f"{record[stage][str(j)]:7.2f}" for j in JOB_COUNTS),
+            *(f"{record[stage][f'speedup_{j}']:5.2f}x" for j in JOB_COUNTS[1:]),
+        ]
+        for stage in ("campaign", "forest_fit")
+    ]
+    emit("parallel_scaling", format_table(
+        ["stage", "jobs=1 (s)", "jobs=2 (s)", "jobs=4 (s)",
+         "speedup x2", "speedup x4"],
+        rows,
+        title=f"Parallel scaling on {record['host_cpus']} CPUs "
+              f"(pool available: {record['pool_available']}); "
+              "outputs verified bit-identical across job counts",
+    ))
+
+    for jobs in JOB_COUNTS:
+        assert record["campaign"][str(jobs)] > 0
+        assert record["forest_fit"][str(jobs)] > 0

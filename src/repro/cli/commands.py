@@ -65,6 +65,7 @@ def _campaign(args: argparse.Namespace, arch: NMCConfig | None = None):
         arch or default_nmc_config(),
         cache=cache,
         scale=getattr(args, "scale", 1.0),
+        jobs=getattr(args, "jobs", None),
     )
 
 
@@ -176,7 +177,10 @@ def cmd_train(args: argparse.Namespace) -> None:
     campaign.cache.save()
     training = TrainingSet.concat(sets)
     trainer = NapelTrainer(
-        model=args.model, n_estimators=args.trees, tune=not args.no_tune
+        model=args.model,
+        n_estimators=args.trees,
+        tune=not args.no_tune,
+        jobs=args.jobs,
     )
     trained = trainer.train(training)
     save_model(trained.model, args.output)

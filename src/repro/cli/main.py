@@ -47,6 +47,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--l1-lines", type=int, help="L1 lines per PE")
         p.add_argument("--vaults", type=int, help="DRAM vaults")
 
+    def add_jobs_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", "-j", type=int, default=None, metavar="N",
+            help="worker processes (default: $REPRO_JOBS or serial; "
+                 "0 = all CPUs; results are identical at any job count)",
+        )
+
     p = sub.add_parser("workloads", help="list workloads and parameters")
     p.set_defaults(func=commands.cmd_workloads)
 
@@ -67,6 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload_args(p)
     add_arch_args(p)
     p.add_argument("--cache", help="campaign cache file (JSON)")
+    add_jobs_arg(p)
     p.set_defaults(func=commands.cmd_campaign)
 
     p = sub.add_parser("train", help="train a NAPEL model and save it")
@@ -87,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--scale", type=float, default=1.0, help="trace shrink factor"
     )
+    add_jobs_arg(p)
     p.set_defaults(func=commands.cmd_train)
 
     p = sub.add_parser("predict", help="predict with a saved model")
@@ -103,6 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--scale", type=float, default=1.0, help="trace shrink factor"
     )
+    add_jobs_arg(p)
     p.set_defaults(func=commands.cmd_suitability)
 
     return parser

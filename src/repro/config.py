@@ -293,6 +293,40 @@ class HostConfig:
         return cfg
 
 
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Execution-engine settings — how the pipeline *runs*, not what it
+    models.
+
+    ``jobs`` is the worker-process count used by every parallelizable
+    stage (DoE campaigns, LOOCV retraining, bootstrap-tree fitting, grid
+    search); 1 means serial, 0 means one worker per CPU.  Parallel runs
+    are guaranteed to produce bit-identical results to serial ones (see
+    :mod:`repro.parallel`).
+    """
+
+    jobs: int = 1
+
+    def validate(self) -> None:
+        if self.jobs < 0:
+            raise ConfigError("jobs must be >= 0 (0 = all CPUs)")
+
+    def resolved_jobs(self) -> int:
+        """The effective worker count (0 expanded to the CPU count)."""
+        from .parallel import resolve_jobs
+
+        return resolve_jobs(self.jobs)
+
+
+def default_runtime_config() -> RuntimeConfig:
+    """Runtime settings honouring the ``REPRO_JOBS`` environment variable."""
+    from .parallel import resolve_jobs
+
+    cfg = RuntimeConfig(jobs=resolve_jobs(None))
+    cfg.validate()
+    return cfg
+
+
 def default_nmc_config() -> NMCConfig:
     """The NMC system of paper Table 3."""
     cfg = NMCConfig()

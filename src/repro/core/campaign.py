@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import time
+import warnings
 from pathlib import Path
 from typing import Mapping, Sequence
 
@@ -22,6 +24,7 @@ from ..config import NMCConfig, default_nmc_config
 from ..doe import ParameterSpace, central_composite
 from ..errors import CampaignError
 from ..nmcsim import NMCSimulator, SimulationResult
+from ..parallel import map_jobs, resolve_jobs
 from ..profiler import ApplicationProfile, analyze_trace
 from ..workloads import Workload
 from ..workloads.base import config_seed
@@ -70,7 +73,12 @@ class CampaignCache:
         self._results[(point_key, arch_key)] = result
 
     def save(self) -> None:
-        """Persist the cache (no-op without a configured path)."""
+        """Persist the cache atomically (no-op without a configured path).
+
+        The JSON is written to a ``.tmp`` sibling and moved into place
+        with :func:`os.replace`, so a crash mid-write never leaves a
+        truncated cache file behind.
+        """
         if self.path is None:
             return
         data = {
@@ -83,27 +91,67 @@ class CampaignCache:
             ],
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text(json.dumps(data))
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(data))
+        os.replace(tmp, self.path)
 
     def _load(self) -> None:
-        data = json.loads(self.path.read_text())
-        self._profiles = {
-            k: ApplicationProfile.from_json_dict(p)
-            for k, p in data.get("profiles", {}).items()
-        }
-        self._results = {
-            (entry["point"], entry["arch"]): SimulationResult.from_json_dict(
-                entry["result"]
+        try:
+            data = json.loads(self.path.read_text())
+            profiles = {
+                k: ApplicationProfile.from_json_dict(p)
+                for k, p in data.get("profiles", {}).items()
+            }
+            results = {
+                (entry["point"], entry["arch"]):
+                    SimulationResult.from_json_dict(entry["result"])
+                for entry in data.get("results", [])
+            }
+        except (ValueError, KeyError, TypeError, AttributeError, OSError) as exc:
+            warnings.warn(
+                f"campaign cache {self.path} is corrupt or unreadable "
+                f"({exc!r}); starting with an empty cache",
+                RuntimeWarning,
+                stacklevel=2,
             )
-            for entry in data.get("results", [])
-        }
+            self._profiles = {}
+            self._results = {}
+            return
+        self._profiles = profiles
+        self._results = results
 
     def __len__(self) -> int:
         return len(self._results)
 
 
+def _simulate_point_job(
+    job: tuple[Workload, dict, int, NMCConfig, float],
+) -> tuple[ApplicationProfile, SimulationResult, float]:
+    """Worker-side body of one campaign point (module-level: picklable).
+
+    Pure function of its payload — trace generation, profiling and
+    simulation are all deterministic given the seed — so parallel
+    campaigns reproduce serial ones bit for bit.
+    """
+    workload, config, seed, arch, scale = job
+    start = time.perf_counter()
+    trace = workload.generate(config, scale=scale, seed=seed)
+    profile = analyze_trace(
+        trace, workload=workload.name, parameters=dict(config)
+    )
+    result = NMCSimulator(arch).run(
+        trace, workload=workload.name, parameters=dict(config)
+    )
+    return profile, result, time.perf_counter() - start
+
+
 class SimulationCampaign:
-    """Runs DoE configurations of workloads through profile + simulation."""
+    """Runs DoE configurations of workloads through profile + simulation.
+
+    ``jobs`` selects the worker-process count for campaign runs (1 =
+    serial, 0 = all CPUs, None = honour ``REPRO_JOBS``); see
+    :mod:`repro.parallel` for the determinism guarantee.
+    """
 
     def __init__(
         self,
@@ -111,16 +159,24 @@ class SimulationCampaign:
         *,
         cache: CampaignCache | None = None,
         scale: float = 1.0,
+        jobs: int | None = None,
     ) -> None:
         self.arch = arch or default_nmc_config()
         self.arch.validate()
         self.cache = cache if cache is not None else CampaignCache()
         self.scale = scale
+        self.jobs = resolve_jobs(jobs)
         self._simulator = NMCSimulator(self.arch)
         #: Wall-clock seconds spent simulating, by workload (Table 4's
         #: "DoE run" column); profiling time is included, simulation of
-        #: cached points is not re-counted.
+        #: cached points is not re-counted.  Under parallel execution
+        #: this sums the workers' per-point seconds (CPU cost), keeping
+        #: the Table 4 semantics independent of the worker count.
         self.doe_run_seconds: dict[str, float] = {}
+        #: Elapsed wall-clock of each workload's latest :meth:`run`
+        #: (what a user actually waits for; under parallel execution
+        #: this is what shrinks while ``doe_run_seconds`` stays put).
+        self.wall_seconds: dict[str, float] = {}
 
     # ------------------------------------------------------------ points
 
@@ -175,22 +231,93 @@ class SimulationCampaign:
         self,
         workload: Workload,
         configs: Sequence[Mapping[str, float]] | None = None,
+        *,
+        jobs: int | None = None,
     ) -> TrainingSet:
-        """Run a workload's DoE campaign (default: its CCD, Table 4 sizes)."""
+        """Run a workload's DoE campaign (default: its CCD, Table 4 sizes).
+
+        With ``jobs > 1`` (or a campaign-level ``jobs`` setting) the
+        uncached points are simulated in worker processes and merged back
+        into the cache in configuration order, producing a
+        :class:`TrainingSet` identical to a serial run.
+        """
         if configs is None:
             space = ParameterSpace.of_workload(workload)
             configs = central_composite(space)
         if not configs:
             raise CampaignError("campaign needs at least one configuration")
-        rows: list[TrainingRow] = []
+        jobs_n = self.jobs if jobs is None else resolve_jobs(jobs)
+        points: list[tuple[dict, int]] = []
         seen: dict[str, int] = {}
         for config in configs:
-            key = _config_key(workload.name, workload.validate_config(config), 0)
+            validated = workload.validate_config(config)
+            key = _config_key(workload.name, validated, 0)
             replicate = seen.get(key, 0)
             seen[key] = replicate + 1
-            rows.append(self.run_point(workload, config, replicate=replicate))
+            points.append((validated, replicate))
+        start = time.perf_counter()
+        if jobs_n > 1:
+            rows = self._run_points_parallel(workload, points, jobs_n)
+        else:
+            rows = [
+                self.run_point(workload, config, replicate=replicate)
+                for config, replicate in points
+            ]
+        self.wall_seconds[workload.name] = time.perf_counter() - start
         return TrainingSet(rows)
 
-    def run_all(self, workloads: Sequence[Workload]) -> TrainingSet:
+    def _run_points_parallel(
+        self,
+        workload: Workload,
+        points: Sequence[tuple[dict, int]],
+        jobs_n: int,
+    ) -> list[TrainingRow]:
+        """Simulate the uncached points in workers, merge in point order."""
+        arch_key = _arch_key(self.arch)
+        keys: list[str] = []
+        pending: list[tuple[str, tuple]] = []
+        for config, replicate in points:
+            seed = config_seed(workload.name, config) + replicate
+            point_key = _config_key(workload.name, config, seed)
+            keys.append(point_key)
+            if self.cache.get(point_key, arch_key) is None:
+                pending.append((
+                    point_key,
+                    (workload, config, seed, self.arch, self.scale),
+                ))
+        outputs = map_jobs(
+            _simulate_point_job,
+            [job for _, job in pending],
+            jobs_n=jobs_n,
+        )
+        # Merge in dispatch order so cache contents and timing tallies are
+        # independent of worker completion order.
+        for (point_key, _), (profile, result, elapsed) in zip(
+            pending, outputs
+        ):
+            self.cache.put(point_key, arch_key, profile, result)
+            self.doe_run_seconds[workload.name] = (
+                self.doe_run_seconds.get(workload.name, 0.0) + elapsed
+            )
+        rows: list[TrainingRow] = []
+        for (config, _), point_key in zip(points, keys):
+            cached = self.cache.get(point_key, arch_key)
+            assert cached is not None
+            profile, result = cached
+            rows.append(TrainingRow(
+                workload=workload.name,
+                parameters=dict(config),
+                profile=profile,
+                arch=self.arch,
+                result=result,
+            ))
+        return rows
+
+    def run_all(
+        self,
+        workloads: Sequence[Workload],
+        *,
+        jobs: int | None = None,
+    ) -> TrainingSet:
         """CCD campaigns for several workloads, concatenated."""
-        return TrainingSet.concat(self.run(w) for w in workloads)
+        return TrainingSet.concat(self.run(w, jobs=jobs) for w in workloads)

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..errors import MLError
 from ..ml import mean_relative_error
+from ..parallel import map_jobs, resolve_jobs
 from .dataset import TrainingSet
 from .pipeline import NapelTrainer
 
@@ -39,6 +40,30 @@ class LoocvResult:
         return float(np.mean(list(self.energy_mre.values())))
 
 
+def _loocv_fold_job(job) -> tuple[str, float, float, float]:
+    """Train-and-score one held-out application (module-level: picklable)."""
+    training_set, app, model, tune, n_estimators, random_state = job
+    train_set = training_set.exclude(app)
+    test_set = training_set.filter(app)
+    trainer = NapelTrainer(
+        model=model,
+        tune=tune,
+        n_estimators=n_estimators,
+        random_state=random_state,
+    )
+    trained = trainer.train(train_set)
+    X_test = test_set.X()
+    ipc_true = test_set.y_ipc_per_pe()
+    epi_true = test_set.y_energy_per_instruction()
+    ipc_pred, epi_pred = trained.model.predict_labels(X_test)
+    return (
+        app,
+        mean_relative_error(ipc_true, ipc_pred),
+        mean_relative_error(epi_true, epi_pred),
+        trained.train_tune_seconds,
+    )
+
+
 def evaluate_loocv(
     training_set: TrainingSet,
     *,
@@ -46,27 +71,26 @@ def evaluate_loocv(
     tune: bool = True,
     n_estimators: int = 60,
     random_state: int = 0,
+    jobs: int | None = None,
 ) -> LoocvResult:
-    """Leave-one-application-out MRE for ``model`` ("rf", "ann", "tree")."""
+    """Leave-one-application-out MRE for ``model`` ("rf", "ann", "tree").
+
+    ``jobs > 1`` retrains the held-out folds in worker processes (one job
+    per application); training is a deterministic function of the fold's
+    data and seed, so the reported MREs match a serial run exactly.
+    """
     apps = training_set.workloads()
     if len(apps) < 2:
         raise MLError("LOOCV needs at least two applications")
     result = LoocvResult(model_name=model)
-    for app in apps:
-        train_set = training_set.exclude(app)
-        test_set = training_set.filter(app)
-        trainer = NapelTrainer(
-            model=model,
-            tune=tune,
-            n_estimators=n_estimators,
-            random_state=random_state,
-        )
-        trained = trainer.train(train_set)
-        result.train_seconds[app] = trained.train_tune_seconds
-        X_test = test_set.X()
-        ipc_true = test_set.y_ipc_per_pe()
-        epi_true = test_set.y_energy_per_instruction()
-        ipc_pred, epi_pred = trained.model.predict_labels(X_test)
-        result.perf_mre[app] = mean_relative_error(ipc_true, ipc_pred)
-        result.energy_mre[app] = mean_relative_error(epi_true, epi_pred)
+    fold_jobs = [
+        (training_set, app, model, tune, n_estimators, random_state)
+        for app in apps
+    ]
+    for app, perf, energy, seconds in map_jobs(
+        _loocv_fold_job, fold_jobs, jobs_n=resolve_jobs(jobs), chunk=1
+    ):
+        result.perf_mre[app] = perf
+        result.energy_mre[app] = energy
+        result.train_seconds[app] = seconds
     return result

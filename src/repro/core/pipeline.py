@@ -21,6 +21,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..errors import MLError
+from ..parallel import resolve_jobs
 from ..ml import (
     KFold,
     MLPRegressor,
@@ -46,7 +47,13 @@ MODEL_NAMES = ("rf", "ann", "tree")
 
 @dataclass
 class TrainedNapel:
-    """A trained NAPEL model plus training metadata (Table 4 columns)."""
+    """A trained NAPEL model plus training metadata (Table 4 columns).
+
+    ``stage_seconds`` breaks ``train_tune_seconds`` down by stage
+    (``fit_ipc`` / ``fit_energy`` wall-clock) and ``jobs`` records the
+    worker count the training ran with, so benchmarks can report
+    parallel speedup per stage.
+    """
 
     model: NapelModel
     model_name: str
@@ -54,6 +61,8 @@ class TrainedNapel:
     ipc_tuning: object | None = None
     energy_tuning: object | None = None
     n_training_rows: int = 0
+    stage_seconds: dict = field(default_factory=dict)
+    jobs: int = 1
 
 
 class NapelTrainer:
@@ -69,6 +78,7 @@ class NapelTrainer:
         log_space: bool = True,
         residual_to_prior: bool = True,
         random_state: int = 0,
+        jobs: int | None = None,
     ) -> None:
         if model not in MODEL_NAMES:
             raise MLError(f"unknown model {model!r}; pick from {MODEL_NAMES}")
@@ -78,6 +88,10 @@ class NapelTrainer:
         self.log_space = log_space
         self.residual_to_prior = residual_to_prior
         self.random_state = random_state
+        #: Worker processes for tuning and forest fitting (1 = serial,
+        #: 0 = all CPUs, None = honour ``REPRO_JOBS``); parallel training
+        #: produces bit-identical models (see :mod:`repro.parallel`).
+        self.jobs = resolve_jobs(jobs)
         if grid is not None:
             self.grid = dict(grid)
         elif model == "rf":
@@ -94,6 +108,7 @@ class NapelTrainer:
             return RandomForestRegressor(
                 n_estimators=self.n_estimators,
                 random_state=self.random_state,
+                jobs=self.jobs,
             )
         if self.model == "ann":
             return MLPRegressor(random_state=self.random_state)
@@ -113,13 +128,15 @@ class NapelTrainer:
             base.fit(X, y)
             return base, None
         if self.model == "rf":
-            result = grid_search(base, self.grid, X, y, use_oob=True)
+            result = grid_search(
+                base, self.grid, X, y, use_oob=True, jobs=self.jobs
+            )
         else:
             cv = KFold(
                 n_splits=min(3, max(2, len(y) // 4)),
                 random_state=self.random_state,
             )
-            result = grid_search(base, self.grid, X, y, cv=cv)
+            result = grid_search(base, self.grid, X, y, cv=cv, jobs=self.jobs)
         return result.best_model, result
 
     # -------------------------------------------------------------- main
@@ -140,8 +157,13 @@ class NapelTrainer:
             y_epi = y_epi - epi_off
         start = time.perf_counter()
         ipc_model, ipc_tuning = self._fit_target(X, y_ipc)
+        ipc_seconds = time.perf_counter() - start
         energy_model, energy_tuning = self._fit_target(X, y_epi)
         elapsed = time.perf_counter() - start
+        stage_seconds = {
+            "fit_ipc": ipc_seconds,
+            "fit_energy": elapsed - ipc_seconds,
+        }
         model = NapelModel(
             ipc_model,
             energy_model,
@@ -157,4 +179,6 @@ class NapelTrainer:
             ipc_tuning=ipc_tuning,
             energy_tuning=energy_tuning,
             n_training_rows=len(training_set),
+            stage_seconds=stage_seconds,
+            jobs=self.jobs,
         )

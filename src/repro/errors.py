@@ -42,3 +42,7 @@ class SimulationError(ReproError):
 
 class CampaignError(ReproError):
     """A simulation campaign (DoE data gathering) failed."""
+
+
+class ParallelError(ReproError):
+    """A parallel job failed in a worker (carries the job's context)."""

@@ -4,6 +4,11 @@ Bootstrap-aggregated CART trees with per-split random feature subsets.
 Besides prediction, the forest exposes out-of-bag (OOB) error — used by
 the hyper-parameter tuner as a cheap internal validation signal — and
 aggregated feature importances for analysis.
+
+Tree fitting parallelizes over worker processes (``jobs``): every tree's
+RNG seed and bootstrap sample are pre-drawn from the forest RNG in tree
+order *before* dispatch, so serial and parallel fits consume the random
+stream identically and produce bit-identical forests.
 """
 
 from __future__ import annotations
@@ -11,7 +16,27 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import MLError, NotFittedError
+from ..parallel import map_jobs, resolve_jobs
 from .tree import RegressionTree
+
+
+def _fit_tree_chunk(job) -> list[RegressionTree]:
+    """Worker-side body: fit one chunk of pre-planned trees in order."""
+    X, y, params, plans = job
+    trees = []
+    for seed, sample in plans:
+        tree = RegressionTree(
+            max_depth=params["max_depth"],
+            min_samples_leaf=params["min_samples_leaf"],
+            max_features=params["max_features"],
+            rng=np.random.default_rng(seed),
+        )
+        if sample is None:
+            tree.fit(X, y)
+        else:
+            tree.fit(X[sample], y[sample])
+        trees.append(tree)
+    return trees
 
 
 class RandomForestRegressor:
@@ -30,6 +55,10 @@ class RandomForestRegressor:
         Draw a bootstrap resample per tree (True for a proper forest).
     random_state:
         Seed for reproducibility.
+    jobs:
+        Worker processes for tree fitting (1 = serial, 0 = all CPUs,
+        None = honour ``REPRO_JOBS``).  Serial and parallel fits are
+        bit-identical.
     """
 
     def __init__(
@@ -40,6 +69,7 @@ class RandomForestRegressor:
         min_samples_leaf: int = 1,
         bootstrap: bool = True,
         random_state: int | None = None,
+        jobs: int | None = None,
     ) -> None:
         if n_estimators < 1:
             raise MLError("n_estimators must be >= 1")
@@ -49,6 +79,7 @@ class RandomForestRegressor:
         self.min_samples_leaf = min_samples_leaf
         self.bootstrap = bootstrap
         self.random_state = random_state
+        self.jobs = jobs
         self.trees_: list[RegressionTree] = []
         self.oob_prediction_: np.ndarray | None = None
         self.feature_importances_: np.ndarray | None = None
@@ -62,6 +93,7 @@ class RandomForestRegressor:
             "min_samples_leaf": self.min_samples_leaf,
             "bootstrap": self.bootstrap,
             "random_state": self.random_state,
+            "jobs": self.jobs,
         }
 
     def clone(self, **overrides) -> "RandomForestRegressor":
@@ -78,49 +110,78 @@ class RandomForestRegressor:
         if n == 0:
             raise MLError("cannot fit on an empty dataset")
         rng = np.random.default_rng(self.random_state)
-        self.trees_ = []
-        oob_sum = np.zeros(n)
-        oob_count = np.zeros(n)
-        importances = np.zeros(X.shape[1])
+        # Pre-draw every tree's seed and bootstrap sample in tree order:
+        # the RNG stream is consumed exactly as a serial loop would, so
+        # the fitted forest is independent of the worker count.
+        plans: list[tuple[int, np.ndarray | None]] = []
         for _ in range(self.n_estimators):
-            tree = RegressionTree(
-                max_depth=self.max_depth,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                rng=np.random.default_rng(rng.integers(0, 2**63)),
-            )
-            if self.bootstrap:
-                sample = rng.integers(0, n, size=n)
-            else:
-                sample = np.arange(n)
-            tree.fit(X[sample], y[sample])
-            self.trees_.append(tree)
+            seed = int(rng.integers(0, 2**63))
+            sample = rng.integers(0, n, size=n) if self.bootstrap else None
+            plans.append((seed, sample))
+        self.trees_ = self._fit_trees(X, y, plans)
+        importances = np.zeros(X.shape[1])
+        for tree in self.trees_:
             importances += tree.feature_importances_
-            if self.bootstrap:
-                oob_mask = np.ones(n, dtype=bool)
-                oob_mask[np.unique(sample)] = False
-                if oob_mask.any():
-                    pred = tree.predict(X[oob_mask])
-                    oob_sum[oob_mask] += pred
-                    oob_count[oob_mask] += 1
         self.feature_importances_ = importances / self.n_estimators
-        if self.bootstrap and (oob_count > 0).any():
-            oob = np.full(n, np.nan)
-            seen = oob_count > 0
-            oob[seen] = oob_sum[seen] / oob_count[seen]
-            self.oob_prediction_ = oob
-        else:
-            self.oob_prediction_ = None
+        self._aggregate_oob(X, [sample for _, sample in plans])
         return self
+
+    def _fit_trees(
+        self, X: np.ndarray, y: np.ndarray,
+        plans: list[tuple[int, np.ndarray | None]],
+    ) -> list[RegressionTree]:
+        jobs_n = resolve_jobs(self.jobs)
+        params = {
+            "max_depth": self.max_depth,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+        }
+        if jobs_n <= 1 or len(plans) <= 1:
+            return _fit_tree_chunk((X, y, params, plans))
+        # One contiguous chunk per worker keeps X/y pickling to jobs_n
+        # round trips; chunk order is restored by map_jobs, so the tree
+        # list comes back in plan order.
+        jobs_n = min(jobs_n, len(plans))
+        bounds = np.linspace(0, len(plans), jobs_n + 1).astype(int)
+        chunks = [
+            (X, y, params, plans[lo:hi])
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+        fitted = map_jobs(_fit_tree_chunk, chunks, jobs_n=jobs_n, chunk=1)
+        return [tree for chunk_trees in fitted for tree in chunk_trees]
+
+    def _tree_predictions(self, X: np.ndarray) -> np.ndarray:
+        """(n_trees, n_samples) matrix of per-tree predictions."""
+        return np.stack([tree.predict(X) for tree in self.trees_])
+
+    def _aggregate_oob(
+        self, X: np.ndarray, samples: list[np.ndarray | None]
+    ) -> None:
+        """Per-sample OOB prediction from the stacked per-tree outputs."""
+        if not self.bootstrap:
+            self.oob_prediction_ = None
+            return
+        n = len(X)
+        oob_mask = np.ones((len(self.trees_), n), dtype=bool)
+        for t, sample in enumerate(samples):
+            oob_mask[t, np.unique(sample)] = False
+        if not oob_mask.any():
+            self.oob_prediction_ = None
+            return
+        preds = self._tree_predictions(X)
+        oob_count = oob_mask.sum(axis=0)
+        oob_sum = np.where(oob_mask, preds, 0.0).sum(axis=0)
+        oob = np.full(n, np.nan)
+        seen = oob_count > 0
+        oob[seen] = oob_sum[seen] / oob_count[seen]
+        self.oob_prediction_ = oob
 
     def predict(self, X) -> np.ndarray:
         if not self.trees_:
             raise NotFittedError("RandomForestRegressor is not fitted")
         X = np.asarray(X, dtype=np.float64)
-        out = np.zeros(len(X))
-        for tree in self.trees_:
-            out += tree.predict(X)
-        return out / len(self.trees_)
+        return self._tree_predictions(X).mean(axis=0)
 
     def oob_error(self, y) -> float:
         """Out-of-bag RMSE against the training targets.

@@ -8,6 +8,11 @@ cross-validated score per combination, best model refitted on everything.
 For random forests the out-of-bag error can be used instead of k-fold CV
 (``use_oob=True``), which is substantially cheaper and statistically
 equivalent for bagged ensembles.
+
+Combinations are independent, so with ``jobs > 1`` they are scored in
+worker processes.  Scores are deterministic functions of (params, data,
+seeds) and the best combination is picked by strict improvement in grid
+order, so parallel and serial searches select the same model.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..errors import MLError
+from ..parallel import map_jobs, resolve_jobs
 from .cross_validation import KFold, cross_val_score
 from .forest import RandomForestRegressor
 
@@ -41,6 +47,22 @@ def _combinations(grid: Mapping[str, Sequence]) -> list[dict]:
     return out
 
 
+def _score_combo(job) -> float:
+    """Score one hyper-parameter combination (module-level: picklable)."""
+    base_model, params, X, y, use_oob, cv = job
+    candidate = base_model.clone(**params)
+    if use_oob:
+        if not isinstance(candidate, RandomForestRegressor):
+            raise MLError("use_oob requires a RandomForestRegressor")
+        candidate.fit(X, y)
+        return candidate.oob_error(y)
+    folds = cross_val_score(
+        lambda: base_model.clone(**params), X, y,
+        cv=cv or KFold(n_splits=3, random_state=0),
+    )
+    return float(np.mean(folds))
+
+
 def grid_search(
     base_model,
     grid: Mapping[str, Sequence],
@@ -49,33 +71,32 @@ def grid_search(
     *,
     cv: KFold | None = None,
     use_oob: bool = False,
+    jobs: int | None = None,
 ) -> GridSearchResult:
     """Exhaustive search over ``grid``; lower score (MRE) is better.
 
     ``base_model`` must expose ``clone(**params)``; the returned best model
-    is refitted on the full data with the winning parameters.
+    is refitted on the full data with the winning parameters.  ``jobs``
+    spreads the combinations over worker processes (1 = serial, 0 = all
+    CPUs, None = honour ``REPRO_JOBS``) without changing the selection.
     """
     combos = _combinations(grid)
     if not combos:
         raise MLError("empty hyper-parameter grid")
+    if use_oob and not isinstance(base_model, RandomForestRegressor):
+        raise MLError("use_oob requires a RandomForestRegressor")
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y, dtype=np.float64).ravel()
+    combo_scores = map_jobs(
+        _score_combo,
+        [(base_model, params, X, y, use_oob, cv) for params in combos],
+        jobs_n=resolve_jobs(jobs),
+        chunk=1,
+    )
     scores: list[tuple[dict, float]] = []
     best_params: dict | None = None
     best_score = np.inf
-    for params in combos:
-        candidate = base_model.clone(**params)
-        if use_oob:
-            if not isinstance(candidate, RandomForestRegressor):
-                raise MLError("use_oob requires a RandomForestRegressor")
-            candidate.fit(X, y)
-            score = candidate.oob_error(y)
-        else:
-            folds = cross_val_score(
-                lambda p=params: base_model.clone(**p), X, y,
-                cv=cv or KFold(n_splits=3, random_state=0),
-            )
-            score = float(np.mean(folds))
+    for params, score in zip(combos, combo_scores):
         scores.append((params, score))
         if score < best_score:
             best_score = score

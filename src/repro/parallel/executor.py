@@ -1,0 +1,242 @@
+"""Executor abstraction: ordered map over independent jobs.
+
+:func:`map_jobs` is the single entry point.  It resolves the requested
+worker count (explicit argument > ``REPRO_JOBS`` environment variable >
+serial), picks :class:`SerialExecutor` or :class:`ProcessExecutor`, and
+returns results in job order.  Worker-side exceptions are captured with
+their traceback and re-raised in the caller as :class:`ParallelError`
+carrying the job index and repr, so a failure deep inside a pool points
+at the job that caused it.
+
+The process backend degrades gracefully: it falls back to serial when
+only one job (or one worker) is requested, when the interpreter is
+already inside a pool worker (no nested pools), or when the platform
+cannot start worker processes at all (missing ``fork``/semaphores, e.g.
+restricted sandboxes) — emitting a warning rather than failing.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+import warnings
+from typing import Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+from ..errors import ParallelError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable consulted when no explicit job count is given.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: Set in pool workers so nested ``map_jobs`` calls stay serial.
+_IN_WORKER = False
+
+
+def in_worker() -> bool:
+    """True when running inside a :class:`ProcessExecutor` pool worker."""
+    return _IN_WORKER
+
+
+def _mark_worker() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Effective worker count: explicit value > ``REPRO_JOBS`` env > 1.
+
+    ``jobs=0`` / ``REPRO_JOBS=0`` means "all CPUs".  Values are clamped
+    to >= 1; a malformed environment value falls back to serial with a
+    warning instead of raising.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            warnings.warn(
+                f"ignoring non-integer {JOBS_ENV_VAR}={raw!r}; running serial",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 1
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+def derive_seeds(base_seed: int | None, n: int) -> list[int]:
+    """``n`` independent, order-stable seeds derived from ``base_seed``.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, so the i-th seed
+    depends only on ``(base_seed, i)`` — never on which worker draws it
+    or in which order jobs finish.
+    """
+    if n < 0:
+        raise ParallelError("cannot derive a negative number of seeds")
+    children = np.random.SeedSequence(base_seed).spawn(n)
+    return [int(child.generate_state(1)[0]) for child in children]
+
+
+def _call_job(payload):
+    """Pool-side shim: run one job, capturing any exception with context."""
+    index, fn, job = payload
+    try:
+        return index, True, fn(job)
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        return index, False, (
+            type(exc).__name__,
+            str(exc),
+            traceback.format_exc(),
+        )
+
+
+def _raise_failure(index: int, job, failure) -> None:
+    exc_name, exc_msg, tb = failure
+    raise ParallelError(
+        f"job {index} ({job!r}) failed with {exc_name}: {exc_msg}\n{tb}"
+    )
+
+
+class SerialExecutor:
+    """Runs jobs one after another in the calling process.
+
+    Exceptions propagate unchanged: in-process the original traceback is
+    intact, so wrapping would only obscure it.  Only pool workers (whose
+    tracebacks die with the worker) wrap failures in
+    :class:`ParallelError`.
+    """
+
+    jobs_n = 1
+
+    def map_jobs(
+        self, fn: Callable[[T], R], jobs: Sequence[T], *, chunk: int | None = None
+    ) -> list[R]:
+        return [fn(job) for job in jobs]
+
+
+def process_pool_available() -> bool:
+    """Whether this platform can actually start pool worker processes.
+
+    Checked lazily and cached: some sandboxes expose ``multiprocessing``
+    but fail at semaphore or process creation time.
+    """
+    global _POOL_AVAILABLE
+    if _POOL_AVAILABLE is None:
+        try:
+            import concurrent.futures
+
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=1, mp_context=_mp_context()
+            ) as pool:
+                _POOL_AVAILABLE = pool.submit(int, 1).result(timeout=60) == 1
+        except BaseException:  # noqa: BLE001 - any failure means "no pool"
+            _POOL_AVAILABLE = False
+    return _POOL_AVAILABLE
+
+
+_POOL_AVAILABLE: bool | None = None
+
+
+def _mp_context():
+    """Prefer fork (cheap, inherits loaded modules); fall back to spawn."""
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    method = "fork" if "fork" in methods else methods[0]
+    return multiprocessing.get_context(method)
+
+
+class ProcessExecutor:
+    """``concurrent.futures.ProcessPoolExecutor``-backed job map.
+
+    Results come back in job order regardless of completion order.
+    Falls back to :class:`SerialExecutor` (with a warning where that is
+    surprising) whenever a pool cannot or should not be used.
+    """
+
+    def __init__(self, jobs_n: int, *, chunk: int | None = None) -> None:
+        if jobs_n < 1:
+            raise ParallelError("jobs_n must be >= 1")
+        self.jobs_n = jobs_n
+        self.chunk = chunk
+
+    def map_jobs(
+        self, fn: Callable[[T], R], jobs: Sequence[T], *, chunk: int | None = None
+    ) -> list[R]:
+        jobs = list(jobs)
+        if self.jobs_n <= 1 or len(jobs) <= 1 or in_worker():
+            return SerialExecutor().map_jobs(fn, jobs)
+        if not process_pool_available():
+            warnings.warn(
+                "worker processes are unavailable on this platform; "
+                "running jobs serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return SerialExecutor().map_jobs(fn, jobs)
+        import concurrent.futures
+
+        workers = min(self.jobs_n, len(jobs))
+        chunk = chunk or self.chunk
+        if chunk is None:
+            # A few chunks per worker balances dispatch overhead against
+            # stragglers from uneven job cost.
+            chunk = max(1, len(jobs) // (workers * 4))
+        payloads = [(i, fn, job) for i, job in enumerate(jobs)]
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=_mp_context(),
+                initializer=_mark_worker,
+            ) as pool:
+                raw = list(pool.map(_call_job, payloads, chunksize=chunk))
+        except ParallelError:
+            raise
+        except (OSError, RuntimeError, ImportError) as exc:
+            warnings.warn(
+                f"process pool failed ({exc}); re-running jobs serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return SerialExecutor().map_jobs(fn, jobs)
+        out: list[R] = [None] * len(jobs)  # type: ignore[list-item]
+        for index, ok, result in raw:
+            if not ok:
+                _raise_failure(index, jobs[index], result)
+            out[index] = result
+        return out
+
+
+def get_executor(
+    jobs: int | None = None, *, chunk: int | None = None
+) -> SerialExecutor | ProcessExecutor:
+    """Executor for the resolved job count (serial when it is 1)."""
+    jobs_n = resolve_jobs(jobs)
+    if jobs_n <= 1:
+        return SerialExecutor()
+    return ProcessExecutor(jobs_n, chunk=chunk)
+
+
+def map_jobs(
+    fn: Callable[[T], R],
+    jobs: Iterable[T],
+    *,
+    jobs_n: int | None = None,
+    chunk: int | None = None,
+) -> list[R]:
+    """Apply ``fn`` to every job, in parallel when ``jobs_n`` allows it.
+
+    The one-call API used by all hot loops: results are returned in job
+    order, pool-worker exceptions re-raise as :class:`ParallelError` with
+    the failing job's index and repr (serial runs propagate the original
+    exception with its intact traceback), and ``jobs_n=None`` consults
+    the ``REPRO_JOBS`` environment variable (absent -> serial).
+    """
+    return get_executor(jobs_n, chunk=chunk).map_jobs(fn, list(jobs))

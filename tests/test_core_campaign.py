@@ -111,3 +111,34 @@ class TestCampaignCacheDisk:
 
     def test_save_without_path_is_noop(self):
         CampaignCache().save()  # must not raise
+
+    def test_save_is_atomic(self, tmp_path, atax):
+        path = tmp_path / "cache.json"
+        cache = CampaignCache(path)
+        SimulationCampaign(cache=cache, scale=4.0).run_point(
+            atax, {"dimensions": 500, "threads": 4}
+        )
+        cache.save()
+        assert path.exists()
+        assert not list(tmp_path.glob("*.tmp"))  # temp file replaced away
+
+    @pytest.mark.parametrize(
+        "content", ["", "{not json", '{"profiles": 7, "results": []}']
+    )
+    def test_corrupt_cache_starts_empty_with_warning(self, tmp_path, content):
+        path = tmp_path / "cache.json"
+        path.write_text(content)
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            cache = CampaignCache(path)
+        assert len(cache) == 0
+
+    def test_corrupt_cache_is_recoverable(self, tmp_path, atax):
+        path = tmp_path / "cache.json"
+        path.write_text('{"truncated"')
+        with pytest.warns(RuntimeWarning):
+            cache = CampaignCache(path)
+        SimulationCampaign(cache=cache, scale=4.0).run_point(
+            atax, {"dimensions": 500, "threads": 4}
+        )
+        cache.save()
+        assert len(CampaignCache(path)) == 1  # clean file written over junk

@@ -1,0 +1,260 @@
+"""Parallel execution engine: equivalence, failure handling, fallback.
+
+The determinism contract under test: every parallelized stage (campaign
+simulation, LOOCV retraining, bootstrap-tree fitting, grid search) must
+produce *bit-identical* output at any worker count.  Process-pool tests
+skip gracefully on platforms where worker processes cannot start.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SimulationCampaign, get_workload
+from repro.core import evaluate_loocv
+from repro.core.dataset import TrainingSet
+from repro.errors import ParallelError
+from repro.ml import RandomForestRegressor, grid_search
+from repro.parallel import (
+    ProcessExecutor,
+    SerialExecutor,
+    derive_seeds,
+    map_jobs,
+    process_pool_available,
+    resolve_jobs,
+)
+
+requires_pool = pytest.mark.skipif(
+    not process_pool_available(),
+    reason="worker processes unavailable on this platform",
+)
+
+
+# Job functions must be module-level so the pool can pickle them.
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("three is right out")
+    return x
+
+
+class TestExecutors:
+    def test_serial_preserves_order(self):
+        assert SerialExecutor().map_jobs(_square, [3, 1, 2]) == [9, 1, 4]
+
+    @requires_pool
+    def test_process_pool_matches_serial(self):
+        jobs = list(range(17))
+        serial = SerialExecutor().map_jobs(_square, jobs)
+        parallel = ProcessExecutor(2).map_jobs(_square, jobs)
+        assert serial == parallel
+
+    def test_map_jobs_defaults_to_serial(self):
+        assert map_jobs(_square, [2, 4]) == [4, 16]
+
+    def test_single_job_stays_serial(self):
+        # One job never pays pool start-up cost, even with jobs_n > 1.
+        assert ProcessExecutor(4).map_jobs(_square, [5]) == [25]
+
+    def test_serial_exception_propagates_unwrapped(self):
+        # In-process the original traceback is intact; no wrapping.
+        with pytest.raises(ValueError, match="three"):
+            map_jobs(_fail_on_three, [1, 2, 3, 4], jobs_n=1)
+
+    @requires_pool
+    def test_worker_exception_carries_job_context(self):
+        with pytest.raises(ParallelError, match=r"job 2 \(3\).*three"):
+            map_jobs(_fail_on_three, [1, 2, 3, 4], jobs_n=2)
+
+    def test_invalid_jobs_n_rejected(self):
+        with pytest.raises(ParallelError):
+            ProcessExecutor(0)
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "8")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_zero_means_all_cpus(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_garbage_env_warns_and_stays_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.warns(RuntimeWarning):
+            assert resolve_jobs(None) == 1
+
+
+class TestDeriveSeeds:
+    def test_stable_and_distinct(self):
+        a = derive_seeds(42, 8)
+        assert a == derive_seeds(42, 8)
+        assert len(set(a)) == 8
+        assert a[:4] == derive_seeds(42, 4)  # prefix-stable
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ParallelError):
+            derive_seeds(0, -1)
+
+
+@pytest.fixture(scope="module")
+def tiny_configs():
+    return [
+        {"dimensions": d, "threads": t}
+        for d, t in [(500, 4), (750, 8), (1250, 8), (1500, 16)]
+    ]
+
+
+@requires_pool
+class TestCampaignEquivalence:
+    def test_parallel_training_set_identical(self, atax, tiny_configs):
+        serial = SimulationCampaign(scale=4.0).run(atax, tiny_configs)
+        parallel = SimulationCampaign(scale=4.0, jobs=2).run(
+            atax, tiny_configs
+        )
+        assert np.array_equal(serial.X(), parallel.X())
+        assert np.array_equal(
+            serial.y_ipc_per_pe(), parallel.y_ipc_per_pe()
+        )
+        assert np.array_equal(
+            serial.y_energy_per_instruction(),
+            parallel.y_energy_per_instruction(),
+        )
+
+    def test_parallel_run_fills_cache_and_timings(self, atax, tiny_configs):
+        campaign = SimulationCampaign(scale=4.0, jobs=2)
+        campaign.run(atax, tiny_configs)
+        assert len(campaign.cache) == len(tiny_configs)
+        assert campaign.doe_run_seconds["atax"] > 0
+        assert campaign.wall_seconds["atax"] > 0
+        # Re-running is a pure cache hit: no extra simulation seconds.
+        before = campaign.doe_run_seconds["atax"]
+        campaign.run(atax, tiny_configs)
+        assert campaign.doe_run_seconds["atax"] == before
+
+    def test_per_call_jobs_overrides_campaign_setting(
+        self, atax, tiny_configs
+    ):
+        campaign = SimulationCampaign(scale=4.0, jobs=2)
+        serial_set = campaign.run(atax, tiny_configs, jobs=1)
+        assert len(serial_set) == len(tiny_configs)
+
+
+class TestCampaignJobsFallback:
+    def test_jobs_one_uses_serial_path(self, atax, tiny_configs):
+        campaign = SimulationCampaign(scale=4.0, jobs=1)
+        training = campaign.run(atax, tiny_configs)
+        assert len(training) == len(tiny_configs)
+        assert campaign.wall_seconds["atax"] > 0
+
+    def test_campaign_honours_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert SimulationCampaign().jobs == 3
+
+
+@pytest.fixture(scope="module")
+def regression_data():
+    rng = np.random.default_rng(0)
+    X = rng.random((90, 12))
+    y = X @ rng.random(12) + 0.05 * rng.random(90)
+    return X, y, rng.random((30, 12))
+
+
+class TestForestParallel:
+    @requires_pool
+    def test_bit_identical_forests(self, regression_data):
+        X, y, Xt = regression_data
+        serial = RandomForestRegressor(
+            n_estimators=16, random_state=7, jobs=1
+        ).fit(X, y)
+        parallel = RandomForestRegressor(
+            n_estimators=16, random_state=7, jobs=2
+        ).fit(X, y)
+        assert np.array_equal(serial.predict(Xt), parallel.predict(Xt))
+        assert np.array_equal(
+            serial.oob_prediction_, parallel.oob_prediction_, equal_nan=True
+        )
+        assert np.array_equal(
+            serial.feature_importances_, parallel.feature_importances_
+        )
+        assert serial.oob_error(y) == parallel.oob_error(y)
+
+    def test_vectorized_predict_is_tree_mean(self, regression_data):
+        X, y, Xt = regression_data
+        forest = RandomForestRegressor(n_estimators=8, random_state=1).fit(
+            X, y
+        )
+        stacked = np.stack([t.predict(Xt) for t in forest.trees_])
+        assert np.array_equal(forest.predict(Xt), stacked.mean(axis=0))
+
+    def test_jobs_survives_clone(self):
+        forest = RandomForestRegressor(jobs=4)
+        assert forest.clone().jobs == 4
+        assert forest.clone(jobs=1).jobs == 1
+
+    @requires_pool
+    def test_no_bootstrap_parallel(self, regression_data):
+        X, y, Xt = regression_data
+        serial = RandomForestRegressor(
+            n_estimators=6, bootstrap=False, random_state=3, jobs=1
+        ).fit(X, y)
+        parallel = RandomForestRegressor(
+            n_estimators=6, bootstrap=False, random_state=3, jobs=2
+        ).fit(X, y)
+        assert np.array_equal(serial.predict(Xt), parallel.predict(Xt))
+        assert parallel.oob_prediction_ is None
+
+
+@requires_pool
+class TestGridSearchParallel:
+    def test_same_selection_and_scores(self, regression_data):
+        X, y, _ = regression_data
+        grid = {"max_features": ["sqrt", "third"], "min_samples_leaf": [1, 2]}
+        base = RandomForestRegressor(n_estimators=10, random_state=3)
+        serial = grid_search(base, grid, X, y, use_oob=True, jobs=1)
+        parallel = grid_search(base, grid, X, y, use_oob=True, jobs=2)
+        assert serial.best_params == parallel.best_params
+        assert serial.best_score == parallel.best_score
+        assert serial.scores == parallel.scores
+
+
+@requires_pool
+class TestLoocvParallel:
+    def test_identical_mres(self, small_campaign):
+        _, training = small_campaign
+        kwargs = dict(tune=False, n_estimators=8)
+        serial = evaluate_loocv(training, jobs=1, **kwargs)
+        parallel = evaluate_loocv(training, jobs=2, **kwargs)
+        assert serial.perf_mre == parallel.perf_mre
+        assert serial.energy_mre == parallel.energy_mre
+        assert set(parallel.train_seconds) == set(training.workloads())
+
+
+@requires_pool
+class TestTrainerParallel:
+    def test_trained_model_identical_and_timed(self, small_campaign):
+        from repro import NapelTrainer
+
+        _, training = small_campaign
+        serial = NapelTrainer(n_estimators=10, jobs=1).train(training)
+        parallel = NapelTrainer(n_estimators=10, jobs=2).train(training)
+        X = training.X()
+        s_ipc, s_epi = serial.model.predict_labels(X)
+        p_ipc, p_epi = parallel.model.predict_labels(X)
+        assert np.array_equal(s_ipc, p_ipc)
+        assert np.array_equal(s_epi, p_epi)
+        assert parallel.jobs == 2
+        assert parallel.stage_seconds["fit_ipc"] > 0
+        assert parallel.stage_seconds["fit_energy"] > 0
