@@ -15,7 +15,7 @@ from _bench_utils import emit
 
 from repro import HostSimulator, default_nmc_config
 from repro.core.reporting import format_table
-from repro.nmcsim import LinkModel, NMCSimulator, offload_adjusted_edp
+from repro.nmcsim import LinkModel, offload_adjusted_edp
 
 
 def test_ablation_offload_cost(benchmark, campaign, workloads):

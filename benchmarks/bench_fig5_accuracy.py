@@ -12,7 +12,6 @@ errors are higher here because twelve scaled applications cover the label
 space more sparsely than the paper's full-size runs.
 """
 
-import numpy as np
 
 from _bench_utils import emit
 

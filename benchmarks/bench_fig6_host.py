@@ -10,7 +10,7 @@ is the input the Figure 7 suitability analysis builds on.
 
 from _bench_utils import emit
 
-from repro import HostSimulator, analyze_trace
+from repro import HostSimulator
 from repro.hostsim import PowerSensor
 from repro.core.reporting import format_bar_series, format_table
 

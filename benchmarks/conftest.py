@@ -17,10 +17,10 @@ import pytest
 # Make _bench_utils importable regardless of pytest's import mode.
 sys.path.insert(0, str(Path(__file__).parent))
 
-from repro import SimulationCampaign, all_workloads
-from repro.core import CampaignCache
+from repro import SimulationCampaign, all_workloads  # noqa: E402
+from repro.core import CampaignCache  # noqa: E402
 
-from _bench_utils import CACHE_PATH
+from _bench_utils import CACHE_PATH  # noqa: E402
 
 
 @pytest.fixture(scope="session")

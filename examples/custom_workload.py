@@ -12,7 +12,6 @@ Table 2 workloads covers.
 Run:  python examples/custom_workload.py
 """
 
-from typing import Mapping
 
 import numpy as np
 

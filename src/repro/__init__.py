@@ -48,8 +48,9 @@ from .core import (
     evaluate_loocv,
 )
 from .doe import ParameterSpace, central_composite, ccd_run_count
-from .errors import ReproError
+from .errors import ReproError, SchemaMismatchError
 from .hostsim import HostSimulator
+from .schema import FeatureBlock, FeatureSchema, active_schema
 from .nmcsim import NMCSimulator, SimulationResult, simulate
 from .profiler import ApplicationProfile, analyze_trace
 from .workloads import WORKLOAD_NAMES, all_workloads, get_workload
@@ -96,6 +97,11 @@ __all__ = [
     "SuitabilityResult",
     "save_model",
     "load_model",
+    # feature schema
+    "FeatureSchema",
+    "FeatureBlock",
+    "active_schema",
     # errors
     "ReproError",
+    "SchemaMismatchError",
 ]

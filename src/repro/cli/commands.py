@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import json
 import time
 
 from ..config import NMCConfig, default_nmc_config
@@ -18,6 +19,7 @@ from ..core.dataset import TrainingSet
 from ..core.reporting import format_table
 from ..errors import ReproError, WorkloadError
 from ..profiler import analyze_trace
+from ..schema import active_schema
 from ..workloads import Workload, all_workloads, get_workload
 
 
@@ -217,6 +219,37 @@ def cmd_predict(args: argparse.Namespace) -> None:
             ["prediction wall-clock", f"{elapsed * 1e3:.1f} ms"],
         ],
         title=f"NAPEL prediction: {workload.name} {config}",
+    ))
+
+
+def cmd_schema(args: argparse.Namespace) -> None:
+    """Print (or diff) the active model-input feature schema."""
+    schema = active_schema()
+    if getattr(args, "json", False):
+        print(json.dumps(schema.to_json_dict(), indent=2))
+        return
+    if getattr(args, "diff", None):
+        model = load_model(args.diff)
+        diff = model.schema.diff(schema)
+        print(f"model schema:   {model.schema.content_hash[:16]} "
+              f"({len(model.schema)} features, v{model.schema.version})")
+        print(f"runtime schema: {schema.content_hash[:16]} "
+              f"({len(schema)} features, v{schema.version})")
+        print(diff.describe())
+        return
+    if getattr(args, "names", False):
+        for i, name in enumerate(schema.names):
+            print(f"{i:4d}  {name}")
+        return
+    rows = [
+        [b.name, len(b), b.dtype, b.description]
+        for b in schema.blocks
+    ]
+    print(format_table(
+        ["block", "features", "dtype", "description"],
+        rows,
+        title=f"active feature schema: {len(schema)} features, "
+              f"v{schema.version}, hash {schema.content_hash[:16]}",
     ))
 
 

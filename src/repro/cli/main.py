@@ -105,6 +105,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=commands.cmd_predict)
 
     p = sub.add_parser(
+        "schema",
+        help="print or diff the active model-input feature schema",
+    )
+    p.add_argument(
+        "--names", action="store_true",
+        help="list every feature name with its column index",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="dump the schema as JSON (the model-artifact header format)",
+    )
+    p.add_argument(
+        "--diff", metavar="MODEL_FILE",
+        help="diff a saved model's training schema against the runtime one",
+    )
+    p.set_defaults(func=commands.cmd_schema)
+
+    p = sub.add_parser(
         "suitability", help="EDP-based NMC-suitability analysis (Sec. 3.4)"
     )
     p.add_argument("apps", nargs="+", help="workloads to analyze")

@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 
+from . import schema
 from .errors import ConfigError
 
 KIB = 1024
@@ -183,6 +184,8 @@ class NMCConfig:
         return self.link_width_bits * self.link_gbps / 8.0
 
     # ----- NAPEL architectural features (paper Table 1, lower half) -----
+    # Registered below as the "arch" block of the model-input feature
+    # schema (repro.schema); feature_vector() must stay aligned with it.
 
     ARCH_FEATURE_NAMES = (
         "arch.n_pes",
@@ -217,6 +220,13 @@ class NMCConfig:
         cfg = dataclasses.replace(self, **changes)  # type: ignore[arg-type]
         cfg.validate()
         return cfg
+
+
+schema.register_block(
+    "arch",
+    NMCConfig.ARCH_FEATURE_NAMES,
+    description="NMC architectural knobs (paper Table 1, lower half)",
+)
 
 
 @dataclass(frozen=True)

@@ -16,29 +16,32 @@ from ..config import NMCConfig
 from ..errors import MLError
 from ..ml import permutation_importance
 from ..profiler import ApplicationProfile
-from .dataset import ALL_FEATURE_NAMES, TrainingSet
+from ..schema import FeatureSchema, active_schema
+from .dataset import TrainingSet
 from .predictor import NapelModel, NapelPrediction
 from .reporting import format_table
 
 
 def top_features(
-    model, k: int = 15
+    model, k: int = 15, *, schema: FeatureSchema | None = None
 ) -> list[tuple[str, float]]:
     """The ``k`` most important named features of a fitted forest.
 
-    ``model`` must expose ``feature_importances_`` aligned with the NAPEL
-    feature matrix (one of :class:`NapelModel`'s two forests).
+    ``model`` must expose ``feature_importances_`` aligned with
+    ``schema`` (default: the active runtime schema — pass the model's
+    own training schema when it differs).
     """
     importances = getattr(model, "feature_importances_", None)
     if importances is None:
         raise MLError("model has no feature_importances_ (not a forest?)")
-    if len(importances) != len(ALL_FEATURE_NAMES):
+    schema = schema if schema is not None else active_schema()
+    if len(importances) != len(schema):
         raise MLError(
             f"importances have {len(importances)} entries, expected "
-            f"{len(ALL_FEATURE_NAMES)}"
+            f"{len(schema)} (schema {schema.content_hash[:12]})"
         )
     order = np.argsort(importances)[::-1][:k]
-    return [(ALL_FEATURE_NAMES[i], float(importances[i])) for i in order]
+    return [(schema.names[i], float(importances[i])) for i in order]
 
 
 def importance_report(
@@ -57,6 +60,7 @@ def importance_report(
     """
     rows = []
     X = training.X()
+    schema = napel.schema
     for target, model, y in (
         ("IPC", napel.ipc_model, np.log(training.y_ipc_per_pe())),
         ("energy", napel.energy_model,
@@ -67,9 +71,9 @@ def importance_report(
                 model, X.copy(), model.predict(X),
                 n_repeats=3, random_state=random_state,
             )
-            pairs = pi.top(ALL_FEATURE_NAMES, k)
+            pairs = pi.top(schema, k)
         else:
-            pairs = top_features(model, k)
+            pairs = top_features(model, k, schema=schema)
         for i, (name, value) in enumerate(pairs):
             rows.append([target if i == 0 else "", i + 1, name, f"{value:.4g}"])
     return format_table(

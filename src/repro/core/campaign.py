@@ -26,6 +26,7 @@ from ..errors import CampaignError
 from ..nmcsim import NMCSimulator, SimulationResult
 from ..parallel import map_jobs, resolve_jobs
 from ..profiler import ApplicationProfile, analyze_trace
+from ..schema import active_schema
 from ..workloads import Workload
 from ..workloads.base import config_seed
 from .dataset import TrainingRow, TrainingSet
@@ -41,7 +42,14 @@ def _config_key(workload: str, config: Mapping[str, float], seed: int) -> str:
 
 
 class CampaignCache:
-    """Memoises campaign points, optionally persisted as JSON on disk."""
+    """Memoises campaign points, optionally persisted as JSON on disk.
+
+    Persistent caches are keyed by the active feature schema's content
+    hash: cached profiles encode the profiler's feature layout, so a
+    cache written under a different schema (features added, renamed or
+    reordered since) is *discarded* with a warning instead of being
+    silently misread into the wrong columns.
+    """
 
     def __init__(self, path: str | Path | None = None) -> None:
         self._profiles: dict[str, ApplicationProfile] = {}
@@ -82,6 +90,7 @@ class CampaignCache:
         if self.path is None:
             return
         data = {
+            "schema_hash": active_schema().content_hash,
             "profiles": {
                 k: p.to_json_dict() for k, p in self._profiles.items()
             },
@@ -98,6 +107,20 @@ class CampaignCache:
     def _load(self) -> None:
         try:
             data = json.loads(self.path.read_text())
+            stored_hash = data.get("schema_hash")
+            expected_hash = active_schema().content_hash
+            if stored_hash != expected_hash:
+                warnings.warn(
+                    f"campaign cache {self.path} was written under a "
+                    f"different feature schema "
+                    f"({str(stored_hash)[:12]} vs {expected_hash[:12]}); "
+                    "discarding the stale cache",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self._profiles = {}
+                self._results = {}
+                return
             profiles = {
                 k: ApplicationProfile.from_json_dict(p)
                 for k, p in data.get("profiles", {}).items()

@@ -1,8 +1,10 @@
 """Training-set container: (profile, architecture) -> labels.
 
 One :class:`TrainingRow` per simulated DoE configuration.  The feature
-matrix concatenates the 395 application-profile features with the NMC
-architectural features (paper Table 1); the labels are IPC and energy.
+matrix layout is owned by the active :class:`~repro.schema.FeatureSchema`
+(blocks ``profile`` / ``app`` / ``arch`` / ``prior``); this module
+registers the ``app`` and ``prior`` blocks and assembles rows in schema
+order.
 
 Energy is learned *per instruction* (J/instr): total kernel energy scales
 trivially with the dynamic instruction count, so normalising by it lets the
@@ -21,10 +23,16 @@ import numpy as np
 
 from ..config import NMCConfig
 from ..errors import CampaignError
-from ..ir import OPCODE_LATENCY, Opcode
+from ..ir import OPCODE_LATENCY
 from ..nmcsim import SimulationResult
 from ..profiler import ApplicationProfile
-from ..profiler.features import FEATURE_NAMES, TRAFFIC_CACHE_SIZES
+from ..profiler.features import TRAFFIC_CACHE_SIZES
+from ..schema import FeatureSchema, active_schema, register_block
+
+#: Software-level features known at prediction time.  The thread count is
+#: carried alongside the profile because the profile statistics themselves
+#: are thread-count-agnostic.
+APP_FEATURE_NAMES = ("app.threads",)
 
 #: Mechanistic interaction features: first-order in-order CPI and energy
 #: estimates computed from the profile x architecture pair.  They give every
@@ -40,15 +48,15 @@ DERIVED_FEATURE_NAMES = (
     "prior.bytes_per_instr",
 )
 
-#: Column names of the assembled feature matrix: the 395 profile features,
-#: the software thread count (known at prediction time, needed because the
-#: profile statistics themselves are thread-count-agnostic), the NMC
-#: architectural features, and the mechanistic interaction features.
-ALL_FEATURE_NAMES: tuple[str, ...] = (
-    FEATURE_NAMES
-    + ("app.threads",)
-    + NMCConfig.ARCH_FEATURE_NAMES
-    + DERIVED_FEATURE_NAMES
+register_block(
+    "app",
+    APP_FEATURE_NAMES,
+    description="software-level features known at prediction time",
+)
+register_block(
+    "prior",
+    DERIVED_FEATURE_NAMES,
+    description="first-order mechanistic (profile x arch) estimates",
 )
 
 
@@ -118,6 +126,23 @@ def derived_features(profile: ApplicationProfile, arch: NMCConfig) -> list[float
     ]
 
 
+def assemble_features(
+    profile: ApplicationProfile, arch: NMCConfig
+) -> np.ndarray:
+    """One model-input row in the canonical block order of the schema.
+
+    This is the single place where the ``profile``/``app``/``arch``/
+    ``prior`` blocks are concatenated; both training rows and the
+    predictor's serving path go through it, so the two can never drift.
+    """
+    return np.concatenate([
+        profile.values,
+        [float(profile.thread_count)],
+        np.asarray(arch.feature_vector()),
+        np.asarray(derived_features(profile, arch)),
+    ])
+
+
 @dataclass(frozen=True)
 class TrainingRow:
     """One simulated (workload-input, architecture) point."""
@@ -130,12 +155,18 @@ class TrainingRow:
 
     @property
     def features(self) -> np.ndarray:
-        return np.concatenate([
-            self.profile.values,
-            [float(self.profile.thread_count)],
-            np.asarray(self.arch.feature_vector()),
-            np.asarray(derived_features(self.profile, self.arch)),
-        ])
+        """The assembled (schema-ordered) feature vector, memoised.
+
+        LOOCV and tuning call :meth:`TrainingSet.X` many times over the
+        same rows; the vector (including the ``derived_features`` math) is
+        computed once per row and cached on the frozen instance.
+        """
+        cached = self.__dict__.get("_features")
+        if cached is None:
+            cached = assemble_features(self.profile, self.arch)
+            cached.setflags(write=False)
+            object.__setattr__(self, "_features", cached)
+        return cached
 
     @property
     def ipc(self) -> float:
@@ -157,10 +188,45 @@ class TrainingRow:
 
 
 class TrainingSet:
-    """An ordered collection of training rows with matrix views."""
+    """An ordered collection of training rows with matrix views.
 
-    def __init__(self, rows: Sequence[TrainingRow]) -> None:
+    Feature assembly is *columnar*: the full matrix is built once (one
+    ``np.stack`` over the memoised row vectors) and cached; ``filter`` /
+    ``exclude`` / ``concat`` produce row-index views over the shared
+    matrix instead of reassembling per subset — the repeated-subset
+    pattern LOOCV and the suitability analysis hit on every fold.
+    """
+
+    def __init__(
+        self,
+        rows: Sequence[TrainingRow],
+        *,
+        schema: FeatureSchema | None = None,
+    ) -> None:
         self.rows = list(rows)
+        self.schema = schema if schema is not None else active_schema()
+        #: Root set owning the shared feature matrix (None = self is root).
+        self._root: TrainingSet | None = None
+        #: Root-relative row indices (None = identity).
+        self._row_index: np.ndarray | None = None
+        self._X_cache: np.ndarray | None = None
+
+    @classmethod
+    def _view(
+        cls, parent: "TrainingSet", indices: Sequence[int]
+    ) -> "TrainingSet":
+        """A subset sharing the parent's (root's) feature matrix."""
+        root = parent._root if parent._root is not None else parent
+        idx = np.asarray(indices, dtype=np.intp)
+        if parent._row_index is not None:
+            idx = parent._row_index[idx]
+        ts = cls.__new__(cls)
+        ts.rows = [root.rows[i] for i in idx]
+        ts.schema = root.schema
+        ts._root = root
+        ts._row_index = idx
+        ts._X_cache = None
+        return ts
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -168,17 +234,45 @@ class TrainingSet:
     def __iter__(self):
         return iter(self.rows)
 
+    def __getstate__(self) -> dict:
+        # Views don't survive pickling as views: workers get a plain set
+        # (rows carry their memoised vectors, so nothing is recomputed).
+        return {"rows": self.rows, "schema": self.schema}
+
+    def __setstate__(self, state: dict) -> None:
+        self.rows = state["rows"]
+        self.schema = state["schema"]
+        self._root = None
+        self._row_index = None
+        self._X_cache = None
+
     # ----------------------------------------------------------- matrices
 
     @property
     def feature_names(self) -> tuple[str, ...]:
-        return ALL_FEATURE_NAMES
+        return self.schema.names
+
+    def _matrix(self) -> np.ndarray:
+        """The root's full feature matrix, assembled once."""
+        root = self._root if self._root is not None else self
+        if root._X_cache is None:
+            M = np.stack([row.features for row in root.rows])
+            root.schema.validate_matrix(M, context="training set")
+            M.setflags(write=False)
+            root._X_cache = M
+        return root._X_cache
 
     def X(self) -> np.ndarray:
-        """(n, len(ALL_FEATURE_NAMES)) feature matrix."""
+        """(n, len(schema)) feature matrix (read-only; copy to mutate)."""
         if not self.rows:
             raise CampaignError("training set is empty")
-        return np.stack([row.features for row in self.rows])
+        if self._root is None:
+            return self._matrix()
+        if self._X_cache is None:
+            sub = self._matrix()[self._row_index]
+            sub.setflags(write=False)
+            self._X_cache = sub
+        return self._X_cache
 
     def y_ipc(self) -> np.ndarray:
         return np.asarray([row.ipc for row in self.rows])
@@ -206,13 +300,33 @@ class TrainingSet:
         return list(seen)
 
     def filter(self, workload: str) -> "TrainingSet":
-        return TrainingSet([r for r in self.rows if r.workload == workload])
+        return TrainingSet._view(
+            self,
+            [i for i, r in enumerate(self.rows) if r.workload == workload],
+        )
 
     def exclude(self, workload: str) -> "TrainingSet":
-        return TrainingSet([r for r in self.rows if r.workload != workload])
+        return TrainingSet._view(
+            self,
+            [i for i, r in enumerate(self.rows) if r.workload != workload],
+        )
+
+    def _root_indices(self) -> np.ndarray:
+        if self._row_index is not None:
+            return self._row_index
+        return np.arange(len(self.rows), dtype=np.intp)
 
     @classmethod
     def concat(cls, sets: Iterable["TrainingSet"]) -> "TrainingSet":
+        sets = list(sets)
+        if sets:
+            roots = {s._root if s._root is not None else s for s in sets}
+            if len(roots) == 1:
+                # All pieces view one shared matrix: stay columnar.
+                root = roots.pop()
+                return cls._view(
+                    root, np.concatenate([s._root_indices() for s in sets])
+                )
         rows: list[TrainingRow] = []
         for s in sets:
             rows.extend(s.rows)

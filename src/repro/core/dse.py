@@ -23,6 +23,7 @@ import numpy as np
 from ..config import NMCConfig, default_nmc_config
 from ..errors import MLError
 from ..profiler import ApplicationProfile
+from ..schema import active_schema
 from .predictor import NapelModel, NapelPrediction
 from .reporting import format_table
 
@@ -104,7 +105,7 @@ def explore(
     if not archs:
         raise MLError("explore needs at least one architecture")
     X = np.vstack([model.features(profile, a) for a in archs])
-    ipc_per_pe, epi = model.predict_labels(X)
+    ipc_per_pe, epi = model.predict_labels(X, schema=active_schema())
     points = []
     base_fields = default_nmc_config()
     for arch, ipc_pe, epi_v in zip(archs, ipc_per_pe, epi):

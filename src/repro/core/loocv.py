@@ -55,7 +55,9 @@ def _loocv_fold_job(job) -> tuple[str, float, float, float]:
     X_test = test_set.X()
     ipc_true = test_set.y_ipc_per_pe()
     epi_true = test_set.y_energy_per_instruction()
-    ipc_pred, epi_pred = trained.model.predict_labels(X_test)
+    ipc_pred, epi_pred = trained.model.predict_labels(
+        X_test, schema=test_set.schema
+    )
     return (
         app,
         mean_relative_error(ipc_true, ipc_pred),

@@ -152,7 +152,9 @@ class NapelTrainer:
         )
         residual = self.residual_to_prior and self.log_space
         if residual:
-            ipc_off, epi_off = NapelModel.prior_offsets(X)
+            ipc_off, epi_off = NapelModel.prior_offsets(
+                X, training_set.schema
+            )
             y_ipc = y_ipc - ipc_off
             y_epi = y_epi - epi_off
         start = time.perf_counter()
@@ -167,6 +169,7 @@ class NapelTrainer:
         model = NapelModel(
             ipc_model,
             energy_model,
+            schema=training_set.schema,
             log_space=self.log_space,
             residual_to_prior=residual,
             ipc_bounds=(float(y_ipc.min()), float(y_ipc.max())),

@@ -11,6 +11,14 @@ ratio-scale quantities spanning decades across applications) and derives:
 * total energy ``E = epi * I_offload``,
 * the energy-delay product used by the suitability analysis.
 
+Every model carries the :class:`~repro.schema.FeatureSchema` it was
+trained under.  ``predict`` / ``predict_labels`` validate incoming
+feature data against it: a drifted runtime schema (features added,
+renamed, removed or reordered since training) raises a
+:class:`~repro.errors.SchemaMismatchError` naming the offending columns.
+When the drift is a pure reorder/superset, passing ``align=True`` opts
+in to projecting the incoming columns into the training layout by name.
+
 Raw model outputs are clamped to the training-label range (with a small
 margin): a prediction outside every observed label is an extrapolation
 artefact, and clamping keeps the weaker Figure 5 baselines (ANN, linear
@@ -24,8 +32,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..config import NMCConfig
-from ..errors import MLError
+from ..errors import MLError, SchemaMismatchError
 from ..profiler import ApplicationProfile
+from ..schema import FeatureSchema, active_schema
 
 #: Clamp margin in log space (allow a factor of e^0.5 ~ 1.65x beyond the
 #: observed label range before clamping).
@@ -54,8 +63,11 @@ class NapelPrediction:
 class NapelModel:
     """NAPEL's trained predictor: two forests + the time/energy formulas.
 
-    ``ipc_bounds`` / ``energy_bounds`` are the (min, max) of the training
-    labels in model space, used for clamping (see module docstring).
+    ``schema`` is the feature schema the forests were trained under
+    (default: the active runtime schema); all incoming feature data is
+    validated against it.  ``ipc_bounds`` / ``energy_bounds`` are the
+    (min, max) of the training labels in model space, used for clamping
+    (see module docstring).
 
     With ``residual_to_prior`` the forests were trained on the log-ratio of
     the label to its mechanistic prior estimate (the ``prior.*`` feature
@@ -67,21 +79,12 @@ class NapelModel:
 
     _LN_PJ_TO_J = float(np.log(1e12))
 
-    @staticmethod
-    def _prior_columns() -> tuple[int, int]:
-        """Feature-column indices of the prior estimates."""
-        from .dataset import ALL_FEATURE_NAMES
-
-        return (
-            ALL_FEATURE_NAMES.index("prior.ipc_estimate"),
-            ALL_FEATURE_NAMES.index("prior.log_epi_estimate"),
-        )
-
     def __init__(
         self,
         ipc_model,
         energy_model,
         *,
+        schema: FeatureSchema | None = None,
         log_space: bool = True,
         residual_to_prior: bool = True,
         ipc_bounds: tuple[float, float] | None = None,
@@ -89,17 +92,26 @@ class NapelModel:
     ) -> None:
         self.ipc_model = ipc_model
         self.energy_model = energy_model
+        self.schema = schema if schema is not None else active_schema()
         self.log_space = log_space
         self.residual_to_prior = residual_to_prior
         self.ipc_bounds = ipc_bounds
         self.energy_bounds = energy_bounds
 
-    @classmethod
-    def prior_offsets(cls, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Log-space prior offsets (IPC, energy-per-instruction in J)."""
-        ipc_col, epi_col = cls._prior_columns()
+    @staticmethod
+    def prior_offsets(
+        X: np.ndarray, schema: FeatureSchema | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Log-space prior offsets (IPC, energy-per-instruction in J).
+
+        ``schema`` names the columns of ``X`` (default: the active
+        runtime schema).
+        """
+        schema = schema if schema is not None else active_schema()
+        ipc_col = schema.index("prior.ipc_estimate")
+        epi_col = schema.index("prior.log_epi_estimate")
         ipc_prior = np.log(np.maximum(X[:, ipc_col], 1e-12))
-        epi_prior = X[:, epi_col] - cls._LN_PJ_TO_J
+        epi_prior = X[:, epi_col] - NapelModel._LN_PJ_TO_J
         return ipc_prior, epi_prior
 
     # ------------------------------------------------------------ helpers
@@ -107,14 +119,43 @@ class NapelModel:
     @staticmethod
     def features(profile: ApplicationProfile, arch: NMCConfig) -> np.ndarray:
         """The model-input row for one (profile, architecture) pair."""
-        from .dataset import derived_features
+        from .dataset import assemble_features
 
-        return np.concatenate([
-            profile.values,
-            [float(profile.thread_count)],
-            np.asarray(arch.feature_vector()),
-            np.asarray(derived_features(profile, arch)),
-        ])
+        return assemble_features(profile, arch)
+
+    def _align(
+        self,
+        X: np.ndarray,
+        schema: FeatureSchema | None,
+        align: bool,
+    ) -> np.ndarray:
+        """Validate ``X`` against the training schema; reorder if asked.
+
+        Without a source ``schema`` only the column count can be checked.
+        With one, any drift raises a :class:`SchemaMismatchError` naming
+        the missing/extra/moved columns — unless ``align=True`` and the
+        training features are all present, in which case the columns are
+        projected into the training layout by name.
+        """
+        if schema is None:
+            self.schema.validate_matrix(X, context="model input")
+            return X
+        if schema.content_hash == self.schema.content_hash:
+            return X
+        schema.validate_matrix(X, context="model input")
+        if align:
+            return X[:, self.schema.projection_from(schema)]
+        diff = self.schema.diff(schema)
+        raise SchemaMismatchError(
+            "feature data does not match the schema this model was "
+            f"trained under ({self.schema.content_hash[:12]}) — "
+            + diff.describe()
+            + "; retrain the model or pass align=True to project "
+            "compatible columns by name",
+            missing=diff.missing,
+            extra=diff.extra,
+            moved=diff.moved,
+        )
 
     def _clamp(
         self, raw: np.ndarray, bounds: tuple[float, float] | None
@@ -127,15 +168,25 @@ class NapelModel:
     def _invert(self, raw: np.ndarray) -> np.ndarray:
         return np.exp(raw) if self.log_space else raw
 
-    def predict_labels(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def predict_labels(
+        self,
+        X: np.ndarray,
+        *,
+        schema: FeatureSchema | None = None,
+        align: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray]:
         """(per-PE IPC, energy-per-instruction) for feature rows ``X``.
 
-        Applies residual clamping, the prior offsets and the inverse label
-        transform; this is the one path every evaluation (prediction,
-        LOOCV, suitability) goes through, so all models are compared under
-        identical conventions.
+        ``schema`` names the columns of ``X`` (pass it when ``X`` was
+        assembled under a schema other than the model's own); see
+        :meth:`_align` for the validation rules.  Applies residual
+        clamping, the prior offsets and the inverse label transform; this
+        is the one path every evaluation (prediction, LOOCV, suitability)
+        goes through, so all models are compared under identical
+        conventions.
         """
         X = np.asarray(X, dtype=np.float64)
+        X = self._align(X, schema, align)
         ipc_raw = self._clamp(
             np.asarray(self.ipc_model.predict(X), dtype=np.float64),
             self.ipc_bounds,
@@ -145,7 +196,7 @@ class NapelModel:
             self.energy_bounds,
         )
         if self.residual_to_prior:
-            ipc_off, epi_off = self.prior_offsets(X)
+            ipc_off, epi_off = self.prior_offsets(X, self.schema)
             ipc_raw = ipc_raw + ipc_off
             epi_raw = epi_raw + epi_off
         return self._invert(ipc_raw), self._invert(epi_raw)
@@ -153,15 +204,28 @@ class NapelModel:
     # ------------------------------------------------------------ predict
 
     def predict(
-        self, profile: ApplicationProfile, arch: NMCConfig
+        self,
+        profile: ApplicationProfile,
+        arch: NMCConfig,
+        *,
+        align: bool = False,
     ) -> NapelPrediction:
         """Predict IPC, energy and execution time for one kernel profile."""
-        return self.predict_many([profile], arch)[0]
+        return self.predict_many([profile], arch, align=align)[0]
 
     def predict_many(
-        self, profiles, arch: NMCConfig
+        self,
+        profiles,
+        arch: NMCConfig,
+        *,
+        align: bool = False,
     ) -> list[NapelPrediction]:
-        """Batch prediction (one forest pass per target)."""
+        """Batch prediction (one forest pass per target).
+
+        Feature rows are assembled under the *active* runtime schema and
+        validated against the model's training schema; see the module
+        docstring for the drift rules.
+        """
         profiles = list(profiles)
         if not profiles:
             return []
@@ -169,7 +233,9 @@ class NapelModel:
             if p.instruction_count <= 0:
                 raise MLError("profile has no instructions")
         X = np.vstack([self.features(p, arch) for p in profiles])
-        ipc_per_pe, epi = self.predict_labels(X)
+        ipc_per_pe, epi = self.predict_labels(
+            X, schema=active_schema(), align=align
+        )
         if (ipc_per_pe <= 0).any() or (epi <= 0).any():
             raise MLError("model produced a non-positive prediction")
         freq_hz = arch.frequency_ghz * 1e9

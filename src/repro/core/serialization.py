@@ -3,32 +3,46 @@
 Trained models are plain Python object graphs (forests of
 :class:`~repro.ml.tree.RegressionTree` nodes, numpy arrays), so standard
 pickling round-trips them exactly.  :func:`save_model` wraps the pickle
-with a format header and the package version so stale model files fail
-loudly instead of mispredicting silently.
+with a format header so stale model files fail loudly instead of
+mispredicting silently.
+
+Format version 2 makes artifacts *self-describing*: the header embeds
+the model's full :class:`~repro.schema.FeatureSchema` (as plain JSON, so
+the column identity is inspectable without unpickling) plus its content
+hash and the package version.  :func:`load_model` verifies the header
+before trusting the payload, rejects v1 files (they carry no schema, so
+their column meaning cannot be checked) with an actionable message, and
+warns when the saving package version or the runtime feature schema
+differs from the current one.
 """
 
 from __future__ import annotations
 
 import pickle
+import warnings
 from pathlib import Path
 
 from ..errors import MLError
+from ..schema import FeatureSchema, active_schema
 from .predictor import NapelModel
 
 _MAGIC = "napel-model"
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 
 def save_model(model: NapelModel, path: str | Path) -> None:
-    """Serialise a trained model to ``path``."""
+    """Serialise a trained model (format v2: schema-embedding) to ``path``."""
     if not isinstance(model, NapelModel):
         raise MLError(f"expected a NapelModel, got {type(model).__name__}")
     from .. import __version__
 
+    schema = model.schema
     payload = {
         "magic": _MAGIC,
         "format": _FORMAT_VERSION,
         "repro_version": __version__,
+        "schema": schema.to_json_dict(),
+        "schema_hash": schema.content_hash,
         "model": model,
     }
     path = Path(path)
@@ -46,15 +60,68 @@ def load_model(path: str | Path) -> NapelModel:
     if not path.exists():
         raise MLError(f"no model file at {path}")
     with path.open("rb") as fh:
-        payload = pickle.load(fh)
+        try:
+            payload = pickle.load(fh)
+        except Exception as exc:
+            raise MLError(
+                f"{path} is corrupt or truncated and cannot be unpickled "
+                f"({type(exc).__name__}: {exc})"
+            ) from exc
     if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
         raise MLError(f"{path} is not a NAPEL model file")
-    if payload.get("format") != _FORMAT_VERSION:
+    fmt = payload.get("format")
+    if fmt == 1:
         raise MLError(
-            f"{path} uses model format {payload.get('format')}, "
-            f"expected {_FORMAT_VERSION}"
+            f"{path} uses model format 1, which predates the feature "
+            "schema and cannot be validated against the current feature "
+            "layout; retrain and re-save it with this version "
+            "(`repro train ... -o <file>`)"
+        )
+    if fmt != _FORMAT_VERSION:
+        raise MLError(
+            f"{path} uses model format {fmt}, expected {_FORMAT_VERSION}"
+        )
+    from .. import __version__
+
+    saved_version = payload.get("repro_version")
+    if saved_version != __version__:
+        # The schema hash is the authoritative compatibility check, but a
+        # version skew is still worth flagging: tree/forest internals may
+        # have changed shape between releases.
+        warnings.warn(
+            f"{path} was saved by repro {saved_version}, this is repro "
+            f"{__version__}; predictions are only guaranteed reproducible "
+            "with the saving version",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    try:
+        stored_schema = FeatureSchema.from_json_dict(payload["schema"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise MLError(
+            f"{path} has a malformed schema header ({exc!r})"
+        ) from exc
+    if payload.get("schema_hash") != stored_schema.content_hash:
+        raise MLError(
+            f"{path} schema hash does not match its embedded schema; the "
+            "file is corrupt"
         )
     model = payload["model"]
     if not isinstance(model, NapelModel):
         raise MLError(f"{path} does not contain a NapelModel")
+    if model.schema.content_hash != stored_schema.content_hash:
+        raise MLError(
+            f"{path} header schema disagrees with the pickled model's "
+            "schema; the file is corrupt"
+        )
+    runtime = active_schema()
+    if runtime.content_hash != stored_schema.content_hash:
+        diff = stored_schema.diff(runtime)
+        warnings.warn(
+            f"{path} was trained under a different feature schema than "
+            f"this runtime ({diff.describe()}); predict() will refuse "
+            "incompatible inputs with a SchemaMismatchError",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return model

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..config import HostConfig, NMCConfig
+from ..config import HostConfig
 from ..hostsim import HostSimulator
 from ..workloads import Workload
 from .campaign import SimulationCampaign

@@ -36,6 +36,28 @@ class NotFittedError(MLError):
     """Prediction was requested from a model that has not been fitted."""
 
 
+class SchemaMismatchError(MLError):
+    """Feature data does not match the feature schema it is used against.
+
+    Carries the offending column names so callers (and error messages) can
+    say precisely *which* features are ``missing`` from the data, which are
+    ``extra``, and which ``moved`` to a different position.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        missing: tuple = (),
+        extra: tuple = (),
+        moved: tuple = (),
+    ) -> None:
+        super().__init__(message)
+        self.missing = tuple(missing)
+        self.extra = tuple(extra)
+        self.moved = tuple(moved)
+
+
 class SimulationError(ReproError):
     """The NMC or host simulator encountered an inconsistent state."""
 

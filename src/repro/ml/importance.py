@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import MLError
+from ..schema import FeatureSchema
 from .metrics import rmse
 
 
@@ -26,9 +27,17 @@ class PermutationImportance:
     base_score: float
 
     def top(
-        self, names: list[str] | tuple[str, ...], k: int = 10
+        self,
+        names: FeatureSchema | list[str] | tuple[str, ...],
+        k: int = 10,
     ) -> list[tuple[str, float]]:
-        """The ``k`` most important (name, importance) pairs."""
+        """The ``k`` most important (name, importance) pairs.
+
+        ``names`` is a sequence of column names or a
+        :class:`~repro.schema.FeatureSchema` (its ordered names are used).
+        """
+        if isinstance(names, FeatureSchema):
+            names = names.names
         if len(names) != len(self.importances):
             raise MLError(
                 f"{len(names)} names for {len(self.importances)} features"
@@ -51,7 +60,9 @@ def permutation_importance(
     ``metric(y_true, y_pred)`` must be a lower-is-better score; importance
     is the mean increase of the metric when the feature is shuffled.
     """
-    X = np.asarray(X, dtype=np.float64)
+    # Shuffling happens in place, so work on a private copy — callers may
+    # pass the TrainingSet's shared (read-only) feature matrix.
+    X = np.array(X, dtype=np.float64)
     y = np.asarray(y, dtype=np.float64).ravel()
     if X.ndim != 2 or len(X) != len(y):
         raise MLError("X must be 2-D and aligned with y")

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import MLError, NotFittedError
+from ..schema import FeatureSchema
 
 
 def _check_matrix(X) -> np.ndarray:
@@ -95,3 +96,29 @@ class VarianceThreshold:
         if self.support_ is None:
             raise NotFittedError("VarianceThreshold is not fitted")
         return int(self.support_.sum())
+
+    def selected_names(self, schema: FeatureSchema) -> tuple[str, ...]:
+        """Names of the kept columns under ``schema``."""
+        if self.support_ is None:
+            raise NotFittedError("VarianceThreshold is not fitted")
+        if len(schema) != len(self.support_):
+            raise MLError(
+                f"schema has {len(schema)} features but the screen was "
+                f"fitted on {len(self.support_)}"
+            )
+        return tuple(
+            n for n, keep in zip(schema.names, self.support_) if keep
+        )
+
+    def subschema(self, schema: FeatureSchema) -> FeatureSchema:
+        """The schema of the screened matrix (blocks emptied by the
+        screen are dropped), so downstream consumers keep named columns.
+        """
+        if self.support_ is None:
+            raise NotFittedError("VarianceThreshold is not fitted")
+        if len(schema) != len(self.support_):
+            raise MLError(
+                f"schema has {len(schema)} features but the screen was "
+                f"fitted on {len(self.support_)}"
+            )
+        return schema.subset(self.support_)

@@ -10,7 +10,7 @@ Policy: write-back, write-allocate, LRU replacement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..config import NMCConfig
 from ..errors import ConfigError

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from ..schema import register_block
+
 #: Instruction-mix category fractions (see instruction_mix.py).
 MIX_CATEGORIES = (
     "int_alu", "int_mul", "int_div",
@@ -127,4 +129,13 @@ TOTAL_FEATURES: int = len(FEATURE_NAMES)
 
 assert TOTAL_FEATURES == 395, (
     f"feature catalog drifted: {TOTAL_FEATURES} != 395"
+)
+
+# This catalog is the "profile" block of the model-input feature schema
+# (see repro.schema): the schema, not ad-hoc concatenation, defines where
+# these columns sit in the assembled matrix.
+register_block(
+    "profile",
+    FEATURE_NAMES,
+    description="395 PISA-style hardware-independent profile features",
 )

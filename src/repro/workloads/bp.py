@@ -72,7 +72,7 @@ class Bp(Workload):
         space = AddressSpace()
         input_base = space.alloc(v * 8)
         weights_base = space.alloc(v * HIDDEN * ELEM)
-        hidden_base = space.alloc(HIDDEN * 8)
+        space.alloc(HIDDEN * 8)  # hidden-activation region
 
         dot = pat.dot_product()
         update = pat.scaled_update()

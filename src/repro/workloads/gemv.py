@@ -48,7 +48,7 @@ class Gemv(Workload):
         a_base = space.alloc(n * n * 8)
         u_base = space.alloc(n * 8)
         v_base = space.alloc(n * 8)
-        x_base = space.alloc(n * 8)
+        space.alloc(n * 8)  # x operand region
         w_base = space.alloc(n * 8)
 
         rank1 = pat.rank1_update()

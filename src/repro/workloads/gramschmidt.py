@@ -55,7 +55,7 @@ class GramSchmidt(Workload):
         # stands for a 64 B block of the full-size matrix.
         space = AddressSpace()
         a_base = space.alloc(ni * nj * ELEM)
-        r_base = space.alloc(nj * nj * 8)
+        space.alloc(nj * nj * 8)  # R factor region
 
         dot = pat.dot_product()
         divide = pat.scalar_divide()

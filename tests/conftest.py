@@ -10,10 +10,10 @@ import pytest
 # Make the shared helper module importable regardless of pytest's rootdir.
 sys.path.insert(0, str(Path(__file__).parent))
 
-from repro import SimulationCampaign, get_workload
-from repro.core.dataset import TrainingSet
+from repro import SimulationCampaign, get_workload  # noqa: E402
+from repro.core.dataset import TrainingSet  # noqa: E402
 
-from _helpers import build_random_trace, build_stream_trace
+from _helpers import build_random_trace, build_stream_trace  # noqa: E402
 
 
 @pytest.fixture(scope="session")

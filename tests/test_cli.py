@@ -25,6 +25,7 @@ class TestParser:
             ["campaign", "atax"],
             ["train", "atax", "-o", "x.pkl"],
             ["predict", "atax", "-m", "x.pkl"],
+            ["schema"],
             ["suitability", "atax", "mvt"],
         ):
             args = parser.parse_args(command)
@@ -114,6 +115,49 @@ class TestTrainPredictRoundtrip:
         )
         assert code == 2
         assert "no model file" in err
+
+
+class TestSchemaCommand:
+    def test_block_table(self, capsys):
+        from repro.schema import active_schema
+
+        code, out, _ = run_cli(capsys, "schema")
+        assert code == 0
+        for block in ("profile", "app", "arch", "prior"):
+            assert block in out
+        assert active_schema().content_hash[:16] in out
+
+    def test_names_are_indexed(self, capsys):
+        code, out, _ = run_cli(capsys, "schema", "--names")
+        assert code == 0
+        lines = out.strip().splitlines()
+        from repro.schema import active_schema
+
+        assert len(lines) == len(active_schema())
+        assert lines[0].split() == ["0", active_schema().names[0]]
+
+    def test_json_dump_matches_schema(self, capsys):
+        import json
+
+        from repro.schema import active_schema
+
+        code, out, _ = run_cli(capsys, "schema", "--json")
+        assert code == 0
+        data = json.loads(out)
+        assert data == active_schema().to_json_dict()
+
+    def test_diff_against_saved_model(self, capsys, tmp_path):
+        from repro import NapelTrainer, SimulationCampaign, get_workload
+        from repro.core import save_model
+
+        campaign = SimulationCampaign(scale=4.0)
+        training = campaign.run(get_workload("atax"))
+        trained = NapelTrainer(n_estimators=10, tune=False).train(training)
+        path = tmp_path / "m.pkl"
+        save_model(trained.model, path)
+        code, out, _ = run_cli(capsys, "schema", "--diff", str(path))
+        assert code == 0
+        assert "schemas are identical" in out
 
 
 class TestCampaignCommand:

@@ -1,6 +1,5 @@
 """Tests for the analysis utilities (repro.core.analysis)."""
 
-import numpy as np
 import pytest
 
 from repro import NapelTrainer, SimulationCampaign, analyze_trace, default_nmc_config, get_workload

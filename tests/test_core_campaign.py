@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro import SimulationCampaign, get_workload
+from repro import SimulationCampaign, active_schema
 from repro.core import CampaignCache
-from repro.core.dataset import ALL_FEATURE_NAMES, TrainingSet
+from repro.core.dataset import TrainingSet
 from repro.errors import CampaignError
 
 
@@ -13,7 +13,7 @@ class TestTrainingSet:
     def test_matrix_shapes(self, small_campaign):
         _, training = small_campaign
         X = training.X()
-        assert X.shape == (len(training), len(ALL_FEATURE_NAMES))
+        assert X.shape == (len(training), len(active_schema()))
         assert np.isfinite(X).all()
         assert len(training.y_ipc()) == len(training)
         assert (training.y_ipc() > 0).all()
@@ -43,6 +43,38 @@ class TestTrainingSet:
         _, training = small_campaign
         doubled = TrainingSet.concat([training, training])
         assert len(doubled) == 2 * len(training)
+
+    def test_carries_schema(self, small_campaign):
+        _, training = small_campaign
+        assert training.schema is active_schema()
+        assert training.feature_names == active_schema().names
+
+    def test_row_features_are_memoized(self, small_campaign):
+        _, training = small_campaign
+        row = training.rows[0]
+        assert row.features is row.features  # cached ndarray, not rebuilt
+        with pytest.raises(ValueError):
+            row.features[0] = 1.0  # read-only: views share this memory
+
+    def test_views_share_the_root_matrix(self, small_campaign):
+        _, training = small_campaign
+        X = training.X()
+        assert training.X() is X  # root matrix assembled once, cached
+        assert not X.flags.writeable
+        sub = training.filter("atax")
+        assert sub.X() is sub.X()  # subset matrix cached too
+        np.testing.assert_array_equal(
+            sub.X(), X[[i for i, r in enumerate(training.rows)
+                        if r.workload == "atax"]]
+        )
+
+    def test_filter_exclude_concat_roundtrip(self, small_campaign):
+        _, training = small_campaign
+        rejoined = TrainingSet.concat(
+            [training.filter("atax"), training.exclude("atax")]
+        )
+        assert len(rejoined) == len(training)
+        assert rejoined.X().shape == training.X().shape
 
 
 class TestCampaign:
@@ -123,14 +155,50 @@ class TestCampaignCacheDisk:
         assert not list(tmp_path.glob("*.tmp"))  # temp file replaced away
 
     @pytest.mark.parametrize(
-        "content", ["", "{not json", '{"profiles": 7, "results": []}']
+        "content", ["", "{not json", '{"schema_hash": "HASH", "profiles": 7}']
     )
     def test_corrupt_cache_starts_empty_with_warning(self, tmp_path, content):
         path = tmp_path / "cache.json"
-        path.write_text(content)
+        # A well-formed header with a garbled body must also fail safe.
+        path.write_text(content.replace("HASH", active_schema().content_hash))
         with pytest.warns(RuntimeWarning, match="corrupt"):
             cache = CampaignCache(path)
         assert len(cache) == 0
+
+    def test_cache_written_under_other_schema_is_discarded(
+        self, tmp_path, atax
+    ):
+        import json
+
+        path = tmp_path / "cache.json"
+        cache = CampaignCache(path)
+        SimulationCampaign(cache=cache, scale=4.0).run_point(
+            atax, {"dimensions": 500, "threads": 4}
+        )
+        cache.save()
+        data = json.loads(path.read_text())
+        assert data["schema_hash"] == active_schema().content_hash
+        data["schema_hash"] = "0" * 64  # simulate a feature-schema change
+        path.write_text(json.dumps(data))
+        with pytest.warns(RuntimeWarning, match="stale"):
+            stale = CampaignCache(path)
+        assert len(stale) == 0
+
+    def test_legacy_cache_without_hash_is_discarded(self, tmp_path, atax):
+        import json
+
+        path = tmp_path / "cache.json"
+        cache = CampaignCache(path)
+        SimulationCampaign(cache=cache, scale=4.0).run_point(
+            atax, {"dimensions": 500, "threads": 4}
+        )
+        cache.save()
+        data = json.loads(path.read_text())
+        del data["schema_hash"]
+        path.write_text(json.dumps(data))
+        with pytest.warns(RuntimeWarning, match="different feature schema"):
+            stale = CampaignCache(path)
+        assert len(stale) == 0
 
     def test_corrupt_cache_is_recoverable(self, tmp_path, atax):
         path = tmp_path / "cache.json"

@@ -6,15 +6,14 @@ import numpy as np
 import pytest
 
 from repro import default_nmc_config
-from repro.core.dataset import (
-    ALL_FEATURE_NAMES,
-    DERIVED_FEATURE_NAMES,
-    derived_features,
-)
+from repro.core.dataset import DERIVED_FEATURE_NAMES, derived_features
 from repro.core.predictor import NapelModel
 from repro.profiler import analyze_trace
 from repro.profiler.features import FEATURE_NAMES
+from repro.schema import active_schema
 from _helpers import build_random_trace, build_stream_trace
+
+ALL_FEATURE_NAMES = active_schema().names
 
 
 @pytest.fixture(scope="module")
@@ -37,7 +36,9 @@ class TestFeatureLayout:
         )
 
     def test_prior_columns_resolve(self):
-        ipc_col, epi_col = NapelModel._prior_columns()
+        schema = active_schema()
+        ipc_col = schema.index("prior.ipc_estimate")
+        epi_col = schema.index("prior.log_epi_estimate")
         assert ALL_FEATURE_NAMES[ipc_col] == "prior.ipc_estimate"
         assert ALL_FEATURE_NAMES[epi_col] == "prior.log_epi_estimate"
 

@@ -13,8 +13,8 @@ from repro import (
     evaluate_loocv,
     get_workload,
 )
-from repro.core.dataset import ALL_FEATURE_NAMES
 from repro.core.predictor import NapelModel
+from repro.schema import active_schema
 from repro.errors import MLError
 from repro.ml import mean_relative_error
 
@@ -115,7 +115,7 @@ class TestPredictor:
             atax_module.generate(atax_module.central_config(), scale=3.0)
         )
         row = NapelModel.features(profile, campaign.arch)
-        assert row.shape == (len(ALL_FEATURE_NAMES),)
+        assert row.shape == (len(active_schema()),)
 
     def test_interpolation_accuracy(self, trained, atax_module):
         """An unseen config *between* training points predicts well."""

@@ -1,6 +1,5 @@
 """Tests for report formatting and the config module."""
 
-import dataclasses
 
 import pytest
 

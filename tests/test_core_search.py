@@ -1,6 +1,5 @@
 """Tests for the genetic design search (repro.core.search)."""
 
-import numpy as np
 import pytest
 
 from repro import NapelTrainer, SimulationCampaign, analyze_trace, get_workload

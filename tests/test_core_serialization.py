@@ -6,7 +6,9 @@ import numpy as np
 import pytest
 
 from repro import NapelTrainer, load_model, save_model
-from repro.errors import MLError
+from repro.core.predictor import NapelModel
+from repro.errors import MLError, SchemaMismatchError
+from repro.schema import FeatureSchema
 
 
 @pytest.fixture(scope="module")
@@ -69,3 +71,89 @@ class TestSaveLoad:
             )
         with pytest.raises(MLError, match="format"):
             load_model(path)
+
+    def test_rejects_v1_format_with_retrain_advice(
+        self, tmp_path, trained_model
+    ):
+        trained, _ = trained_model
+        path = tmp_path / "v1.pkl"
+        with path.open("wb") as fh:
+            pickle.dump(
+                {"magic": "napel-model", "format": 1, "model": trained.model},
+                fh,
+            )
+        with pytest.raises(MLError, match="format 1") as err:
+            load_model(path)
+        assert "retrain" in str(err.value)
+
+    def test_rejects_truncated_file(self, tmp_path, trained_model):
+        trained, _ = trained_model
+        path = tmp_path / "model.pkl"
+        save_model(trained.model, path)
+        whole = path.read_bytes()
+        path.write_bytes(whole[: len(whole) // 2])
+        with pytest.raises(MLError, match="corrupt or truncated"):
+            load_model(path)
+
+    def test_rejects_garbage_bytes(self, tmp_path):
+        path = tmp_path / "noise.pkl"
+        path.write_bytes(b"\x93NUMPY not a pickle at all")
+        with pytest.raises(MLError, match="corrupt or truncated"):
+            load_model(path)
+
+    def test_rejects_tampered_schema_hash(self, tmp_path, trained_model):
+        trained, _ = trained_model
+        path = tmp_path / "model.pkl"
+        save_model(trained.model, path)
+        payload = pickle.loads(path.read_bytes())
+        payload["schema_hash"] = "0" * 64
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(MLError, match="corrupt"):
+            load_model(path)
+
+
+class TestVersionAndSchemaChecks:
+    def test_version_skew_warns_even_with_matching_schema(
+        self, tmp_path, trained_model
+    ):
+        trained, _ = trained_model
+        path = tmp_path / "model.pkl"
+        save_model(trained.model, path)
+        payload = pickle.loads(path.read_bytes())
+        payload["repro_version"] = "0.0.1"
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.warns(RuntimeWarning, match="saved by repro 0.0.1"):
+            restored = load_model(path)
+        assert isinstance(restored, NapelModel)
+
+    def test_schema_drift_warns_on_load_and_refuses_predict(
+        self, tmp_path, trained_model
+    ):
+        """A model trained before a feature reorder loads with a warning
+        and then refuses to predict, naming the moved columns."""
+        trained, training = trained_model
+        real = trained.model.schema
+        # Synthetic drift: swap the last two blocks (arch <-> prior).
+        reordered = FeatureSchema(
+            real.blocks[:2] + (real.blocks[3], real.blocks[2]),
+            version=real.version,
+        )
+        drifted = NapelModel(
+            trained.model.ipc_model,
+            trained.model.energy_model,
+            schema=reordered,
+            log_space=trained.model.log_space,
+            residual_to_prior=trained.model.residual_to_prior,
+            ipc_bounds=trained.model.ipc_bounds,
+            energy_bounds=trained.model.energy_bounds,
+        )
+        path = tmp_path / "drifted.pkl"
+        save_model(drifted, path)
+        with pytest.warns(RuntimeWarning, match="different feature schema"):
+            restored = load_model(path)
+        with pytest.raises(SchemaMismatchError) as err:
+            restored.predict_labels(training.X(), schema=training.schema)
+        assert "prior.ipc_estimate" in err.value.moved
+        assert set(err.value.moved) == set(
+            real.block("arch").features + real.block("prior").features
+        )

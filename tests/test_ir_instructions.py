@@ -1,6 +1,5 @@
 """Tests for the opcode taxonomy (repro.ir.instructions)."""
 
-import pytest
 
 from repro.ir import (
     CONTROL_OPCODES,

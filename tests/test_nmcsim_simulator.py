@@ -15,7 +15,7 @@ from repro.ir import (
 )
 from repro.nmcsim import NMCSimulator, compute_energy, simulate
 from repro.nmcsim.energy import EnergyBreakdown
-from _helpers import build_random_trace, build_stream_trace
+from _helpers import build_stream_trace
 
 
 class TestSimulatorBasics:

@@ -11,9 +11,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import SimulationCampaign, get_workload
+from repro import SimulationCampaign
 from repro.core import evaluate_loocv
-from repro.core.dataset import TrainingSet
 from repro.errors import ParallelError
 from repro.ml import RandomForestRegressor, grid_search
 from repro.parallel import (

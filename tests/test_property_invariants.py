@@ -9,9 +9,7 @@ from repro import default_nmc_config, simulate
 from repro.ir import (
     Instruction,
     InstructionTrace,
-    LoopTemplate,
     Opcode,
-    TemplateOp,
     TraceBuilder,
     validate_trace,
 )

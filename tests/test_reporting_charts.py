@@ -14,7 +14,7 @@ class TestGroupedBars:
         )
         lines = out.splitlines()
         assert lines[0] == "demo"
-        bar_lines = [l for l in lines if "|" in l]
+        bar_lines = [ln for ln in lines if "|" in ln]
         assert sum("Actual" in line for line in bar_lines) == 2
         assert sum("NAPEL" in line for line in bar_lines) == 2
         assert "legend" in lines[-1]
@@ -23,15 +23,14 @@ class TestGroupedBars:
         out = format_grouped_bars(
             "x", {"s": {"a": 10.0, "b": 5.0}}, width=20
         )
-        lines = [l for l in out.splitlines() if "|" in l]
+        lines = [ln for ln in out.splitlines() if "|" in ln]
         assert lines[0].count("#") == 2 * lines[1].count("#")
 
     def test_marker_drawn(self):
         out = format_grouped_bars(
             "x", {"s": {"a": 2.0}}, width=20, marker_at=1.0
         )
-        bar_line = [l for l in out.splitlines() if "|" in l][0]
-        inner = bar_line.split("|")[1]
+        bar_line = [ln for ln in out.splitlines() if "|" in ln][0]
         assert "|" in bar_line  # delimiters
         # Marker at 1.0 of peak 2.0: midway through the bar body.
         body = bar_line[bar_line.index("|") + 1:bar_line.rindex("|")]

@@ -10,7 +10,7 @@ import pytest
 from repro import HostSimulator, analyze_trace, default_nmc_config, simulate
 from repro.ir import validate_trace
 from repro.nmcsim import NMCSimulator
-from repro.workloads.synthetic import Gups, PointerChase, Stream, SYNTHETIC_WORKLOADS
+from repro.workloads.synthetic import Gups, Stream, SYNTHETIC_WORKLOADS
 
 
 @pytest.fixture(scope="module")
