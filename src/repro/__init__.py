@@ -22,6 +22,10 @@ inventory and per-experiment index, and ``benchmarks/`` for the harness
 that regenerates every table and figure of the paper.
 """
 
+# Defined before the subpackage imports below: repro.obs reads it while the
+# package is still initialising (manifests record the package version).
+__version__ = "1.1.0"
+
 from .config import (
     DRAMTiming,
     HostConfig,
@@ -50,12 +54,11 @@ from .core import (
 from .doe import ParameterSpace, central_composite, ccd_run_count
 from .errors import ReproError, SchemaMismatchError
 from .hostsim import HostSimulator
+from .obs import RunManifest, configure_logging, get_logger, metrics
 from .schema import FeatureBlock, FeatureSchema, active_schema
 from .nmcsim import NMCSimulator, SimulationResult, simulate
 from .profiler import ApplicationProfile, analyze_trace
 from .workloads import WORKLOAD_NAMES, all_workloads, get_workload
-
-__version__ = "1.0.0"
 
 __all__ = [
     "__version__",
@@ -101,6 +104,11 @@ __all__ = [
     "FeatureSchema",
     "FeatureBlock",
     "active_schema",
+    # observability
+    "configure_logging",
+    "get_logger",
+    "metrics",
+    "RunManifest",
     # errors
     "ReproError",
     "SchemaMismatchError",

@@ -18,6 +18,8 @@ from ..core import (
 from ..core.dataset import TrainingSet
 from ..core.reporting import format_table
 from ..errors import ReproError, WorkloadError
+from ..ml import mean_relative_error, r2_score
+from ..obs import config_hash
 from ..profiler import analyze_trace
 from ..schema import active_schema
 from ..workloads import Workload, all_workloads, get_workload
@@ -69,6 +71,45 @@ def _campaign(args: argparse.Namespace, arch: NMCConfig | None = None):
         scale=getattr(args, "scale", 1.0),
         jobs=getattr(args, "jobs", None),
     )
+
+
+def _manifest_update(args: argparse.Namespace, **fields) -> None:
+    """Record fields into the run manifest (no-op outside ``main``)."""
+    manifest = getattr(args, "_run_manifest", None)
+    if manifest is not None:
+        manifest.update(**fields)
+
+
+def _cache_summary(cache: CampaignCache) -> dict:
+    return {
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "hit_ratio": round(cache.hit_ratio, 6),
+        "entries": len(cache),
+    }
+
+
+def _model_fit_summary(trained, training: TrainingSet) -> dict:
+    """In-sample accuracy of a freshly-trained model (manifest record).
+
+    These are *training-set* MRE/R² — an upper bound on quality, cheap to
+    compute and useful as a corruption canary (a near-zero R² on data the
+    model just saw means the artifact is broken).
+    """
+    ipc_pred, epi_pred = trained.model.predict_labels(
+        training.X(), schema=training.schema
+    )
+    ipc_true = training.y_ipc_per_pe()
+    epi_true = training.y_energy_per_instruction()
+    return {
+        "name": trained.model_name,
+        "n_training_rows": trained.n_training_rows,
+        "train_tune_seconds": round(trained.train_tune_seconds, 6),
+        "ipc_mre": round(mean_relative_error(ipc_true, ipc_pred), 6),
+        "ipc_r2": round(r2_score(ipc_true, ipc_pred), 6),
+        "energy_mre": round(mean_relative_error(epi_true, epi_pred), 6),
+        "energy_r2": round(r2_score(epi_true, epi_pred), 6),
+    }
 
 
 # -------------------------------------------------------------- commands
@@ -153,6 +194,17 @@ def cmd_campaign(args: argparse.Namespace) -> None:
     training = campaign.run(workload)
     campaign.cache.save()
     elapsed = time.perf_counter() - start
+    _manifest_update(
+        args,
+        workloads=[workload.name],
+        n_points=len(training),
+        scale=args.scale,
+        arch_config_hash=config_hash(campaign.arch),
+        schema_hash=active_schema().content_hash,
+        cache=_cache_summary(campaign.cache),
+        doe_run_seconds=campaign.doe_run_seconds,
+        jobs=campaign.jobs,
+    )
     rows = [
         [
             ", ".join(f"{k}={v:g}" for k, v in row.parameters.items()),
@@ -186,6 +238,18 @@ def cmd_train(args: argparse.Namespace) -> None:
     )
     trained = trainer.train(training)
     save_model(trained.model, args.output)
+    _manifest_update(
+        args,
+        workloads=list(args.apps),
+        n_points=len(training),
+        scale=args.scale,
+        arch_config_hash=config_hash(campaign.arch),
+        schema_hash=trained.model.schema.content_hash,
+        cache=_cache_summary(campaign.cache),
+        model=_model_fit_summary(trained, training),
+        output=str(args.output),
+        jobs=campaign.jobs,
+    )
     print(
         f"trained {args.model} on {len(training)} rows "
         f"({trained.train_tune_seconds:.1f} s); model saved to {args.output}"
@@ -265,6 +329,24 @@ def cmd_suitability(args: argparse.Namespace) -> None:
     training = campaign.run_all(workloads)
     campaign.cache.save()
     results = analyze_suitability(workloads, campaign, training_set=training)
+    _manifest_update(
+        args,
+        workloads=list(args.apps),
+        n_points=len(training),
+        scale=args.scale,
+        arch_config_hash=config_hash(campaign.arch),
+        schema_hash=active_schema().content_hash,
+        cache=_cache_summary(campaign.cache),
+        model={
+            "edp_mre": {
+                r.workload: round(r.edp_mre, 6) for r in results
+            },
+            "mean_edp_mre": round(
+                sum(r.edp_mre for r in results) / len(results), 6
+            ),
+        },
+        jobs=campaign.jobs,
+    )
     rows = [
         [
             r.workload,

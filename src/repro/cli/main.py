@@ -3,12 +3,48 @@
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import traceback
 from typing import Sequence
 
 from .. import __version__
 from ..errors import ReproError
+from ..obs import RunManifest, configure_logging, get_logger, metrics
 from . import commands
+
+log = get_logger("repro")
+
+#: Environment variable forcing full tracebacks on unexpected errors.
+DEBUG_ENV_VAR = "REPRO_DEBUG"
+
+#: Exit code for SIGINT, per POSIX convention (128 + SIGINT).
+EXIT_INTERRUPTED = 130
+
+
+def _add_global_flags(p: argparse.ArgumentParser, *, root: bool) -> None:
+    """Logging/observability flags, accepted both before and after the
+    subcommand.
+
+    The subparser copies default to ``argparse.SUPPRESS`` so a flag given
+    only at the root position is not clobbered by the subparser's
+    defaults when the namespaces merge.
+    """
+    suppress = {} if root else {"default": argparse.SUPPRESS}
+    p.add_argument(
+        "--verbose", "-v", action="count",
+        help="log progress to stderr (-v info, -vv debug)",
+        **({"default": 0} if root else {"default": argparse.SUPPRESS}),
+    )
+    p.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="errors only on stderr", **suppress,
+    )
+    p.add_argument(
+        "--log-json", metavar="FILE",
+        help="append JSON-lines structured logs (full detail) to FILE",
+        **({"default": None} if root else {"default": argparse.SUPPRESS}),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -22,6 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
     )
+    _add_global_flags(parser, root=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
     # Shared workload/config arguments -----------------------------------
@@ -54,10 +91,22 @@ def build_parser() -> argparse.ArgumentParser:
                  "0 = all CPUs; results are identical at any job count)",
         )
 
-    p = sub.add_parser("workloads", help="list workloads and parameters")
+    def add_manifest_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--manifest", metavar="PATH",
+            help="write a JSON run manifest (args, config/schema hashes, "
+                 "per-phase wall times, cache hit ratio, exit code) to PATH",
+        )
+
+    def new_command(name: str, **kwargs) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, **kwargs)
+        _add_global_flags(p, root=False)
+        return p
+
+    p = new_command("workloads", help="list workloads and parameters")
     p.set_defaults(func=commands.cmd_workloads)
 
-    p = sub.add_parser("profile", help="phase 1: profile a configuration")
+    p = new_command("profile", help="phase 1: profile a configuration")
     add_workload_args(p)
     p.add_argument(
         "--top", type=int, default=20,
@@ -65,19 +114,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=commands.cmd_profile)
 
-    p = sub.add_parser("simulate", help="phase 2: simulate on the NMC system")
+    p = new_command("simulate", help="phase 2: simulate on the NMC system")
     add_workload_args(p)
     add_arch_args(p)
     p.set_defaults(func=commands.cmd_simulate)
 
-    p = sub.add_parser("campaign", help="run a workload's CCD campaign")
+    p = new_command("campaign", help="run a workload's CCD campaign")
     add_workload_args(p)
     add_arch_args(p)
     p.add_argument("--cache", help="campaign cache file (JSON)")
     add_jobs_arg(p)
+    add_manifest_arg(p)
     p.set_defaults(func=commands.cmd_campaign)
 
-    p = sub.add_parser("train", help="train a NAPEL model and save it")
+    p = new_command("train", help="train a NAPEL model and save it")
     p.add_argument(
         "apps", nargs="+", help="workloads whose CCD campaigns form the "
         "training set",
@@ -96,15 +146,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=1.0, help="trace shrink factor"
     )
     add_jobs_arg(p)
+    add_manifest_arg(p)
     p.set_defaults(func=commands.cmd_train)
 
-    p = sub.add_parser("predict", help="predict with a saved model")
+    p = new_command("predict", help="predict with a saved model")
     add_workload_args(p)
     add_arch_args(p)
     p.add_argument("--model-file", "-m", required=True, help="model file")
     p.set_defaults(func=commands.cmd_predict)
 
-    p = sub.add_parser(
+    p = new_command(
         "schema",
         help="print or diff the active model-input feature schema",
     )
@@ -122,7 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=commands.cmd_schema)
 
-    p = sub.add_parser(
+    p = new_command(
         "suitability", help="EDP-based NMC-suitability analysis (Sec. 3.4)"
     )
     p.add_argument("apps", nargs="+", help="workloads to analyze")
@@ -131,18 +182,76 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=1.0, help="trace shrink factor"
     )
     add_jobs_arg(p)
+    add_manifest_arg(p)
     p.set_defaults(func=commands.cmd_suitability)
 
     return parser
 
 
+def _debug_enabled(verbosity: int) -> bool:
+    return verbosity > 0 or bool(os.environ.get(DEBUG_ENV_VAR, "").strip())
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Error contract (fail loud, no raw tracebacks by default):
+
+    * expected framework errors (:class:`ReproError`) -> one line, exit 2;
+    * SIGINT mid-run -> one line, exit 130;
+    * anything else -> one-line exception summary, exit 1 (full traceback
+      with ``--verbose`` or ``REPRO_DEBUG=1``).
+
+    When the subcommand accepts ``--manifest PATH``, the manifest is
+    written even on failure, with the exit code recorded.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
+    verbosity = -1 if getattr(args, "quiet", False) else args.verbose
+    configure_logging(verbosity, json_path=args.log_json)
+    manifest = RunManifest(
+        args.command or "",
+        list(argv) if argv is not None else sys.argv[1:],
+    )
+    args._run_manifest = manifest
+    code = 0
     try:
         args.func(args)
     except ReproError as exc:
+        if _debug_enabled(verbosity):
+            traceback.print_exc()
         print(f"error: {exc}", file=sys.stderr)
-        return 2
-    return 0
+        code = 2
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        code = EXIT_INTERRUPTED
+    except Exception as exc:  # noqa: BLE001 - the CLI's last line of defence
+        if _debug_enabled(verbosity):
+            traceback.print_exc()
+        log.error(
+            "unexpected error",
+            extra={"ctx": {
+                "exception": type(exc).__name__, "message": str(exc),
+            }},
+        )
+        print(
+            f"unexpected error: {type(exc).__name__}: {exc} "
+            f"(re-run with --verbose or {DEBUG_ENV_VAR}=1 for the "
+            "full traceback)",
+            file=sys.stderr,
+        )
+        code = 1
+    finally:
+        manifest_path = getattr(args, "manifest", None)
+        if manifest_path:
+            try:
+                manifest.finish(code, registry=metrics())
+                manifest.write(manifest_path)
+            except OSError as exc:
+                print(
+                    f"error: could not write manifest {manifest_path}: "
+                    f"{exc}",
+                    file=sys.stderr,
+                )
+                code = code or 1
+    return code

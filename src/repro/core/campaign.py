@@ -24,12 +24,15 @@ from ..config import NMCConfig, default_nmc_config
 from ..doe import ParameterSpace, central_composite
 from ..errors import CampaignError
 from ..nmcsim import NMCSimulator, SimulationResult
+from ..obs import get_logger, metrics
 from ..parallel import map_jobs, resolve_jobs
 from ..profiler import ApplicationProfile, analyze_trace
 from ..schema import active_schema
 from ..workloads import Workload
 from ..workloads.base import config_seed
 from .dataset import TrainingRow, TrainingSet
+
+log = get_logger("repro.campaign")
 
 
 def _arch_key(arch: NMCConfig) -> str:
@@ -54,18 +57,43 @@ class CampaignCache:
     def __init__(self, path: str | Path | None = None) -> None:
         self._profiles: dict[str, ApplicationProfile] = {}
         self._results: dict[tuple[str, str], SimulationResult] = {}
+        #: Lookup accounting (reset never; one cache = one campaign run's
+        #: worth of statistics for the run manifest).
+        self.hits = 0
+        self.misses = 0
         self.path = Path(path) if path is not None else None
         if self.path is not None and self.path.exists():
             self._load()
 
+    @property
+    def hit_ratio(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
     def get(
-        self, point_key: str, arch_key: str
+        self, point_key: str, arch_key: str, *, record: bool = True
     ) -> tuple[ApplicationProfile, SimulationResult] | None:
+        """One point lookup.  ``record=False`` skips the hit/miss
+        accounting — used by internal re-reads (e.g. the parallel merge
+        loop re-fetching points it just stored) so serial and parallel
+        campaigns report identical statistics."""
         profile = self._profiles.get(point_key)
         result = self._results.get((point_key, arch_key))
-        if profile is not None and result is not None:
-            return profile, result
-        return None
+        found = profile is not None and result is not None
+        if record:
+            if found:
+                self.hits += 1
+                metrics().inc("campaign.cache.hits")
+                log.debug(
+                    "cache hit", extra={"ctx": {"point": point_key}}
+                )
+            else:
+                self.misses += 1
+                metrics().inc("campaign.cache.misses")
+                log.debug(
+                    "cache miss", extra={"ctx": {"point": point_key}}
+                )
+        return (profile, result) if found else None
 
     def get_profile(self, point_key: str) -> ApplicationProfile | None:
         return self._profiles.get(point_key)
@@ -158,13 +186,16 @@ def _simulate_point_job(
     """
     workload, config, seed, arch, scale = job
     start = time.perf_counter()
-    trace = workload.generate(config, scale=scale, seed=seed)
-    profile = analyze_trace(
-        trace, workload=workload.name, parameters=dict(config)
-    )
+    with metrics().timer("phase.trace"):
+        trace = workload.generate(config, scale=scale, seed=seed)
+    with metrics().timer("phase.profile"):
+        profile = analyze_trace(
+            trace, workload=workload.name, parameters=dict(config)
+        )
     result = NMCSimulator(arch).run(
         trace, workload=workload.name, parameters=dict(config)
     )
+    metrics().inc("campaign.points.simulated")
     return profile, result, time.perf_counter() - start
 
 
@@ -226,16 +257,30 @@ class SimulationCampaign:
             profile, result = cached
         else:
             start = time.perf_counter()
-            trace = workload.generate(config, scale=self.scale, seed=seed)
+            with metrics().timer("phase.trace"):
+                trace = workload.generate(
+                    config, scale=self.scale, seed=seed
+                )
             profile = self.cache.get_profile(point_key)
             if profile is None:
-                profile = analyze_trace(
-                    trace, workload=workload.name, parameters=dict(config)
-                )
+                with metrics().timer("phase.profile"):
+                    profile = analyze_trace(
+                        trace, workload=workload.name,
+                        parameters=dict(config),
+                    )
             result = self._simulator.run(
                 trace, workload=workload.name, parameters=dict(config)
             )
             elapsed = time.perf_counter() - start
+            metrics().inc("campaign.points.simulated")
+            log.debug(
+                "point simulated",
+                extra={"ctx": {
+                    "workload": workload.name,
+                    "point": point_key,
+                    "seconds": round(elapsed, 3),
+                }},
+            )
             self.doe_run_seconds[workload.name] = (
                 self.doe_run_seconds.get(workload.name, 0.0) + elapsed
             )
@@ -265,8 +310,9 @@ class SimulationCampaign:
         :class:`TrainingSet` identical to a serial run.
         """
         if configs is None:
-            space = ParameterSpace.of_workload(workload)
-            configs = central_composite(space)
+            with metrics().timer("phase.doe"):
+                space = ParameterSpace.of_workload(workload)
+                configs = central_composite(space)
         if not configs:
             raise CampaignError("campaign needs at least one configuration")
         jobs_n = self.jobs if jobs is None else resolve_jobs(jobs)
@@ -278,15 +324,42 @@ class SimulationCampaign:
             replicate = seen.get(key, 0)
             seen[key] = replicate + 1
             points.append((validated, replicate))
+        log.info(
+            "campaign start",
+            extra={"ctx": {
+                "workload": workload.name,
+                "points": len(points),
+                "jobs": jobs_n,
+                "cached": len(self.cache),
+            }},
+        )
         start = time.perf_counter()
         if jobs_n > 1:
             rows = self._run_points_parallel(workload, points, jobs_n)
         else:
-            rows = [
-                self.run_point(workload, config, replicate=replicate)
-                for config, replicate in points
-            ]
-        self.wall_seconds[workload.name] = time.perf_counter() - start
+            rows = []
+            for i, (config, replicate) in enumerate(points, 1):
+                rows.append(
+                    self.run_point(workload, config, replicate=replicate)
+                )
+                log.info(
+                    "campaign progress",
+                    extra={"ctx": {
+                        "workload": workload.name,
+                        "point": i,
+                        "of": len(points),
+                    }},
+                )
+        elapsed = time.perf_counter() - start
+        self.wall_seconds[workload.name] = elapsed
+        log.info(
+            "campaign done",
+            extra={"ctx": {
+                "workload": workload.name,
+                "points": len(points),
+                "seconds": round(elapsed, 3),
+            }},
+        )
         return TrainingSet(rows)
 
     def _run_points_parallel(
@@ -315,16 +388,26 @@ class SimulationCampaign:
         )
         # Merge in dispatch order so cache contents and timing tallies are
         # independent of worker completion order.
-        for (point_key, _), (profile, result, elapsed) in zip(
-            pending, outputs
+        for i, ((point_key, _), (profile, result, elapsed)) in enumerate(
+            zip(pending, outputs), 1
         ):
             self.cache.put(point_key, arch_key, profile, result)
             self.doe_run_seconds[workload.name] = (
                 self.doe_run_seconds.get(workload.name, 0.0) + elapsed
             )
+            log.info(
+                "campaign progress",
+                extra={"ctx": {
+                    "workload": workload.name,
+                    "point": i,
+                    "of": len(pending),
+                }},
+            )
         rows: list[TrainingRow] = []
         for (config, _), point_key in zip(points, keys):
-            cached = self.cache.get(point_key, arch_key)
+            # record=False: accounting happened at the pending check above;
+            # this re-read is bookkeeping, not a campaign-level lookup.
+            cached = self.cache.get(point_key, arch_key, record=False)
             assert cached is not None
             profile, result = cached
             rows.append(TrainingRow(

@@ -17,9 +17,12 @@ import numpy as np
 
 from ..errors import MLError
 from ..ml import mean_relative_error
+from ..obs import get_logger, metrics
 from ..parallel import map_jobs, resolve_jobs
 from .dataset import TrainingSet
 from .pipeline import NapelTrainer
+
+log = get_logger("repro.ml")
 
 
 @dataclass
@@ -43,6 +46,7 @@ class LoocvResult:
 def _loocv_fold_job(job) -> tuple[str, float, float, float]:
     """Train-and-score one held-out application (module-level: picklable)."""
     training_set, app, model, tune, n_estimators, random_state = job
+    metrics().inc("loocv.folds")
     train_set = training_set.exclude(app)
     test_set = training_set.filter(app)
     trainer = NapelTrainer(
@@ -89,10 +93,27 @@ def evaluate_loocv(
         (training_set, app, model, tune, n_estimators, random_state)
         for app in apps
     ]
+    log.info(
+        "loocv start",
+        extra={"ctx": {
+            "model": model,
+            "folds": len(apps),
+            "jobs": resolve_jobs(jobs),
+        }},
+    )
     for app, perf, energy, seconds in map_jobs(
         _loocv_fold_job, fold_jobs, jobs_n=resolve_jobs(jobs), chunk=1
     ):
         result.perf_mre[app] = perf
         result.energy_mre[app] = energy
         result.train_seconds[app] = seconds
+        log.info(
+            "loocv fold done",
+            extra={"ctx": {
+                "held_out": app,
+                "perf_mre": round(perf, 6),
+                "energy_mre": round(energy, 6),
+                "train_seconds": round(seconds, 3),
+            }},
+        )
     return result

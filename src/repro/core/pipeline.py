@@ -21,6 +21,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..errors import MLError
+from ..obs import get_logger, metrics
 from ..parallel import resolve_jobs
 from ..ml import (
     KFold,
@@ -31,6 +32,8 @@ from ..ml import (
 )
 from .dataset import TrainingSet
 from .predictor import NapelModel
+
+log = get_logger("repro.ml")
 
 #: Default hyper-parameter grid for the random forest (paper: tuning).
 DEFAULT_RF_GRID: dict = {
@@ -157,15 +160,35 @@ class NapelTrainer:
             )
             y_ipc = y_ipc - ipc_off
             y_epi = y_epi - epi_off
+        log.info(
+            "training start",
+            extra={"ctx": {
+                "model": self.model,
+                "rows": len(training_set),
+                "tune": self.tune,
+                "jobs": self.jobs,
+            }},
+        )
         start = time.perf_counter()
-        ipc_model, ipc_tuning = self._fit_target(X, y_ipc)
-        ipc_seconds = time.perf_counter() - start
-        energy_model, energy_tuning = self._fit_target(X, y_epi)
+        with metrics().timer("phase.train"):
+            ipc_model, ipc_tuning = self._fit_target(X, y_ipc)
+            ipc_seconds = time.perf_counter() - start
+            energy_model, energy_tuning = self._fit_target(X, y_epi)
         elapsed = time.perf_counter() - start
+        metrics().inc("ml.models.trained")
         stage_seconds = {
             "fit_ipc": ipc_seconds,
             "fit_energy": elapsed - ipc_seconds,
         }
+        log.info(
+            "training done",
+            extra={"ctx": {
+                "model": self.model,
+                "seconds": round(elapsed, 3),
+                "fit_ipc_s": round(ipc_seconds, 3),
+                "fit_energy_s": round(elapsed - ipc_seconds, 3),
+            }},
+        )
         model = NapelModel(
             ipc_model,
             energy_model,

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..config import NMCConfig
 from ..errors import MLError, SchemaMismatchError
+from ..obs import metrics
 from ..profiler import ApplicationProfile
 from ..schema import FeatureSchema, active_schema
 
@@ -232,10 +233,12 @@ class NapelModel:
         for p in profiles:
             if p.instruction_count <= 0:
                 raise MLError("profile has no instructions")
-        X = np.vstack([self.features(p, arch) for p in profiles])
-        ipc_per_pe, epi = self.predict_labels(
-            X, schema=active_schema(), align=align
-        )
+        with metrics().timer("phase.predict"):
+            X = np.vstack([self.features(p, arch) for p in profiles])
+            ipc_per_pe, epi = self.predict_labels(
+                X, schema=active_schema(), align=align
+            )
+        metrics().inc("ml.predictions", len(profiles))
         if (ipc_per_pe <= 0).any() or (epi <= 0).any():
             raise MLError("model produced a non-positive prediction")
         freq_hz = arch.frequency_ghz * 1e9

@@ -15,14 +15,35 @@ exceeds 1.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..config import HostConfig
+from ..errors import ReproError
 from ..hostsim import HostSimulator
+from ..obs import get_logger, metrics
 from ..workloads import Workload
 from .campaign import SimulationCampaign
 from .dataset import TrainingSet
 from .pipeline import NapelTrainer
+
+log = get_logger("repro.campaign")
+
+
+def _require_positive(workload: str, component: str, value: float) -> float:
+    """Fail loud on zero/negative/non-finite EDP components.
+
+    A zero simulated or predicted time/energy would otherwise surface as a
+    bare ``ZeroDivisionError`` deep inside an EDP ratio; name the workload
+    and the offending component instead.
+    """
+    if not math.isfinite(value) or value <= 0.0:
+        raise ReproError(
+            f"suitability analysis for {workload!r}: {component} is "
+            f"{value!r}; EDP ratios need finite, positive times and "
+            "energies"
+        )
+    return value
 
 
 @dataclass(frozen=True)
@@ -44,11 +65,27 @@ class SuitabilityResult:
     @property
     def edp_reduction_actual(self) -> float:
         """Host EDP / simulated NMC EDP (the paper's "Actual" bar)."""
+        _require_positive(
+            self.workload, "simulated NMC time (nmc_time_actual_s)",
+            self.nmc_time_actual_s,
+        )
+        _require_positive(
+            self.workload, "simulated NMC energy (nmc_energy_actual_j)",
+            self.nmc_energy_actual_j,
+        )
         return self.host_edp / (self.nmc_energy_actual_j * self.nmc_time_actual_s)
 
     @property
     def edp_reduction_pred(self) -> float:
         """Host EDP / NAPEL-predicted NMC EDP (the paper's "NAPEL" bar)."""
+        _require_positive(
+            self.workload, "predicted NMC time (nmc_time_pred_s)",
+            self.nmc_time_pred_s,
+        )
+        _require_positive(
+            self.workload, "predicted NMC energy (nmc_energy_pred_j)",
+            self.nmc_energy_pred_j,
+        )
         return self.host_edp / (self.nmc_energy_pred_j * self.nmc_time_pred_s)
 
     @property
@@ -62,6 +99,14 @@ class SuitabilityResult:
     @property
     def edp_mre(self) -> float:
         """Relative error of NAPEL's EDP estimate vs the simulator's."""
+        _require_positive(
+            self.workload, "simulated NMC time (nmc_time_actual_s)",
+            self.nmc_time_actual_s,
+        )
+        _require_positive(
+            self.workload, "simulated NMC energy (nmc_energy_actual_j)",
+            self.nmc_energy_actual_j,
+        )
         actual = self.nmc_energy_actual_j * self.nmc_time_actual_s
         pred = self.nmc_energy_pred_j * self.nmc_time_pred_s
         return abs(pred - actual) / actual
@@ -93,29 +138,48 @@ def analyze_suitability(
     test_rows = {
         w.name: campaign.run_point(w, w.test_config()) for w in workloads
     }
+    # One combined set (campaign rows + every test row) built ONCE: each
+    # held-out fold is then a row-index *view* over its shared feature
+    # matrix (see TrainingSet._view), not a per-application rebuild.
+    combined = TrainingSet.concat(
+        [training_set, TrainingSet(list(test_rows.values()))]
+    )
     results: list[SuitabilityResult] = []
     for workload in workloads:
         test_row = test_rows[workload.name]
         host_result = host.evaluate(test_row.profile)
         trainer = NapelTrainer(**(trainer_kwargs or {}))
-        train_rows = TrainingSet(
-            training_set.exclude(workload.name).rows
-            + [
-                row for name, row in test_rows.items()
-                if name != workload.name
-            ]
+        train_rows = combined.exclude(workload.name)
+        assert train_rows._root is combined or train_rows._root is combined._root, (
+            "suitability fold must stay a columnar view of the combined set"
         )
         trained = trainer.train(train_rows)
         prediction = trained.model.predict(test_row.profile, campaign.arch)
-        results.append(
-            SuitabilityResult(
-                workload=workload.name,
-                host_time_s=host_result.time_s,
-                host_energy_j=host_result.energy_j,
-                nmc_time_actual_s=test_row.result.time_s,
-                nmc_energy_actual_j=test_row.result.energy_j,
-                nmc_time_pred_s=prediction.time_s,
-                nmc_energy_pred_j=prediction.energy_j,
-            )
+        metrics().inc("suitability.apps")
+        for component, value in (
+            ("simulated NMC time (nmc_time_actual_s)", test_row.result.time_s),
+            ("simulated NMC energy (nmc_energy_actual_j)", test_row.result.energy_j),
+            ("predicted NMC time (nmc_time_pred_s)", prediction.time_s),
+            ("predicted NMC energy (nmc_energy_pred_j)", prediction.energy_j),
+        ):
+            _require_positive(workload.name, component, value)
+        result = SuitabilityResult(
+            workload=workload.name,
+            host_time_s=host_result.time_s,
+            host_energy_j=host_result.energy_j,
+            nmc_time_actual_s=test_row.result.time_s,
+            nmc_energy_actual_j=test_row.result.energy_j,
+            nmc_time_pred_s=prediction.time_s,
+            nmc_energy_pred_j=prediction.energy_j,
         )
+        log.info(
+            "suitability app done",
+            extra={"ctx": {
+                "workload": workload.name,
+                "edp_reduction_actual": round(result.edp_reduction_actual, 4),
+                "edp_reduction_pred": round(result.edp_reduction_pred, 4),
+                "edp_mre": round(result.edp_mre, 4),
+            }},
+        )
+        results.append(result)
     return results

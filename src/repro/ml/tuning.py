@@ -24,9 +24,12 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..errors import MLError
+from ..obs import get_logger, metrics
 from ..parallel import map_jobs, resolve_jobs
 from .cross_validation import KFold, cross_val_score
 from .forest import RandomForestRegressor
+
+log = get_logger("repro.ml")
 
 
 @dataclass
@@ -50,6 +53,7 @@ def _combinations(grid: Mapping[str, Sequence]) -> list[dict]:
 def _score_combo(job) -> float:
     """Score one hyper-parameter combination (module-level: picklable)."""
     base_model, params, X, y, use_oob, cv = job
+    metrics().inc("ml.tuning.combinations")
     candidate = base_model.clone(**params)
     if use_oob:
         if not isinstance(candidate, RandomForestRegressor):
@@ -87,21 +91,41 @@ def grid_search(
         raise MLError("use_oob requires a RandomForestRegressor")
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y, dtype=np.float64).ravel()
-    combo_scores = map_jobs(
-        _score_combo,
-        [(base_model, params, X, y, use_oob, cv) for params in combos],
-        jobs_n=resolve_jobs(jobs),
-        chunk=1,
+    log.info(
+        "grid search start",
+        extra={"ctx": {
+            "combinations": len(combos),
+            "scoring": "oob" if use_oob else "kfold",
+            "rows": len(y),
+        }},
     )
+    with metrics().timer("ml.grid_search"):
+        combo_scores = map_jobs(
+            _score_combo,
+            [(base_model, params, X, y, use_oob, cv) for params in combos],
+            jobs_n=resolve_jobs(jobs),
+            chunk=1,
+        )
     scores: list[tuple[dict, float]] = []
     best_params: dict | None = None
     best_score = np.inf
     for params, score in zip(combos, combo_scores):
         scores.append((params, score))
+        log.debug(
+            "tuning iteration",
+            extra={"ctx": {"params": params, "score": round(score, 6)}},
+        )
         if score < best_score:
             best_score = score
             best_params = params
     assert best_params is not None
+    log.info(
+        "grid search done",
+        extra={"ctx": {
+            "best_params": best_params,
+            "best_score": round(best_score, 6),
+        }},
+    )
     best_model = base_model.clone(**best_params)
     best_model.fit(X, y)
     return GridSearchResult(

@@ -18,11 +18,18 @@ from ..errors import ConfigError
 
 @dataclass
 class CacheStats:
-    """Hit/miss/writeback counters of one cache instance."""
+    """Hit/miss/writeback counters of one cache instance.
+
+    ``writebacks`` counts every dirty line written back to DRAM — both
+    evictions during execution and the end-of-kernel flush of still-dirty
+    resident lines (see :meth:`Cache.flush`).  ``flushes`` is the flush
+    subset, kept separately so the eviction-only count stays recoverable.
+    """
 
     hits: int = 0
     misses: int = 0
     writebacks: int = 0
+    flushes: int = 0
 
     @property
     def accesses(self) -> int:
@@ -36,6 +43,7 @@ class CacheStats:
         self.hits += other.hits
         self.misses += other.misses
         self.writebacks += other.writebacks
+        self.flushes += other.flushes
 
 
 class Cache:
@@ -88,7 +96,29 @@ class Cache:
         return False, writeback
 
     def flush_dirty_count(self) -> int:
-        """Number of dirty lines still resident (flushed at kernel end)."""
+        """Number of dirty lines still resident (flushed at kernel end).
+
+        Read-only census; :meth:`flush` actually performs the flush and
+        records it in the statistics.
+        """
         return sum(
             1 for entries in self._sets for entry in entries if entry[1]
         )
+
+    def flush(self) -> int:
+        """Write back all resident dirty lines (end-of-kernel flush).
+
+        Marks the lines clean and counts each once in
+        ``stats.writebacks`` (and ``stats.flushes``); returns how many
+        lines were flushed so the caller can add the matching DRAM write
+        traffic.  Idempotent: a second flush finds nothing dirty.
+        """
+        flushed = 0
+        for entries in self._sets:
+            for entry in entries:
+                if entry[1]:
+                    entry[1] = False
+                    flushed += 1
+        self.stats.writebacks += flushed
+        self.stats.flushes += flushed
+        return flushed

@@ -55,6 +55,7 @@ class SimulationResult:
                 "hits": self.cache.hits,
                 "misses": self.cache.misses,
                 "writebacks": self.cache.writebacks,
+                "flushes": self.cache.flushes,
             },
             "dram": {
                 "accesses": self.dram.accesses,
@@ -86,6 +87,8 @@ class SimulationResult:
                 hits=int(data["cache"]["hits"]),
                 misses=int(data["cache"]["misses"]),
                 writebacks=int(data["cache"]["writebacks"]),
+                # Absent in caches written before flush accounting landed.
+                flushes=int(data["cache"].get("flushes", 0)),
             ),
             dram=VaultStats(
                 accesses=int(data["dram"]["accesses"]),

@@ -27,10 +27,13 @@ import numpy as np
 from ..config import NMCConfig, default_nmc_config
 from ..errors import SimulationError
 from ..ir import OPCODE_LATENCY, InstructionTrace, Opcode
+from ..obs import get_logger, metrics
 from .cache import Cache, CacheStats
 from .dram import StackedMemory
 from .energy import compute_energy
 from .results import SimulationResult
+
+log = get_logger("repro.nmcsim")
 
 #: numpy lookup table: opcode value -> execute latency (cycles).
 _LATENCY_LUT = np.zeros(max(int(op) for op in Opcode) + 1, dtype=np.int64)
@@ -133,6 +136,27 @@ class NMCSimulator:
         """Simulate one trace; returns IPC, time and energy."""
         if len(trace) == 0:
             raise SimulationError("cannot simulate an empty trace")
+        with metrics().timer("phase.simulate") as span:
+            result = self._run(trace, workload=workload, parameters=parameters)
+        metrics().inc("nmcsim.runs")
+        log.debug(
+            "simulation done",
+            extra={"ctx": {
+                "workload": workload or "(unnamed)",
+                "instructions": result.instructions,
+                "cycles": result.cycles,
+                "seconds": round(span.elapsed_s or 0.0, 3),
+            }},
+        )
+        return result
+
+    def _run(
+        self,
+        trace: InstructionTrace,
+        *,
+        workload: str = "",
+        parameters: Mapping[str, float] | None = None,
+    ) -> SimulationResult:
         cfg = self.config
         cycle_ns = cfg.cycle_ns
         line_shift = cfg.line_bytes.bit_length() - 1
@@ -218,14 +242,16 @@ class NMCSimulator:
         instructions = len(trace)
         ipc = instructions / cycles
 
-        # Aggregate statistics.
+        # Dirty lines still resident are flushed back at kernel completion:
+        # flush() counts each line once in the cache's writeback stats, and
+        # the matching DRAM write traffic (and thus DRAM access energy) is
+        # added below — once per flushed line, same as an eviction.
+        flush_writes = sum(s.cache.flush() for s in streams)
+        memory.writes += flush_writes
+        # Aggregate statistics (after the flush so it is included).
         cache_stats = CacheStats()
         for s in streams:
             cache_stats.merge(s.cache.stats)
-        # Dirty lines still resident are flushed back at kernel completion.
-        flush_writes = sum(s.cache.flush_dirty_count() for s in streams)
-        for _ in range(flush_writes):
-            memory.writes += 1
         dram_stats = memory.stats()
 
         addrs, _sizes, _w = trace.memory_accesses()

@@ -1,0 +1,45 @@
+"""Structured observability: logging, metrics/timing, run manifests.
+
+The instrumentation backbone of the long-running layers (campaigns,
+simulation, training, LOOCV, parallel workers):
+
+* :mod:`repro.obs.logging` — the ``repro.*`` logger hierarchy with human
+  and JSON-lines formatters (``repro -v`` / ``repro --log-json FILE``);
+* :mod:`repro.obs.metrics` — process-global :class:`MetricsRegistry` of
+  counters and monotonic timer spans, with snapshot/diff/merge so worker
+  processes' activity aggregates exactly into the parent;
+* :mod:`repro.obs.manifest` — :class:`RunManifest`, the JSON document a
+  CLI run emits under ``--manifest PATH``.
+
+See ``docs/API.md`` ("Observability") for logger names, counter names and
+the manifest schema.
+"""
+
+from .logging import (
+    HumanFormatter,
+    JsonLinesFormatter,
+    configure_logging,
+    get_logger,
+    verbosity_level,
+)
+from .manifest import RunManifest, config_hash
+from .metrics import (
+    MetricsRegistry,
+    TimerSpan,
+    metrics,
+    phase_timings,
+)
+
+__all__ = [
+    "HumanFormatter",
+    "JsonLinesFormatter",
+    "MetricsRegistry",
+    "RunManifest",
+    "TimerSpan",
+    "config_hash",
+    "configure_logging",
+    "get_logger",
+    "metrics",
+    "phase_timings",
+    "verbosity_level",
+]

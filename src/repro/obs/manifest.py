@@ -1,0 +1,113 @@
+"""Run manifests: one JSON document describing a CLI invocation.
+
+Every ``repro campaign`` / ``train`` / ``suitability`` run can emit a
+manifest (``--manifest PATH``) recording what ran and how it went:
+
+.. code-block:: json
+
+    {
+      "repro_version": "1.0.0",
+      "command": "campaign",
+      "argv": ["campaign", "gemv", "--scale", "4"],
+      "started_at_unix": 1754390000.0,
+      "schema_hash": "9f0c...",
+      "arch_config_hash": "1b22...",
+      "workloads": ["gemv"],
+      "n_points": 11,
+      "cache": {"hits": 0, "misses": 11, "hit_ratio": 0.0},
+      "phases": {"trace": 1.2, "profile": 0.8, "simulate": 3.1},
+      "model": {"name": "rf", "ipc_mre": 0.04, "ipc_r2": 0.99},
+      "metrics": {"counters": {...}, "timers": {...}},
+      "wall_seconds": 5.3,
+      "exit_code": 0
+    }
+
+``model``/``cache``/``workloads``/``n_points`` appear only when the
+command produced them; ``exit_code`` is always present (the manifest is
+written even when the run fails, so a batch driver can tell *which* phase
+died and after how long).  Writes are atomic (tmp file + ``os.replace``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+from .metrics import MetricsRegistry, metrics, phase_timings
+
+
+def config_hash(config) -> str:
+    """Stable SHA-256 of a (dataclass) configuration's field values."""
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        payload = dataclasses.asdict(config)
+    else:
+        payload = config
+    text = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _package_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+class RunManifest:
+    """Mutable manifest builder; commands fill it in, ``main`` writes it."""
+
+    def __init__(self, command: str, argv: list[str] | None = None) -> None:
+        self.data: dict = {
+            "repro_version": _package_version(),
+            "command": command,
+            "argv": list(argv or []),
+            "started_at_unix": round(time.time(), 3),
+        }
+        self._t0 = time.monotonic()
+
+    def update(self, **fields) -> "RunManifest":
+        """Set top-level manifest fields (last write wins)."""
+        self.data.update(fields)
+        return self
+
+    def finish(
+        self,
+        exit_code: int,
+        *,
+        registry: MetricsRegistry | None = None,
+    ) -> dict:
+        """Stamp the end-of-run fields; returns the manifest dict."""
+        snapshot = (registry or metrics()).snapshot()
+        self.data["phases"] = phase_timings(snapshot)
+        self.data["metrics"] = snapshot
+        self.data["wall_seconds"] = round(time.monotonic() - self._t0, 6)
+        self.data["exit_code"] = exit_code
+        return self.data
+
+    def to_json_dict(self) -> dict:
+        return json.loads(json.dumps(self.data, default=str))
+
+    def write(self, path: str | Path) -> Path:
+        """Atomically write the manifest JSON to ``path``."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(self.data, indent=2, default=str) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "RunManifest":
+        manifest = cls(data.get("command", ""), data.get("argv", []))
+        manifest.data = dict(data)
+        return manifest
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunManifest":
+        return cls.from_json_dict(json.loads(Path(path).read_text()))

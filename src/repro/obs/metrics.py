@@ -1,0 +1,192 @@
+"""Lightweight metrics: monotonic timers and counters with a registry.
+
+The registry is the process-global accounting surface every long-running
+layer reports through: campaign points, cache hits/misses, simulator runs,
+tuning combinations, LOOCV folds, prediction calls.  Two primitives:
+
+* **counters** — monotonically increasing integers (``inc(name)``);
+* **timer spans** — context managers around a phase (``timer(name)``),
+  recording count / total / min / max seconds on a monotonic clock.
+  Spans nest (a ``phase.train`` span may contain ``ml.grid_search``
+  spans); the registry tracks the active stack so instrumentation can ask
+  :meth:`MetricsRegistry.current_spans`.
+
+Snapshots are plain JSON-serializable dicts.  Cross-process aggregation
+works by *delta shipping*: a pool worker snapshots the registry before a
+job, runs it, and ships ``diff(before)`` back with the result; the parent
+merges the delta with :meth:`merge_snapshot`.  Counter and span *counts*
+therefore come out identical between serial and parallel runs of the same
+work (wall-clock totals naturally differ).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterator
+
+
+def _new_timer_stat() -> dict:
+    return {"count": 0, "total_s": 0.0, "min_s": None, "max_s": None}
+
+
+class TimerSpan:
+    """One active ``with registry.timer(name):`` span."""
+
+    __slots__ = ("registry", "name", "_start", "elapsed_s")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self.registry = registry
+        self.name = name
+        self._start: float | None = None
+        self.elapsed_s: float | None = None
+
+    def __enter__(self) -> "TimerSpan":
+        self.registry._push(self.name)
+        self._start = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._start is not None, "span exited before being entered"
+        self.elapsed_s = time.monotonic() - self._start
+        self.registry._pop(self.name, self.elapsed_s)
+
+
+class MetricsRegistry:
+    """Counters + timer statistics with snapshot/merge/diff support."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._timers: dict[str, dict] = {}
+        self._stack: list[str] = []
+
+    # ----------------------------------------------------------- recording
+
+    def inc(self, name: str, n: int = 1) -> int:
+        """Increment counter ``name`` by ``n``; returns the new value."""
+        with self._lock:
+            value = self._counters.get(name, 0) + n
+            self._counters[name] = value
+            return value
+
+    def count(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def timer(self, name: str) -> TimerSpan:
+        """A context-manager span recording under ``name`` on exit."""
+        return TimerSpan(self, name)
+
+    def _push(self, name: str) -> None:
+        with self._lock:
+            self._stack.append(name)
+
+    def _pop(self, name: str, elapsed_s: float) -> None:
+        with self._lock:
+            if self._stack and self._stack[-1] == name:
+                self._stack.pop()
+            stat = self._timers.setdefault(name, _new_timer_stat())
+            stat["count"] += 1
+            stat["total_s"] += elapsed_s
+            stat["min_s"] = (
+                elapsed_s if stat["min_s"] is None
+                else min(stat["min_s"], elapsed_s)
+            )
+            stat["max_s"] = (
+                elapsed_s if stat["max_s"] is None
+                else max(stat["max_s"], elapsed_s)
+            )
+
+    def current_spans(self) -> tuple[str, ...]:
+        """The active span stack, outermost first."""
+        return tuple(self._stack)
+
+    def timer_stats(self, name: str) -> dict | None:
+        stat = self._timers.get(name)
+        return dict(stat) if stat is not None else None
+
+    # ---------------------------------------------------------- snapshots
+
+    def snapshot(self) -> dict:
+        """JSON-serializable state: ``{"counters": ..., "timers": ...}``."""
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "timers": {
+                    name: dict(stat)
+                    for name, stat in sorted(self._timers.items())
+                },
+            }
+
+    def diff(self, baseline: dict) -> dict:
+        """The activity since ``baseline`` (an earlier :meth:`snapshot`).
+
+        Counter and timer counts/totals subtract exactly; a delta's
+        min/max seconds are taken from the current stats (the registry
+        does not retain per-span history), which keeps merged minima and
+        maxima conservative bounds rather than exact values.
+        """
+        now = self.snapshot()
+        base_counters = baseline.get("counters", {})
+        base_timers = baseline.get("timers", {})
+        counters = {}
+        for name, value in now["counters"].items():
+            delta = value - base_counters.get(name, 0)
+            if delta:
+                counters[name] = delta
+        timers = {}
+        for name, stat in now["timers"].items():
+            base = base_timers.get(name, _new_timer_stat())
+            count = stat["count"] - base["count"]
+            if count:
+                timers[name] = {
+                    "count": count,
+                    "total_s": stat["total_s"] - base["total_s"],
+                    "min_s": stat["min_s"],
+                    "max_s": stat["max_s"],
+                }
+        return {"counters": counters, "timers": timers}
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold another registry's snapshot (or diff) into this one."""
+        with self._lock:
+            for name, value in snap.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, stat in snap.get("timers", {}).items():
+                mine = self._timers.setdefault(name, _new_timer_stat())
+                mine["count"] += stat["count"]
+                mine["total_s"] += stat["total_s"]
+                for key, pick in (("min_s", min), ("max_s", max)):
+                    if stat.get(key) is not None:
+                        mine[key] = (
+                            stat[key] if mine[key] is None
+                            else pick(mine[key], stat[key])
+                        )
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._timers.clear()
+            self._stack.clear()
+
+
+#: The process-global registry all instrumentation records into.
+_GLOBAL = MetricsRegistry()
+
+
+def metrics() -> MetricsRegistry:
+    """The process-global :class:`MetricsRegistry`."""
+    return _GLOBAL
+
+
+def phase_timings(snapshot: dict) -> dict[str, float]:
+    """Per-phase wall seconds from a snapshot (the ``phase.*`` timers)."""
+    out: dict[str, float] = {}
+    for name, stat in snapshot.get("timers", {}).items():
+        if name.startswith("phase."):
+            out[name.removeprefix("phase.")] = round(stat["total_s"], 6)
+    return out
+
+
+def iter_counters(snapshot: dict) -> Iterator[tuple[str, int]]:
+    yield from snapshot.get("counters", {}).items()

@@ -25,6 +25,9 @@ from typing import Callable, Iterable, Sequence, TypeVar
 import numpy as np
 
 from ..errors import ParallelError
+from ..obs import get_logger, metrics
+
+log = get_logger("repro.parallel")
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -44,6 +47,9 @@ def in_worker() -> bool:
 def _mark_worker() -> None:
     global _IN_WORKER
     _IN_WORKER = True
+    log.debug(
+        "pool worker started", extra={"ctx": {"pid": os.getpid()}}
+    )
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -85,20 +91,36 @@ def derive_seeds(base_seed: int | None, n: int) -> list[int]:
 
 
 def _call_job(payload):
-    """Pool-side shim: run one job, capturing any exception with context."""
+    """Pool-side shim: run one job, capturing any exception with context.
+
+    Besides the job's result (or failure triple), ships the *delta* of the
+    worker's metrics registry accumulated while running this job, so the
+    parent can merge counters/timers and a parallel run's aggregated
+    metrics match a serial run's counts exactly.
+    """
     index, fn, job = payload
+    before = metrics().snapshot()
     try:
-        return index, True, fn(job)
+        result = fn(job)
+        return index, True, result, metrics().diff(before)
     except BaseException as exc:  # noqa: BLE001 - reported to the parent
         return index, False, (
             type(exc).__name__,
             str(exc),
             traceback.format_exc(),
-        )
+        ), metrics().diff(before)
 
 
 def _raise_failure(index: int, job, failure) -> None:
     exc_name, exc_msg, tb = failure
+    log.error(
+        "pool job failed",
+        extra={"ctx": {
+            "job_index": index,
+            "exception": exc_name,
+            "message": exc_msg,
+        }},
+    )
     raise ParallelError(
         f"job {index} ({job!r}) failed with {exc_name}: {exc_msg}\n{tb}"
     )
@@ -190,6 +212,12 @@ class ProcessExecutor:
             # stragglers from uneven job cost.
             chunk = max(1, len(jobs) // (workers * 4))
         payloads = [(i, fn, job) for i, job in enumerate(jobs)]
+        log.debug(
+            "pool dispatch",
+            extra={"ctx": {
+                "jobs": len(jobs), "workers": workers, "chunk": chunk,
+            }},
+        )
         try:
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=workers,
@@ -205,12 +233,23 @@ class ProcessExecutor:
                 RuntimeWarning,
                 stacklevel=2,
             )
+            log.warning(
+                "process pool failed; re-running jobs serially",
+                extra={"ctx": {"error": repr(exc)}},
+            )
             return SerialExecutor().map_jobs(fn, jobs)
         out: list[R] = [None] * len(jobs)  # type: ignore[list-item]
-        for index, ok, result in raw:
+        # Merge every worker's metrics delta (including failed jobs': the
+        # work they did before dying still happened) before raising.
+        for _index, _ok, _result, delta in raw:
+            metrics().merge_snapshot(delta)
+        for index, ok, result, _delta in raw:
             if not ok:
                 _raise_failure(index, jobs[index], result)
             out[index] = result
+        log.debug(
+            "pool drained", extra={"ctx": {"jobs": len(jobs)}}
+        )
         return out
 
 

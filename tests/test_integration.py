@@ -14,7 +14,9 @@ from repro import (
     simulate,
 )
 from repro.core.dataset import TrainingSet
+from repro.core.suitability import SuitabilityResult
 from repro.doe import ParameterSpace, central_composite
+from repro.errors import ReproError
 
 
 @pytest.fixture(scope="module")
@@ -92,6 +94,30 @@ class TestFullPipeline:
         assert r_small.ipc != r_big.ipc
         assert np.array_equal(p.values, analyze_trace(trace).values)
 
+    def test_suitability_folds_share_one_feature_matrix(
+        self, mini_pipeline, monkeypatch
+    ):
+        """Each held-out fold must be a view, not a per-app matrix rebuild."""
+        campaign, apps, training, _ = mini_pipeline
+        built_roots = []
+        orig = TrainingSet._matrix
+
+        def spy(self):
+            root = self._root if self._root is not None else self
+            if root._X_cache is None:
+                built_roots.append(id(root))
+            return orig(self)
+
+        monkeypatch.setattr(TrainingSet, "_matrix", spy)
+        results = analyze_suitability(
+            apps, campaign, training_set=training,
+            trainer_kwargs={"n_estimators": 5, "tune": False},
+        )
+        assert len(results) == len(apps)
+        # Only the combined (campaign + test rows) root is ever assembled;
+        # every fold shares its matrix.
+        assert len(set(built_roots)) <= 1
+
     def test_edp_shape_for_contrasting_apps(self, mini_pipeline):
         """kme (irregular+atomics) beats gemv (streaming) on EDP ratio."""
         campaign, apps, _, _ = mini_pipeline
@@ -102,3 +128,46 @@ class TestFullPipeline:
             h = host.evaluate(row.profile)
             ratios[w.name] = (h.energy_j * h.time_s) / row.result.edp
         assert ratios["kme"] > ratios["gemv"]
+
+
+class TestSuitabilityFailLoud:
+    """Zero/non-finite EDP components must raise a named error, not a
+    bare ZeroDivisionError."""
+
+    def make_result(self, **overrides):
+        fields = dict(
+            workload="gemv",
+            host_time_s=1.0, host_energy_j=1.0,
+            nmc_time_actual_s=1.0, nmc_energy_actual_j=1.0,
+            nmc_time_pred_s=1.0, nmc_energy_pred_j=1.0,
+        )
+        fields.update(overrides)
+        return SuitabilityResult(**fields)
+
+    def test_zero_actual_time_names_workload_and_component(self):
+        result = self.make_result(nmc_time_actual_s=0.0)
+        with pytest.raises(ReproError, match="gemv.*nmc_time_actual_s"):
+            result.edp_reduction_actual
+        with pytest.raises(ReproError, match="gemv"):
+            result.edp_mre
+
+    def test_zero_predicted_energy(self):
+        result = self.make_result(nmc_energy_pred_j=0.0)
+        with pytest.raises(ReproError, match="gemv.*nmc_energy_pred_j"):
+            result.edp_reduction_pred
+
+    def test_nonfinite_component_rejected(self):
+        result = self.make_result(nmc_time_pred_s=float("nan"))
+        with pytest.raises(ReproError, match="nmc_time_pred_s"):
+            result.edp_reduction_pred
+
+    def test_negative_component_rejected(self):
+        result = self.make_result(nmc_energy_actual_j=-1.0)
+        with pytest.raises(ReproError, match="nmc_energy_actual_j"):
+            result.edp_reduction_actual
+
+    def test_healthy_result_unaffected(self):
+        result = self.make_result()
+        assert result.edp_reduction_actual == pytest.approx(1.0)
+        assert result.edp_reduction_pred == pytest.approx(1.0)
+        assert result.edp_mre == pytest.approx(0.0)

@@ -47,9 +47,19 @@ class TestMetrics:
         assert r2_score(y, y) == 1.0
         assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
 
+    def test_r2_constant_truth(self):
+        # SST == 0: perfect predictions score 1, anything else scores 0
+        # (rather than dividing by zero).
+        y = np.full(4, 5.0)
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, y + 1.0) == 0.0
+
     def test_shape_mismatch(self):
-        with pytest.raises(MLError):
-            mean_relative_error([1.0], [1.0, 2.0])
+        for metric in (
+            mean_relative_error, mean_absolute_error, rmse, r2_score
+        ):
+            with pytest.raises(MLError):
+                metric([1.0], [1.0, 2.0])
 
     def test_empty(self):
         with pytest.raises(MLError):

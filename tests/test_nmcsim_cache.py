@@ -5,6 +5,7 @@ import pytest
 from repro.config import default_nmc_config
 from repro.errors import ConfigError
 from repro.nmcsim import Cache
+from repro.nmcsim.cache import CacheStats
 
 
 class TestCacheBasics:
@@ -98,3 +99,50 @@ class TestCacheBasics:
             cache.access(200 + i, False)
             cache.access(300 + i, False)
         assert cache.stats.miss_ratio > 0.9
+
+
+class TestCacheFlush:
+    def test_flush_counts_each_dirty_line_once(self):
+        cache = Cache(n_lines=4, ways=2)
+        cache.access(0, True)
+        cache.access(1, True)
+        cache.access(2, False)
+        assert cache.flush() == 2
+        assert cache.stats.writebacks == 2
+        assert cache.stats.flushes == 2
+        assert cache.flush_dirty_count() == 0
+
+    def test_flush_is_idempotent(self):
+        cache = Cache(n_lines=2, ways=2)
+        cache.access(0, True)
+        assert cache.flush() == 1
+        assert cache.flush() == 0
+        assert cache.stats.writebacks == 1
+        assert cache.stats.flushes == 1
+
+    def test_store_sweep_writebacks_total_every_line(self):
+        """N distinct stored lines come back to DRAM exactly N times:
+        evictions while the sweep runs plus the end-of-kernel flush."""
+        cache = Cache(n_lines=2, ways=2)  # one set, two ways
+        n = 10
+        for line in range(n):
+            cache.access(line, True)
+        assert cache.stats.writebacks == n - 2  # evictions so far
+        assert cache.flush() == 2               # two lines still resident
+        assert cache.stats.writebacks == n
+        assert cache.stats.flushes == 2
+
+    def test_rewrite_after_flush_dirties_again(self):
+        cache = Cache(n_lines=2, ways=2)
+        cache.access(0, True)
+        cache.flush()
+        cache.access(0, True)  # hit on the now-clean line, re-dirties it
+        assert cache.flush() == 1
+        assert cache.stats.flushes == 2
+
+    def test_stats_merge_includes_flushes(self):
+        a = CacheStats(hits=1, misses=2, writebacks=3, flushes=1)
+        b = CacheStats(writebacks=2, flushes=2)
+        a.merge(b)
+        assert a.writebacks == 5
+        assert a.flushes == 3

@@ -172,3 +172,50 @@ class TestEnergy:
         assert restored.energy_j == pytest.approx(result.energy_j)
         assert restored.cache.misses == result.cache.misses
         assert restored.parameters == {"d": 2.0}
+
+
+class TestFlushAccounting:
+    """End-of-kernel dirty-line flushes must be counted exactly once."""
+
+    def _store_sweep_trace(self, n, line_bytes):
+        template = LoopTemplate([
+            TemplateOp(Opcode.STORE, src1=1, addr="a"),
+            TemplateOp(Opcode.IALU, dst=1, src1=1),
+        ])
+        builder = TraceBuilder()
+        addrs = 0x100000 + np.arange(n, dtype=np.int64) * line_bytes
+        template.emit(builder, n, {"a": addrs}, tid=0, pc_base=0)
+        return builder.finish()
+
+    def test_store_heavy_writebacks_include_flush(self):
+        cfg = default_nmc_config()  # tiny 2-line L1, single set
+        n = 64
+        result = simulate(self._store_sweep_trace(n, cfg.line_bytes), cfg)
+        # Every distinct stored line returns to DRAM exactly once:
+        # n - l1_lines dirty evictions during the sweep, plus the
+        # l1_lines still-resident dirty lines flushed at kernel end.
+        assert result.cache.writebacks == n
+        assert result.cache.flushes == cfg.l1_lines
+        # The DRAM write traffic (fills for the write-allocate misses +
+        # writebacks + flushes) accounts for the flushed lines too.
+        assert result.dram.writes == 2 * n
+
+    def test_flush_counters_survive_json_roundtrip(self):
+        from repro.nmcsim import SimulationResult
+
+        cfg = default_nmc_config()
+        result = simulate(self._store_sweep_trace(16, cfg.line_bytes), cfg)
+        restored = SimulationResult.from_json_dict(result.to_json_dict())
+        assert restored.cache.flushes == result.cache.flushes > 0
+        assert restored.cache.writebacks == result.cache.writebacks
+
+    def test_old_cache_entries_without_flushes_still_load(self):
+        from repro.nmcsim import SimulationResult
+
+        cfg = default_nmc_config()
+        result = simulate(self._store_sweep_trace(8, cfg.line_bytes), cfg)
+        data = result.to_json_dict()
+        del data["cache"]["flushes"]  # pre-flush-accounting cache file
+        restored = SimulationResult.from_json_dict(data)
+        assert restored.cache.flushes == 0
+        assert restored.cache.writebacks == result.cache.writebacks

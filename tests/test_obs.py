@@ -1,0 +1,297 @@
+"""Tests for the observability layer (repro.obs) and the CLI error paths."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    MetricsRegistry,
+    RunManifest,
+    config_hash,
+    configure_logging,
+    get_logger,
+    metrics,
+    phase_timings,
+    verbosity_level,
+)
+from repro.config import default_nmc_config
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+@pytest.fixture(autouse=True)
+def _restore_logging():
+    """Leave the repro logger hierarchy in its default state."""
+    yield
+    configure_logging(0)
+
+
+class TestLogging:
+    def test_get_logger_qualifies_bare_names(self):
+        assert get_logger("campaign").name == "repro.campaign"
+        assert get_logger("repro.nmcsim").name == "repro.nmcsim"
+        assert get_logger().name == "repro"
+
+    def test_verbosity_mapping(self):
+        assert verbosity_level(-1) == logging.ERROR
+        assert verbosity_level(0) == logging.WARNING
+        assert verbosity_level(1) == logging.INFO
+        assert verbosity_level(2) == logging.DEBUG
+        assert verbosity_level(5) == logging.DEBUG
+
+    def test_human_console_lines_with_context(self):
+        stream = io.StringIO()
+        configure_logging(1, stream=stream)
+        get_logger("campaign").info(
+            "point done", extra={"ctx": {"point": 3, "of": 11}}
+        )
+        get_logger("campaign").debug("hidden at -v")
+        text = stream.getvalue()
+        assert "repro.campaign: point done (point=3 of=11)" in text
+        assert "hidden" not in text
+
+    def test_json_file_gets_full_detail(self, tmp_path):
+        path = tmp_path / "run.log"
+        configure_logging(0, json_path=str(path), stream=io.StringIO())
+        get_logger("ml").debug("fold", extra={"ctx": {"held_out": "atax"}})
+        get_logger("ml").info("plain")
+        entries = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert len(entries) == 2
+        assert entries[0]["logger"] == "repro.ml"
+        assert entries[0]["level"] == "debug"
+        assert entries[0]["message"] == "fold"
+        assert entries[0]["held_out"] == "atax"
+        assert all({"ts", "level", "logger", "message"} <= set(e)
+                   for e in entries)
+
+    def test_reconfigure_replaces_managed_handlers(self):
+        first = configure_logging(1, stream=io.StringIO())
+        n_handlers = len(first.handlers)
+        second = configure_logging(2, stream=io.StringIO())
+        assert len(second.handlers) == n_handlers
+
+
+class TestMetricsRegistry:
+    def test_counters(self):
+        reg = MetricsRegistry()
+        assert reg.inc("a") == 1
+        assert reg.inc("a", 4) == 5
+        assert reg.count("a") == 5
+        assert reg.count("missing") == 0
+
+    def test_timer_nesting_and_stats(self):
+        reg = MetricsRegistry()
+        with reg.timer("outer"):
+            assert reg.current_spans() == ("outer",)
+            with reg.timer("inner") as span:
+                assert reg.current_spans() == ("outer", "inner")
+            assert span.elapsed_s is not None and span.elapsed_s >= 0
+        assert reg.current_spans() == ()
+        outer = reg.timer_stats("outer")
+        inner = reg.timer_stats("inner")
+        assert outer["count"] == 1 and inner["count"] == 1
+        assert outer["total_s"] >= inner["total_s"] >= 0.0
+        assert outer["min_s"] == outer["max_s"] == outer["total_s"]
+
+    def test_snapshot_diff_merge_roundtrip(self):
+        a = MetricsRegistry()
+        a.inc("x", 2)
+        with a.timer("t"):
+            pass
+        base = a.snapshot()
+        a.inc("x", 3)
+        a.inc("y")
+        with a.timer("t"):
+            pass
+        delta = a.diff(base)
+        assert delta["counters"] == {"x": 3, "y": 1}
+        assert delta["timers"]["t"]["count"] == 1
+        b = MetricsRegistry()
+        b.merge_snapshot(base)
+        b.merge_snapshot(delta)
+        assert b.snapshot()["counters"] == a.snapshot()["counters"]
+        assert b.timer_stats("t")["count"] == 2
+        assert b.timer_stats("t")["total_s"] == pytest.approx(
+            a.timer_stats("t")["total_s"]
+        )
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.inc("n")
+        with reg.timer("t"):
+            pass
+        assert json.loads(json.dumps(reg.snapshot())) == reg.snapshot()
+
+    def test_phase_timings_extracts_phase_namespace(self):
+        reg = MetricsRegistry()
+        with reg.timer("phase.simulate"):
+            pass
+        with reg.timer("ml.grid_search"):
+            pass
+        phases = phase_timings(reg.snapshot())
+        assert set(phases) == {"simulate"}
+        assert phases["simulate"] >= 0.0
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        with reg.timer("t"):
+            pass
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "timers": {}}
+
+
+class TestRunManifest:
+    def test_roundtrip_through_file(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.inc("campaign.points.simulated", 7)
+        with reg.timer("phase.simulate"):
+            pass
+        manifest = RunManifest("campaign", ["campaign", "gemv"])
+        manifest.update(workloads=["gemv"], n_points=7)
+        manifest.finish(0, registry=reg)
+        path = tmp_path / "m.json"
+        manifest.write(path)
+        loaded = RunManifest.load(path)
+        assert loaded.data == manifest.to_json_dict()
+        assert loaded.data["exit_code"] == 0
+        assert loaded.data["workloads"] == ["gemv"]
+        assert "simulate" in loaded.data["phases"]
+        assert (
+            loaded.data["metrics"]["counters"]["campaign.points.simulated"]
+            == 7
+        )
+
+    def test_config_hash_stable_and_sensitive(self):
+        cfg = default_nmc_config()
+        assert config_hash(cfg) == config_hash(default_nmc_config())
+        assert config_hash(cfg) != config_hash(cfg.replace(n_pes=cfg.n_pes * 2))
+        assert len(config_hash(cfg)) == 64
+
+
+class TestCliManifestAndLogs:
+    def test_campaign_emits_manifest_and_json_logs(self, capsys, tmp_path):
+        man = tmp_path / "m.json"
+        logp = tmp_path / "run.log"
+        code, _, err = run_cli(
+            capsys, "campaign", "atax", "--scale", "8",
+            "--manifest", str(man), "--log-json", str(logp), "-v",
+        )
+        assert code == 0
+        data = json.loads(man.read_text())
+        for key in (
+            "repro_version", "command", "argv", "schema_hash",
+            "arch_config_hash", "workloads", "n_points", "cache",
+            "phases", "metrics", "wall_seconds", "exit_code",
+        ):
+            assert key in data, f"manifest missing {key}"
+        assert data["command"] == "campaign"
+        assert data["exit_code"] == 0
+        assert data["workloads"] == ["atax"]
+        assert {"doe", "trace", "profile", "simulate"} <= set(data["phases"])
+        assert 0.0 <= data["cache"]["hit_ratio"] <= 1.0
+        assert data["cache"]["misses"] == data["n_points"]
+        entries = [
+            json.loads(line) for line in logp.read_text().splitlines()
+        ]
+        assert entries, "JSON log file is empty"
+        assert all({"ts", "level", "logger", "message"} <= set(e)
+                   for e in entries)
+        assert any(e["message"] == "campaign done" for e in entries)
+        assert "campaign start" in err  # -v progress on the console
+
+    def test_quiet_console_by_default(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "campaign", "atax", "--scale", "8")
+        assert code == 0
+        assert "campaign start" not in err
+
+    def test_manifest_written_on_failure(self, capsys, tmp_path):
+        man = tmp_path / "m.json"
+        code, _, err = run_cli(
+            capsys, "campaign", "nope", "--manifest", str(man)
+        )
+        assert code == 2
+        assert "unknown workload" in err
+        data = json.loads(man.read_text())
+        assert data["exit_code"] == 2
+
+    def test_jobs_metrics_equal_serial(self, capsys):
+        reg = metrics()
+        base = reg.snapshot()
+        assert run_cli(capsys, "campaign", "atax", "--scale", "8")[0] == 0
+        serial = reg.diff(base)
+        base = reg.snapshot()
+        assert run_cli(
+            capsys, "campaign", "atax", "--scale", "8", "--jobs", "2"
+        )[0] == 0
+        parallel = reg.diff(base)
+        assert serial["counters"] == parallel["counters"]
+        assert (
+            {k: v["count"] for k, v in serial["timers"].items()}
+            == {k: v["count"] for k, v in parallel["timers"].items()}
+        )
+
+
+class TestCliErrorPaths:
+    def test_keyboard_interrupt_exit_130(self, capsys, monkeypatch):
+        from repro.cli import commands
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(commands, "cmd_workloads", interrupted)
+        code, _, err = run_cli(capsys, "workloads")
+        assert code == 130
+        assert "interrupted" in err
+        assert "Traceback" not in err
+
+    def test_unexpected_error_is_one_line(self, capsys, monkeypatch):
+        from repro.cli import commands
+
+        def broken(args):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(commands, "cmd_workloads", broken)
+        monkeypatch.delenv("REPRO_DEBUG", raising=False)
+        code, _, err = run_cli(capsys, "workloads")
+        assert code == 1
+        assert "unexpected error: RuntimeError: boom" in err
+        assert "Traceback" not in err
+
+    def test_unexpected_error_verbose_traceback(self, capsys, monkeypatch):
+        from repro.cli import commands
+
+        def broken(args):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(commands, "cmd_workloads", broken)
+        code, _, err = run_cli(capsys, "workloads", "-v")
+        assert code == 1
+        assert "Traceback (most recent call last)" in err
+
+    def test_repro_debug_env_enables_traceback(self, capsys, monkeypatch):
+        from repro.cli import commands
+
+        def broken(args):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(commands, "cmd_workloads", broken)
+        monkeypatch.setenv("REPRO_DEBUG", "1")
+        code, _, err = run_cli(capsys, "workloads")
+        assert code == 1
+        assert "Traceback (most recent call last)" in err
+
+    def test_expected_error_no_traceback(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_DEBUG", raising=False)
+        code, _, err = run_cli(capsys, "profile", "nope")
+        assert code == 2
+        assert "Traceback" not in err
