@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import json
 import sys
+import time
 from pathlib import Path
+from typing import Mapping
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 CACHE_PATH = REPO_ROOT / ".cache" / "campaign.json"
@@ -15,3 +18,43 @@ def emit(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n{text}", file=sys.stderr)
+
+
+def emit_record(
+    name: str,
+    metrics: Mapping[str, float],
+    *,
+    units: str | Mapping[str, str] = "",
+    config: object = None,
+) -> Path:
+    """Persist a benchmark's key numbers as ``results/BENCH_<name>.json``.
+
+    The machine-readable twin of :func:`emit`: where the ``.txt`` file
+    holds the rendered table for humans, the JSON record holds the
+    scalars a regression tracker can diff run-over-run.  ``units`` is a
+    single string applied to every metric, or a per-metric mapping;
+    ``config`` (any JSON-serializable or hashable-by-
+    :func:`repro.obs.config_hash` object) identifies what was measured.
+    """
+    from repro.obs import config_hash
+
+    record = {
+        "bench": name,
+        "timestamp_unix": round(time.time(), 3),
+        "config_hash": config_hash(config) if config is not None else None,
+        "results": [
+            {
+                "metric": metric,
+                "value": value,
+                "units": (
+                    units if isinstance(units, str)
+                    else units.get(metric, "")
+                ),
+            }
+            for metric, value in metrics.items()
+        ],
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path

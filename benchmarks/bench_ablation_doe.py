@@ -16,7 +16,7 @@ fails first.
 
 import numpy as np
 
-from _bench_utils import emit
+from _bench_utils import emit, emit_record
 
 from repro import NapelTrainer, get_workload
 from repro.core.reporting import format_table
@@ -89,6 +89,13 @@ def test_ablation_doe_strategies(benchmark, campaign):
               "(IPC MRE on a held-out factorial grid)",
     )
     emit("ablation_doe", table + f"\n\nbest strategy per app: {winners}")
+    emit_record("ablation_doe", {
+        f"{row[0]}.{strat}_mre": float(cell.strip("%")) / 100
+        for row in rows
+        for strat, cell in zip(
+            ("ccd", "lhs", "random", "d_opt", "box_behnken"), row[2:7]
+        )
+    }, units="mre")
 
     # CCD must never be the worst strategy.
     for row in rows:

@@ -15,7 +15,7 @@ import time
 
 import numpy as np
 
-from _bench_utils import emit
+from _bench_utils import emit, emit_record
 
 from repro.core.predictor import NapelModel
 from repro.ml import RandomForestRegressor
@@ -61,6 +61,9 @@ def test_ablation_forest_hyperparameters(benchmark, full_training_set):
               "(12-application training set)",
     )
     emit("ablation_forest", table)
+    emit_record("ablation_forest", {
+        f"oob_rmse.trees_{n}": oob for n, oob in oob_by_trees.items()
+    }, units="rmse")
 
     # Convergence: more trees never make OOB error dramatically worse,
     # and the largest ensemble beats the smallest.

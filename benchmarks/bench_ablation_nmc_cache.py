@@ -11,7 +11,7 @@ input runs on NMC systems whose per-PE L1 grows from the paper's 2 lines
 EDP reduction over the host.
 """
 
-from _bench_utils import emit
+from _bench_utils import emit, emit_record
 
 from repro import HostSimulator, NMCSimulator, default_nmc_config, get_workload
 from repro.profiler import analyze_trace
@@ -51,6 +51,10 @@ def test_ablation_nmc_cache_size(benchmark):
         title="Extension (paper Sec. 3.4 obs. 5): atax EDP vs NMC L1 size",
     )
     emit("ablation_nmc_cache", table)
+    emit_record("ablation_nmc_cache", {
+        f"edp_reduction.l1_{lines}_lines": red
+        for lines, red in edp_reductions.items()
+    }, units="x", config=default_nmc_config())
 
     # The paper's claim: a bigger-than-128B NMC cache helps atax.
     assert edp_reductions[max(L1_LINES)] > edp_reductions[2]

@@ -11,7 +11,7 @@ but do not flip the clearly-suitable irregular kernels — their execution
 time dwarfs the transfer of their (sparse) working sets.
 """
 
-from _bench_utils import emit
+from _bench_utils import emit, emit_record
 
 from repro import HostSimulator, default_nmc_config
 from repro.core.reporting import format_table
@@ -59,6 +59,14 @@ def test_ablation_offload_cost(benchmark, campaign, workloads):
     )
     emit("ablation_offload", table + f"\n\nverdicts kept: {kept}/12, "
          f"flipped by offload cost: {flipped}/12")
+    emit_record("ablation_offload", {
+        "verdicts_kept": kept,
+        "verdicts_flipped": flipped,
+        **{
+            f"{row[0]}.edp_reduction_adjusted": float(row[3])
+            for row in rows
+        },
+    })
 
     # Offload never *improves* the NMC case, and the strongly-suitable
     # kernels survive it.

@@ -12,7 +12,7 @@ Expected shape: OoO PEs help most where misses dominate and can overlap
 compute bounds the PE.
 """
 
-from _bench_utils import emit
+from _bench_utils import emit, emit_record
 
 from repro import NMCSimulator, default_nmc_config
 from repro.core.reporting import format_table
@@ -50,6 +50,9 @@ def test_ablation_pe_type(benchmark, workloads):
               "(8 MSHRs, central configs)",
     )
     emit("ablation_pe_type", table)
+    emit_record("ablation_pe_type", {
+        f"{name}.ooo_speedup": s for name, s in speedups.items()
+    }, units="x", config=ooo_cfg)
 
     # OoO never slows a workload down, and memory-bound irregular kernels
     # gain the most.

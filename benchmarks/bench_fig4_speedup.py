@@ -26,7 +26,7 @@ import time
 
 import numpy as np
 
-from _bench_utils import emit
+from _bench_utils import emit, emit_record
 
 from repro import NapelTrainer, analyze_trace, default_nmc_config
 from repro.core.predictor import NapelModel
@@ -108,6 +108,12 @@ def test_fig4_prediction_speedup(
         unit="x",
     )
     emit("fig4_speedup", table + "\n\n" + chart)
+    emit_record("fig4_speedup", {
+        "speedup.min": min(speedups.values()),
+        "speedup.mean": float(np.mean(list(speedups.values()))),
+        "speedup.max": max(speedups.values()),
+        **{f"{name}.speedup": s for name, s in speedups.items()},
+    }, units="x")
 
     # Shape assertions: order-of-magnitude speedups with a wide spread.
     assert min(speedups.values()) > 5

@@ -13,7 +13,7 @@ space more sparsely than the paper's full-size runs.
 """
 
 
-from _bench_utils import emit
+from _bench_utils import emit, emit_record
 
 from repro import evaluate_loocv
 from repro.core.reporting import format_table
@@ -57,6 +57,11 @@ def test_fig5_accuracy_comparison(benchmark, full_training_set):
         title="Figure 5: leave-one-application-out MRE",
     )
     emit("fig5_accuracy", table + "\n\n" + summary)
+    emit_record("fig5_accuracy", {
+        f"{m}.mean_{target}_mre": getattr(results[m], f"mean_{target}_mre")
+        for m in ("rf", "ann", "tree")
+        for target in ("perf", "energy")
+    }, units="mre")
 
     # Paper shape: NAPEL most accurate on both targets; the linear
     # decision tree clearly worst.

@@ -8,7 +8,7 @@ pay far more time and energy per instruction than the streaming kernels —
 is the input the Figure 7 suitability analysis builds on.
 """
 
-from _bench_utils import emit
+from _bench_utils import emit, emit_record
 
 from repro import HostSimulator
 from repro.hostsim import PowerSensor
@@ -51,6 +51,9 @@ def test_fig6_host_time_and_energy(benchmark, campaign, workloads):
         "Figure 6 (normalised): host time per instruction (ps)", times
     )
     emit("fig6_host", table + "\n\n" + chart)
+    emit_record("fig6_host", {
+        f"{name}.time_per_instruction": t for name, t in times.items()
+    }, units="ps")
 
     # Shape: irregular apps cost more host time per instruction than the
     # streaming linear-algebra kernels.

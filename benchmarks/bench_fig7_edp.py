@@ -17,7 +17,7 @@ The paper's NAPEL-vs-Actual EDP MRE is 1.3%-26.3% (14.1% average).
 
 import numpy as np
 
-from _bench_utils import emit
+from _bench_utils import emit, emit_record
 
 from repro import analyze_suitability
 from repro.core.reporting import format_grouped_bars, format_table
@@ -60,6 +60,10 @@ def test_fig7_edp_reduction(benchmark, campaign, workloads, full_training_set):
         marker_at=1.0,
     )
     emit("fig7_edp", table + "\n\n" + chart)
+    emit_record("fig7_edp", {
+        "mean_edp_mre": mean_mre,
+        **{f"{r.workload}.edp_mre": r.edp_mre for r in results},
+    }, units="mre")
 
     by_name = {r.workload: r for r in results}
     # The simulator's suitability split matches the paper exactly.

@@ -19,7 +19,7 @@ import time
 
 import numpy as np
 
-from _bench_utils import RESULTS_DIR, emit
+from _bench_utils import RESULTS_DIR, emit, emit_record
 
 from repro import SimulationCampaign, get_workload
 from repro.core.reporting import format_table
@@ -115,6 +115,15 @@ def test_parallel_scaling_record():
               f"(pool available: {record['pool_available']}); "
               "outputs verified bit-identical across job counts",
     ))
+
+    flat = {
+        f"{stage}.{key}": value
+        for stage in ("campaign", "forest_fit")
+        for key, value in record[stage].items()
+    }
+    emit_record("parallel_scaling", flat, units={
+        key: "x" if "speedup" in key else "s" for key in flat
+    })
 
     for jobs in JOB_COUNTS:
         assert record["campaign"][str(jobs)] > 0

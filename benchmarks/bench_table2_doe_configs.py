@@ -5,7 +5,7 @@ the CCD construction (the benchmarked operation) reproduces the paper's
 run counts (11 / 19 / 31, cf. Table 4).
 """
 
-from _bench_utils import emit
+from _bench_utils import emit, emit_record
 
 from repro.doe import ParameterSpace, ccd_run_count, central_composite
 from repro.core.reporting import format_table
@@ -49,6 +49,10 @@ def test_table2_doe_parameters(benchmark, workloads):
         title="CCD design sizes vs paper Table 4",
     )
     emit("table2_doe_configs", table + "\n\n" + counts)
+    emit_record("table2_doe_configs", {
+        f"{name}.design_size": len(design)
+        for name, design in designs.items()
+    }, units="configurations")
 
     for w in workloads:
         assert len(designs[w.name]) == PAPER_COUNTS[w.name]

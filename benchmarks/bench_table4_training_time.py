@@ -11,7 +11,7 @@ train+tune >> prediction; bfs/bp/kme the heaviest campaigns) reproduces.
 
 import time
 
-from _bench_utils import emit
+from _bench_utils import emit, emit_record
 
 from repro import NapelTrainer
 from repro.core.reporting import format_table
@@ -74,6 +74,13 @@ def test_table4_training_and_prediction_time(
               "cached campaigns report an estimated cold cost)",
     )
     emit("table4_training_time", table)
+    emit_record("table4_training_time", {
+        f"{row[0]}.{metric}": float(row[col])
+        for row in rows
+        for metric, col in (
+            ("doe_run_s", 2), ("train_tune_s", 3), ("predict_s", 4),
+        )
+    }, units="s")
 
     # Structural assertions: run counts match the paper exactly; the time
     # ordering DoE run >> train+tune >> prediction holds on average.

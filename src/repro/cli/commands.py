@@ -5,6 +5,7 @@ from __future__ import annotations
 import argparse
 import json
 import time
+from pathlib import Path
 
 from ..config import NMCConfig, default_nmc_config
 from ..core import (
@@ -19,7 +20,13 @@ from ..core.dataset import TrainingSet
 from ..core.reporting import format_table
 from ..errors import ReproError, WorkloadError
 from ..ml import mean_relative_error, r2_score
-from ..obs import config_hash
+from ..obs import (
+    config_hash,
+    load_trace,
+    merge_traces,
+    summarize_trace,
+    validate_trace,
+)
 from ..profiler import analyze_trace
 from ..schema import active_schema
 from ..workloads import Workload, all_workloads, get_workload
@@ -314,6 +321,52 @@ def cmd_schema(args: argparse.Namespace) -> None:
         rows,
         title=f"active feature schema: {len(schema)} features, "
               f"v{schema.version}, hash {schema.content_hash[:16]}",
+    ))
+
+
+def cmd_trace(args: argparse.Namespace) -> None:
+    """Validate, merge or summarize ``--trace`` output files.
+
+    Every input is schema-checked first (a malformed file raises
+    :class:`~repro.errors.TracingError`, so the CLI exits 2); the default
+    action is a top-N table of span names ranked by self time.
+    """
+    docs = []
+    for path in args.files:
+        doc = load_trace(path)
+        n_events = validate_trace(doc, source=str(path))
+        docs.append(doc)
+        if args.validate:
+            print(f"{path}: OK ({n_events} events)")
+    if args.validate:
+        return
+    if len(docs) > 1:
+        merged = merge_traces(docs, sources=[str(p) for p in args.files])
+    else:
+        merged = docs[0]
+    if getattr(args, "merge", None):
+        out = Path(args.merge)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(merged) + "\n", encoding="utf-8")
+        print(f"merged {len(docs)} trace(s) into {out}")
+        return
+    rows = [
+        [
+            s["name"],
+            f"{s['count']:,}",
+            f"{s['total_us'] / 1e3:,.3f}",
+            f"{s['self_us'] / 1e3:,.3f}",
+        ]
+        for s in summarize_trace(merged, top=args.top)
+    ]
+    if not rows:
+        print("no duration (ph=X) events in the trace")
+        return
+    print(format_table(
+        ["span", "count", "total (ms)", "self (ms)"],
+        rows,
+        title=f"top {args.top} spans by self time "
+              f"({len(args.files)} file(s))",
     ))
 
 

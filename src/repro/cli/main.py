@@ -11,6 +11,14 @@ from typing import Sequence
 from .. import __version__
 from ..errors import ReproError
 from ..obs import RunManifest, configure_logging, get_logger, metrics
+from ..obs.trace import (
+    TRACE_ENV_VAR,
+    TRACE_EPOCH_ENV_VAR,
+    TRACE_HW_ENV_VAR,
+    activate_tracing,
+    reset_tracing,
+    tracer,
+)
 from . import commands
 
 log = get_logger("repro")
@@ -98,6 +106,21 @@ def build_parser() -> argparse.ArgumentParser:
                  "per-phase wall times, cache hit ratio, exit code) to PATH",
         )
 
+    def add_trace_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace", metavar="PATH",
+            help="write a Chrome-trace/Perfetto event timeline (JSON) of "
+                 f"this run to PATH (${TRACE_ENV_VAR} also activates it); "
+                 "written even on failure, one lane per worker",
+        )
+        p.add_argument(
+            "--trace-hw", action="store_true",
+            help="also record the simulated NMC hardware timeline "
+                 "(per-PE busy/stall, vault occupancy, cache counters) on "
+                 "the simulated clock; needs --trace (or "
+                 f"${TRACE_ENV_VAR}) to have somewhere to go",
+        )
+
     def new_command(name: str, **kwargs) -> argparse.ArgumentParser:
         p = sub.add_parser(name, **kwargs)
         _add_global_flags(p, root=False)
@@ -117,6 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = new_command("simulate", help="phase 2: simulate on the NMC system")
     add_workload_args(p)
     add_arch_args(p)
+    add_trace_args(p)
     p.set_defaults(func=commands.cmd_simulate)
 
     p = new_command("campaign", help="run a workload's CCD campaign")
@@ -125,6 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache", help="campaign cache file (JSON)")
     add_jobs_arg(p)
     add_manifest_arg(p)
+    add_trace_args(p)
     p.set_defaults(func=commands.cmd_campaign)
 
     p = new_command("train", help="train a NAPEL model and save it")
@@ -147,12 +172,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_jobs_arg(p)
     add_manifest_arg(p)
+    add_trace_args(p)
     p.set_defaults(func=commands.cmd_train)
 
     p = new_command("predict", help="predict with a saved model")
     add_workload_args(p)
     add_arch_args(p)
     p.add_argument("--model-file", "-m", required=True, help="model file")
+    add_trace_args(p)
     p.set_defaults(func=commands.cmd_predict)
 
     p = new_command(
@@ -183,7 +210,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_jobs_arg(p)
     add_manifest_arg(p)
+    add_trace_args(p)
     p.set_defaults(func=commands.cmd_suitability)
+
+    p = new_command(
+        "trace", help="inspect Chrome-trace files written with --trace"
+    )
+    p.add_argument("files", nargs="+", help="trace JSON file(s)")
+    p.add_argument(
+        "--top", type=int, default=15,
+        help="rows in the self-time summary (default 15)",
+    )
+    p.add_argument(
+        "--validate", action="store_true",
+        help="only check the files against the trace-event schema "
+             "(malformed file -> exit 2)",
+    )
+    p.add_argument(
+        "--merge", metavar="OUT",
+        help="merge the input files into OUT (one pid block per file) "
+             "instead of summarizing",
+    )
+    p.set_defaults(func=commands.cmd_trace)
 
     return parser
 
@@ -203,7 +251,10 @@ def main(argv: Sequence[str] | None = None) -> int:
       with ``--verbose`` or ``REPRO_DEBUG=1``).
 
     When the subcommand accepts ``--manifest PATH``, the manifest is
-    written even on failure, with the exit code recorded.
+    written even on failure, with the exit code recorded.  The same holds
+    for ``--trace PATH``: a run that dies mid-campaign still leaves the
+    events it recorded on disk (with the exit path visible as truncated
+    spans).
     """
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -214,6 +265,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         list(argv) if argv is not None else sys.argv[1:],
     )
     args._run_manifest = manifest
+    # Event tracing: --trace PATH or $REPRO_TRACE activates; the `trace`
+    # subcommand never self-activates (it *inspects* trace files, and
+    # tracing its own run could clobber the file being inspected).
+    trace_path: str | None = None
+    prior_trace_env: dict[str, str | None] = {}
+    if args.command != "trace":
+        trace_path = getattr(args, "trace", None) or (
+            os.environ.get(TRACE_ENV_VAR, "").strip() or None
+        )
+    if trace_path:
+        trace_hw = bool(getattr(args, "trace_hw", False)) or bool(
+            os.environ.get(TRACE_HW_ENV_VAR, "").strip()
+        )
+        prior_trace_env = {
+            var: os.environ.get(var)
+            for var in (TRACE_ENV_VAR, TRACE_HW_ENV_VAR, TRACE_EPOCH_ENV_VAR)
+        }
+        activate_tracing(trace_path, hw=trace_hw)
     code = 0
     try:
         args.func(args)
@@ -242,6 +311,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         code = 1
     finally:
+        if trace_path:
+            tr = tracer()
+            try:
+                tr.write(trace_path)
+                manifest.record_trace(
+                    trace_path,
+                    events=tr.event_count,
+                    dropped=tr.dropped,
+                    hw_dropped=tr.hw_dropped,
+                )
+            except OSError as exc:
+                print(
+                    f"error: could not write trace {trace_path}: {exc}",
+                    file=sys.stderr,
+                )
+                code = code or 1
+            reset_tracing()
+            for var, value in prior_trace_env.items():
+                if value is not None:
+                    os.environ[var] = value
         manifest_path = getattr(args, "manifest", None)
         if manifest_path:
             try:

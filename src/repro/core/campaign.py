@@ -24,7 +24,7 @@ from ..config import NMCConfig, default_nmc_config
 from ..doe import ParameterSpace, central_composite
 from ..errors import CampaignError
 from ..nmcsim import NMCSimulator, SimulationResult
-from ..obs import get_logger, metrics
+from ..obs import get_logger, metrics, tracer
 from ..parallel import map_jobs, resolve_jobs
 from ..profiler import ApplicationProfile, analyze_trace
 from ..schema import active_schema
@@ -84,12 +84,18 @@ class CampaignCache:
             if found:
                 self.hits += 1
                 metrics().inc("campaign.cache.hits")
+                tracer().instant(
+                    "campaign.cache.hit", args={"point": point_key}
+                )
                 log.debug(
                     "cache hit", extra={"ctx": {"point": point_key}}
                 )
             else:
                 self.misses += 1
                 metrics().inc("campaign.cache.misses")
+                tracer().instant(
+                    "campaign.cache.miss", args={"point": point_key}
+                )
                 log.debug(
                     "cache miss", extra={"ctx": {"point": point_key}}
                 )
@@ -186,15 +192,18 @@ def _simulate_point_job(
     """
     workload, config, seed, arch, scale = job
     start = time.perf_counter()
-    with metrics().timer("phase.trace"):
-        trace = workload.generate(config, scale=scale, seed=seed)
-    with metrics().timer("phase.profile"):
-        profile = analyze_trace(
+    with tracer().span(
+        "campaign.point", workload=workload.name, seed=seed
+    ):
+        with metrics().timer("phase.trace"):
+            trace = workload.generate(config, scale=scale, seed=seed)
+        with metrics().timer("phase.profile"):
+            profile = analyze_trace(
+                trace, workload=workload.name, parameters=dict(config)
+            )
+        result = NMCSimulator(arch).run(
             trace, workload=workload.name, parameters=dict(config)
         )
-    result = NMCSimulator(arch).run(
-        trace, workload=workload.name, parameters=dict(config)
-    )
     metrics().inc("campaign.points.simulated")
     return profile, result, time.perf_counter() - start
 
@@ -257,20 +266,23 @@ class SimulationCampaign:
             profile, result = cached
         else:
             start = time.perf_counter()
-            with metrics().timer("phase.trace"):
-                trace = workload.generate(
-                    config, scale=self.scale, seed=seed
-                )
-            profile = self.cache.get_profile(point_key)
-            if profile is None:
-                with metrics().timer("phase.profile"):
-                    profile = analyze_trace(
-                        trace, workload=workload.name,
-                        parameters=dict(config),
+            with tracer().span(
+                "campaign.point", workload=workload.name, seed=seed
+            ):
+                with metrics().timer("phase.trace"):
+                    trace = workload.generate(
+                        config, scale=self.scale, seed=seed
                     )
-            result = self._simulator.run(
-                trace, workload=workload.name, parameters=dict(config)
-            )
+                profile = self.cache.get_profile(point_key)
+                if profile is None:
+                    with metrics().timer("phase.profile"):
+                        profile = analyze_trace(
+                            trace, workload=workload.name,
+                            parameters=dict(config),
+                        )
+                result = self._simulator.run(
+                    trace, workload=workload.name, parameters=dict(config)
+                )
             elapsed = time.perf_counter() - start
             metrics().inc("campaign.points.simulated")
             log.debug(

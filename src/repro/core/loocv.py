@@ -17,7 +17,7 @@ import numpy as np
 
 from ..errors import MLError
 from ..ml import mean_relative_error
-from ..obs import get_logger, metrics
+from ..obs import get_logger, metrics, tracer
 from ..parallel import map_jobs, resolve_jobs
 from .dataset import TrainingSet
 from .pipeline import NapelTrainer
@@ -47,21 +47,22 @@ def _loocv_fold_job(job) -> tuple[str, float, float, float]:
     """Train-and-score one held-out application (module-level: picklable)."""
     training_set, app, model, tune, n_estimators, random_state = job
     metrics().inc("loocv.folds")
-    train_set = training_set.exclude(app)
-    test_set = training_set.filter(app)
-    trainer = NapelTrainer(
-        model=model,
-        tune=tune,
-        n_estimators=n_estimators,
-        random_state=random_state,
-    )
-    trained = trainer.train(train_set)
-    X_test = test_set.X()
-    ipc_true = test_set.y_ipc_per_pe()
-    epi_true = test_set.y_energy_per_instruction()
-    ipc_pred, epi_pred = trained.model.predict_labels(
-        X_test, schema=test_set.schema
-    )
+    with tracer().span("loocv.fold", held_out=app, model=model):
+        train_set = training_set.exclude(app)
+        test_set = training_set.filter(app)
+        trainer = NapelTrainer(
+            model=model,
+            tune=tune,
+            n_estimators=n_estimators,
+            random_state=random_state,
+        )
+        trained = trainer.train(train_set)
+        X_test = test_set.X()
+        ipc_true = test_set.y_ipc_per_pe()
+        epi_true = test_set.y_energy_per_instruction()
+        ipc_pred, epi_pred = trained.model.predict_labels(
+            X_test, schema=test_set.schema
+        )
     return (
         app,
         mean_relative_error(ipc_true, ipc_pred),

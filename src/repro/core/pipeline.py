@@ -21,7 +21,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..errors import MLError
-from ..obs import get_logger, metrics
+from ..obs import get_logger, metrics, tracer
 from ..parallel import resolve_jobs
 from ..ml import (
     KFold,
@@ -171,9 +171,11 @@ class NapelTrainer:
         )
         start = time.perf_counter()
         with metrics().timer("phase.train"):
-            ipc_model, ipc_tuning = self._fit_target(X, y_ipc)
+            with tracer().span("ml.fit_ipc", model=self.model):
+                ipc_model, ipc_tuning = self._fit_target(X, y_ipc)
             ipc_seconds = time.perf_counter() - start
-            energy_model, energy_tuning = self._fit_target(X, y_epi)
+            with tracer().span("ml.fit_energy", model=self.model):
+                energy_model, energy_tuning = self._fit_target(X, y_epi)
         elapsed = time.perf_counter() - start
         metrics().inc("ml.models.trained")
         stage_seconds = {

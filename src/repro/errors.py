@@ -68,3 +68,7 @@ class CampaignError(ReproError):
 
 class ParallelError(ReproError):
     """A parallel job failed in a worker (carries the job's context)."""
+
+
+class TracingError(ReproError):
+    """An event-trace file is malformed, or the tracer was misused."""

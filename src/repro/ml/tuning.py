@@ -24,7 +24,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..errors import MLError
-from ..obs import get_logger, metrics
+from ..obs import get_logger, metrics, tracer
 from ..parallel import map_jobs, resolve_jobs
 from .cross_validation import KFold, cross_val_score
 from .forest import RandomForestRegressor
@@ -54,17 +54,20 @@ def _score_combo(job) -> float:
     """Score one hyper-parameter combination (module-level: picklable)."""
     base_model, params, X, y, use_oob, cv = job
     metrics().inc("ml.tuning.combinations")
-    candidate = base_model.clone(**params)
-    if use_oob:
-        if not isinstance(candidate, RandomForestRegressor):
-            raise MLError("use_oob requires a RandomForestRegressor")
-        candidate.fit(X, y)
-        return candidate.oob_error(y)
-    folds = cross_val_score(
-        lambda: base_model.clone(**params), X, y,
-        cv=cv or KFold(n_splits=3, random_state=0),
-    )
-    return float(np.mean(folds))
+    with tracer().span(
+        "ml.tuning.combo", params={k: str(v) for k, v in params.items()}
+    ):
+        candidate = base_model.clone(**params)
+        if use_oob:
+            if not isinstance(candidate, RandomForestRegressor):
+                raise MLError("use_oob requires a RandomForestRegressor")
+            candidate.fit(X, y)
+            return candidate.oob_error(y)
+        folds = cross_val_score(
+            lambda: base_model.clone(**params), X, y,
+            cv=cv or KFold(n_splits=3, random_state=0),
+        )
+        return float(np.mean(folds))
 
 
 def grid_search(

@@ -45,6 +45,14 @@ class CacheStats:
         self.writebacks += other.writebacks
         self.flushes += other.flushes
 
+    def counter_values(self) -> dict:
+        """Counter-track sample of these stats (hardware-timeline tracing)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writebacks": self.writebacks,
+        }
+
 
 class Cache:
     """LRU set-associative cache operating on line addresses.

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ...config import NMCConfig
+from ...obs.trace import HW_TID_VAULT_BASE
 
 
 @dataclass
@@ -29,13 +30,19 @@ class VaultStats:
 
 
 class StackedMemory:
-    """Vaults + address mapping of the 3D-stacked DRAM cube."""
+    """Vaults + address mapping of the 3D-stacked DRAM cube.
 
-    def __init__(self, config: NMCConfig) -> None:
+    ``timeline`` (a :class:`repro.obs.HardwareTimeline`, optional) receives
+    one ``vault.access`` slice per DRAM access — the vault-occupancy lanes
+    of the simulated-hardware trace.
+    """
+
+    def __init__(self, config: NMCConfig, timeline=None) -> None:
         from .vault import Vault  # local import to avoid cycle in docs builds
 
         self.config = config
         self.timing = config.timing
+        self.timeline = timeline
         self.vaults = [
             Vault(config.banks_per_vault) for _ in range(config.n_vaults)
         ]
@@ -72,6 +79,15 @@ class StackedMemory:
         data_at = self.vaults[vault_idx].access(
             now_ns + hop, bank_idx, row, self.timing
         )
+        if self.timeline is not None:
+            self.timeline.slice(
+                HW_TID_VAULT_BASE + vault_idx,
+                "vault.access",
+                now_ns + hop,
+                data_at,
+                bank=bank_idx,
+                write=bool(is_write),
+            )
         return data_at + hop
 
     def stats(self) -> VaultStats:

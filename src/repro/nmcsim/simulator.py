@@ -27,7 +27,7 @@ import numpy as np
 from ..config import NMCConfig, default_nmc_config
 from ..errors import SimulationError
 from ..ir import OPCODE_LATENCY, InstructionTrace, Opcode
-from ..obs import get_logger, metrics
+from ..obs import get_logger, metrics, tracer
 from .cache import Cache, CacheStats
 from .dram import StackedMemory
 from .energy import compute_energy
@@ -160,7 +160,11 @@ class NMCSimulator:
         cfg = self.config
         cycle_ns = cfg.cycle_ns
         line_shift = cfg.line_bytes.bit_length() - 1
-        memory = StackedMemory(cfg)
+        # Opt-in simulated-hardware timeline (None unless REPRO_TRACE_HW
+        # is set): per-PE busy/stall slices, vault occupancy and cache
+        # counter tracks, all on the simulated nanosecond clock.
+        hw = tracer().hw_timeline()
+        memory = StackedMemory(cfg, timeline=hw)
 
         # Assign threads to PEs round-robin; threads sharing a PE execute
         # back-to-back (time multiplexed).
@@ -198,24 +202,39 @@ class NMCSimulator:
                 heapq.heappush(heap, (s.time_ns + float(s.compute_ns[0]), i))
             else:
                 s.finish_ns = float(s.compute_ns[0])
+        l1_misses = 0
         while heap:
             t, i = heapq.heappop(heap)
             s = streams[i]
             k = s.next_op
+            if hw is not None:
+                compute = float(s.compute_ns[k])
+                if compute > 0:
+                    hw.slice(s.pe, "pe.busy", t - compute, t)
             line = s.lines[k]
             is_write = s.writes[k]
             hit, writeback = s.cache.access(line, is_write)
             if hit:
                 t += l1_cycle_ns
             elif not ooo:
-                t = memory.access(t, line << line_shift, bool(is_write)) + l1_cycle_ns
+                done = memory.access(t, line << line_shift, bool(is_write))
+                if hw is not None:
+                    l1_misses += 1
+                    hw.slice(s.pe, "pe.stall", t, done, reason="l1_miss")
+                    hw.counter("l1.misses", {"misses": l1_misses}, done)
+                t = done + l1_cycle_ns
             else:
                 done = memory.access(t, line << line_shift, bool(is_write))
+                if hw is not None:
+                    l1_misses += 1
+                    hw.counter("l1.misses", {"misses": l1_misses}, done)
                 s.outstanding.append(done)
                 if len(s.outstanding) >= mshrs:
                     # MSHRs full: stall until the oldest miss completes.
                     oldest = min(s.outstanding)
                     s.outstanding.remove(oldest)
+                    if hw is not None and oldest > t:
+                        hw.slice(s.pe, "pe.stall", t, oldest, reason="mshr_full")
                     t = max(t, oldest) + l1_cycle_ns
                 else:
                     t += l1_cycle_ns  # issue continues under the miss
@@ -253,6 +272,14 @@ class NMCSimulator:
         for s in streams:
             cache_stats.merge(s.cache.stats)
         dram_stats = memory.stats()
+        if hw is not None:
+            for s in streams:
+                hw.counter(
+                    f"pe{s.pe}.cache",
+                    s.cache.stats.counter_values(),
+                    makespan_ns,
+                )
+            hw.close()
 
         addrs, _sizes, _w = trace.memory_accesses()
         footprint_lines = len(np.unique(addrs >> np.uint64(line_shift)))

@@ -9,7 +9,10 @@ simulation, training, LOOCV, parallel workers):
   counters and monotonic timer spans, with snapshot/diff/merge so worker
   processes' activity aggregates exactly into the parent;
 * :mod:`repro.obs.manifest` — :class:`RunManifest`, the JSON document a
-  CLI run emits under ``--manifest PATH``.
+  CLI run emits under ``--manifest PATH``;
+* :mod:`repro.obs.trace` — event-level tracing (``--trace PATH`` /
+  ``REPRO_TRACE``): Chrome-trace/Perfetto timelines of the pipeline and,
+  opt-in, the simulated NMC hardware.
 
 See ``docs/API.md`` ("Observability") for logger names, counter names and
 the manifest schema.
@@ -29,17 +32,37 @@ from .metrics import (
     metrics,
     phase_timings,
 )
+from .trace import (
+    HardwareTimeline,
+    Tracer,
+    activate_tracing,
+    load_trace,
+    merge_traces,
+    reset_tracing,
+    summarize_trace,
+    tracer,
+    validate_trace,
+)
 
 __all__ = [
+    "HardwareTimeline",
     "HumanFormatter",
     "JsonLinesFormatter",
     "MetricsRegistry",
     "RunManifest",
     "TimerSpan",
+    "Tracer",
+    "activate_tracing",
     "config_hash",
     "configure_logging",
     "get_logger",
+    "load_trace",
+    "merge_traces",
     "metrics",
     "phase_timings",
+    "reset_tracing",
+    "summarize_trace",
+    "tracer",
+    "validate_trace",
     "verbosity_level",
 ]

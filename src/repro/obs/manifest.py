@@ -73,6 +73,28 @@ class RunManifest:
         self.data.update(fields)
         return self
 
+    def record_trace(
+        self,
+        path,
+        *,
+        events: int,
+        dropped: int = 0,
+        hw_dropped: int = 0,
+    ) -> "RunManifest":
+        """Record the run's event-trace output (``--trace``).
+
+        Written even on failure, like every other manifest field: a
+        partial trace of a crashed run is exactly when the timeline is
+        most wanted.
+        """
+        self.data["trace_path"] = str(path)
+        self.data["trace"] = {
+            "events": int(events),
+            "dropped": int(dropped),
+            "hw_dropped": int(hw_dropped),
+        }
+        return self
+
     def finish(
         self,
         exit_code: int,

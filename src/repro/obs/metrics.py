@@ -8,8 +8,9 @@ tuning combinations, LOOCV folds, prediction calls.  Two primitives:
 * **timer spans** — context managers around a phase (``timer(name)``),
   recording count / total / min / max seconds on a monotonic clock.
   Spans nest (a ``phase.train`` span may contain ``ml.grid_search``
-  spans); the registry tracks the active stack so instrumentation can ask
-  :meth:`MetricsRegistry.current_spans`.
+  spans); the registry tracks the active stack per thread so
+  instrumentation can ask :meth:`MetricsRegistry.current_spans` without
+  concurrent threads interleaving on one shared stack.
 
 Snapshots are plain JSON-serializable dicts.  Cross-process aggregation
 works by *delta shipping*: a pool worker snapshots the registry before a
@@ -24,6 +25,8 @@ from __future__ import annotations
 import threading
 import time
 from typing import Iterator
+
+from .trace import tracer
 
 
 def _new_timer_stat() -> dict:
@@ -50,6 +53,17 @@ class TimerSpan:
         assert self._start is not None, "span exited before being entered"
         self.elapsed_s = time.monotonic() - self._start
         self.registry._pop(self.name, self.elapsed_s)
+        # Mirror the span onto the event trace (no-op unless --trace /
+        # REPRO_TRACE is active), so Perfetto lanes carry exactly the
+        # phase.* names the run manifest reports as aggregate timings.
+        t = tracer()
+        if t.enabled:
+            t.complete(
+                self.name,
+                t.to_ts_us(self._start),
+                self.elapsed_s * 1e6,
+                cat="metrics",
+            )
 
 
 class MetricsRegistry:
@@ -59,7 +73,18 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
         self._timers: dict[str, dict] = {}
-        self._stack: list[str] = []
+        # The active-span stack is *thread-local*: spans entered from
+        # concurrent threads would otherwise interleave on one shared
+        # list, making _pop's top-of-stack check silently leak entries
+        # and corrupting current_spans().
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # ----------------------------------------------------------- recording
 
@@ -78,13 +103,13 @@ class MetricsRegistry:
         return TimerSpan(self, name)
 
     def _push(self, name: str) -> None:
-        with self._lock:
-            self._stack.append(name)
+        self._stack.append(name)
 
     def _pop(self, name: str, elapsed_s: float) -> None:
+        stack = self._stack
+        if stack and stack[-1] == name:
+            stack.pop()
         with self._lock:
-            if self._stack and self._stack[-1] == name:
-                self._stack.pop()
             stat = self._timers.setdefault(name, _new_timer_stat())
             stat["count"] += 1
             stat["total_s"] += elapsed_s
@@ -98,7 +123,7 @@ class MetricsRegistry:
             )
 
     def current_spans(self) -> tuple[str, ...]:
-        """The active span stack, outermost first."""
+        """The calling thread's active span stack, outermost first."""
         return tuple(self._stack)
 
     def timer_stats(self, name: str) -> dict | None:
@@ -167,7 +192,7 @@ class MetricsRegistry:
         with self._lock:
             self._counters.clear()
             self._timers.clear()
-            self._stack.clear()
+        self._stack.clear()
 
 
 #: The process-global registry all instrumentation records into.

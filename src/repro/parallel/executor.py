@@ -25,7 +25,8 @@ from typing import Callable, Iterable, Sequence, TypeVar
 import numpy as np
 
 from ..errors import ParallelError
-from ..obs import get_logger, metrics
+from ..obs import get_logger, metrics, tracer
+from ..obs.trace import HW_PID as _HW_PID
 
 log = get_logger("repro.parallel")
 
@@ -93,22 +94,28 @@ def derive_seeds(base_seed: int | None, n: int) -> list[int]:
 def _call_job(payload):
     """Pool-side shim: run one job, capturing any exception with context.
 
-    Besides the job's result (or failure triple), ships the *delta* of the
-    worker's metrics registry accumulated while running this job, so the
-    parent can merge counters/timers and a parallel run's aggregated
-    metrics match a serial run's counts exactly.
+    Besides the job's result (or failure triple), ships the *delta* of
+    the worker's observability state accumulated while running this job:
+    the metrics-registry diff (so the parent's merged counters/timers
+    match a serial run's counts exactly) and, when tracing is active, the
+    trace events the job recorded (so the parent can remap them onto a
+    per-worker timeline lane).
     """
     index, fn, job = payload
     before = metrics().snapshot()
+    t = tracer()
+    trace_mark = t.mark() if t.enabled else 0
     try:
         result = fn(job)
-        return index, True, result, metrics().diff(before)
+        ok, out = True, result
     except BaseException as exc:  # noqa: BLE001 - reported to the parent
-        return index, False, (
+        ok, out = False, (
             type(exc).__name__,
             str(exc),
             traceback.format_exc(),
-        ), metrics().diff(before)
+        )
+    events = t.events_since(trace_mark) if t.enabled else []
+    return index, ok, out, metrics().diff(before), events
 
 
 def _raise_failure(index: int, job, failure) -> None:
@@ -239,11 +246,27 @@ class ProcessExecutor:
             )
             return SerialExecutor().map_jobs(fn, jobs)
         out: list[R] = [None] * len(jobs)  # type: ignore[list-item]
-        # Merge every worker's metrics delta (including failed jobs': the
-        # work they did before dying still happened) before raising.
-        for _index, _ok, _result, delta in raw:
+        # Merge every worker's metrics delta and trace events (including
+        # failed jobs': the work they did before dying still happened)
+        # before raising.  Each distinct worker pid gets a stable lane in
+        # job-index order, so the trace shows one timeline per worker.
+        lanes: dict[int, int] = {}
+        for _index, _ok, _result, delta, events in raw:
             metrics().merge_snapshot(delta)
-        for index, ok, result, _delta in raw:
+            if events:
+                worker_pid = next(
+                    (
+                        e["pid"] for e in events
+                        if isinstance(e.get("pid"), int)
+                        and e["pid"] < _HW_PID
+                    ),
+                    None,
+                )
+                lane = None
+                if worker_pid is not None:
+                    lane = lanes.setdefault(worker_pid, len(lanes) + 1)
+                tracer().adopt(events, lane=lane)
+        for index, ok, result, _delta, _events in raw:
             if not ok:
                 _raise_failure(index, jobs[index], result)
             out[index] = result

@@ -3,6 +3,7 @@
 import io
 import json
 import logging
+import threading
 
 import pytest
 
@@ -101,6 +102,42 @@ class TestMetricsRegistry:
         assert outer["count"] == 1 and inner["count"] == 1
         assert outer["total_s"] >= inner["total_s"] >= 0.0
         assert outer["min_s"] == outer["max_s"] == outer["total_s"]
+
+    def test_span_stack_is_thread_local(self):
+        """Two threads timing concurrently never see each other's spans.
+
+        Regression test: the registry used to keep one shared span stack,
+        so overlapping spans from different threads corrupted each
+        other's nesting (and `_pop` could raise on a mismatched name).
+        """
+        reg = MetricsRegistry()
+        barrier = threading.Barrier(2, timeout=10)
+        seen: dict[str, tuple] = {}
+        errors: list[BaseException] = []
+
+        def work(name: str) -> None:
+            try:
+                with reg.timer(name):
+                    barrier.wait()  # both threads now inside their span
+                    seen[name] = reg.current_spans()
+                    barrier.wait()
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(f"span{i}",))
+            for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert not errors
+        assert seen["span0"] == ("span0",)
+        assert seen["span1"] == ("span1",)
+        assert reg.current_spans() == ()
+        assert reg.timer_stats("span0")["count"] == 1
+        assert reg.timer_stats("span1")["count"] == 1
 
     def test_snapshot_diff_merge_roundtrip(self):
         a = MetricsRegistry()
