@@ -1,0 +1,126 @@
+"""Simulation-engine speedup: fast (two-phase) vs reference (per-access).
+
+Times both engines on the Table 2 test inputs of all twelve applications
+— the trace sizes a DoE campaign actually simulates — and records the
+per-workload and aggregate wall-clock speedup.  Results are verified
+bit-identical while being timed, so the record can never show a speedup
+bought with accuracy.
+
+Measurement protocol: one untimed warm-up run primes the trace memos and
+code paths, then each engine takes the best of ``reps`` timed runs
+(minimum over repetitions is the standard estimator for noisy
+single-core hosts).
+
+Emits ``results/BENCH_sim_engine.json`` plus a rendered table.  Set
+``REPRO_BENCH_SMOKE=1`` (CI) to run reduced traces with one repetition —
+the record is still produced, but the >= 3x aggregate-speedup assertion
+is only enforced on the full-size run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from _bench_utils import emit, emit_record
+
+from repro import get_workload
+from repro.core.reporting import format_table
+from repro.nmcsim import NMCSimulator
+
+WORKLOADS = (
+    "atax", "bfs", "bp", "chol", "gemv", "gesu",
+    "gram", "kme", "lu", "mvt", "syrk", "trmm",
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip() not in ("", "0")
+SCALE = 6.0 if SMOKE else 1.0
+REPS = 1 if SMOKE else 3
+MIN_AGGREGATE_SPEEDUP = 3.0
+
+
+def _canonical(result):
+    return json.dumps(result.to_json_dict(), sort_keys=True)
+
+
+def _best_of(simulator, trace, name, reps):
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = simulator.run(trace, workload=name, parameters={})
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_sim_engine_speedup():
+    per_workload = {}
+    total_fast = total_ref = 0.0
+    for name in WORKLOADS:
+        workload = get_workload(name)
+        trace = workload.generate(workload.test_config(), scale=SCALE, seed=7)
+        fast_sim = NMCSimulator(engine="fast")
+        ref_sim = NMCSimulator(engine="reference")
+        fast_sim.run(trace, workload=name, parameters={})  # warm-up
+        t_fast, r_fast = _best_of(fast_sim, trace, name, REPS)
+        t_ref, r_ref = _best_of(ref_sim, trace, name, REPS)
+        # Equivalence contract, checked on the exact runs being timed.
+        assert _canonical(r_fast) == _canonical(r_ref), name
+        per_workload[name] = {
+            "fast_s": t_fast,
+            "reference_s": t_ref,
+            "speedup": t_ref / t_fast,
+            "instructions": r_fast.instructions,
+            "miss_ratio": r_fast.cache.miss_ratio,
+        }
+        total_fast += t_fast
+        total_ref += t_ref
+
+    aggregate = total_ref / total_fast
+    rows = [
+        [
+            name,
+            f"{w['instructions']:>9d}",
+            f"{w['miss_ratio']:6.3f}",
+            f"{w['reference_s']:8.3f}",
+            f"{w['fast_s']:8.3f}",
+            f"{w['speedup']:5.2f}x",
+        ]
+        for name, w in per_workload.items()
+    ]
+    rows.append([
+        "TOTAL", "", "", f"{total_ref:8.3f}", f"{total_fast:8.3f}",
+        f"{aggregate:5.2f}x",
+    ])
+    emit("sim_engine", format_table(
+        ["workload", "instrs", "miss", "reference (s)", "fast (s)",
+         "speedup"],
+        rows,
+        title=f"Simulation engines, scale={SCALE}, best of {REPS} "
+              "(results verified bit-identical per run)",
+    ))
+
+    flat = {
+        f"{name}.speedup": w["speedup"] for name, w in per_workload.items()
+    }
+    flat.update({
+        "total.reference_s": total_ref,
+        "total.fast_s": total_fast,
+        "total.speedup": aggregate,
+    })
+    emit_record(
+        "sim_engine",
+        flat,
+        units={
+            key: "s" if key.endswith("_s") else "x" for key in flat
+        },
+        config={"scale": SCALE, "reps": REPS, "smoke": SMOKE, "seed": 7},
+    )
+
+    assert total_fast > 0 and total_ref > 0
+    if not SMOKE:
+        assert aggregate >= MIN_AGGREGATE_SPEEDUP, (
+            f"fast engine aggregate speedup {aggregate:.2f}x fell below "
+            f"{MIN_AGGREGATE_SPEEDUP}x"
+        )

@@ -77,6 +77,7 @@ def _campaign(args: argparse.Namespace, arch: NMCConfig | None = None):
         cache=cache,
         scale=getattr(args, "scale", 1.0),
         jobs=getattr(args, "jobs", None),
+        engine=getattr(args, "engine", None),
     )
 
 
@@ -172,11 +173,13 @@ def cmd_simulate(args: argparse.Namespace) -> None:
     start = time.perf_counter()
     from ..nmcsim import NMCSimulator
 
-    result = NMCSimulator(arch).run(trace, workload=workload.name)
+    simulator = NMCSimulator(arch, engine=getattr(args, "engine", None))
+    result = simulator.run(trace, workload=workload.name)
     elapsed = time.perf_counter() - start
     print(f"workload: {workload.name}  config: {config}")
     print(f"architecture: {arch.n_pes} PEs @ {arch.frequency_ghz} GHz, "
-          f"L1 {arch.l1_bytes} B, {arch.n_vaults} vaults")
+          f"L1 {arch.l1_bytes} B, {arch.n_vaults} vaults  "
+          f"(engine: {simulator.engine})")
     print(format_table(
         ["metric", "value"],
         [
@@ -211,6 +214,7 @@ def cmd_campaign(args: argparse.Namespace) -> None:
         cache=_cache_summary(campaign.cache),
         doe_run_seconds=campaign.doe_run_seconds,
         jobs=campaign.jobs,
+        sim_engine=campaign.engine,
     )
     rows = [
         [
@@ -256,6 +260,7 @@ def cmd_train(args: argparse.Namespace) -> None:
         model=_model_fit_summary(trained, training),
         output=str(args.output),
         jobs=campaign.jobs,
+        sim_engine=campaign.engine,
     )
     print(
         f"trained {args.model} on {len(training)} rows "
@@ -399,6 +404,7 @@ def cmd_suitability(args: argparse.Namespace) -> None:
             ),
         },
         jobs=campaign.jobs,
+        sim_engine=campaign.engine,
     )
     rows = [
         [

@@ -19,6 +19,7 @@ reproduction only relies on their *relative* magnitudes (see DESIGN.md).
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass, field
 
 from . import schema
@@ -27,6 +28,11 @@ from .errors import ConfigError
 KIB = 1024
 MIB = 1024 * KIB
 GIB = 1024 * MIB
+
+#: Valid NMC simulation engines (see :mod:`repro.nmcsim.simulator`):
+#: ``fast`` is the two-phase vectorized engine, ``reference`` the
+#: per-access event loop.  Both produce identical results.
+SIM_ENGINES = ("fast", "reference")
 
 
 @dataclass(frozen=True)
@@ -313,13 +319,22 @@ class RuntimeConfig:
     search); 1 means serial, 0 means one worker per CPU.  Parallel runs
     are guaranteed to produce bit-identical results to serial ones (see
     :mod:`repro.parallel`).
+
+    ``sim_engine`` selects the NMC simulation engine (``"fast"`` or
+    ``"reference"``; see :data:`SIM_ENGINES`) — an execution choice, not
+    a modelling one: both engines produce identical results.
     """
 
     jobs: int = 1
+    sim_engine: str = "fast"
 
     def validate(self) -> None:
         if self.jobs < 0:
             raise ConfigError("jobs must be >= 0 (0 = all CPUs)")
+        if self.sim_engine not in SIM_ENGINES:
+            raise ConfigError(
+                f"sim_engine must be one of {', '.join(SIM_ENGINES)}"
+            )
 
     def resolved_jobs(self) -> int:
         """The effective worker count (0 expanded to the CPU count)."""
@@ -329,10 +344,12 @@ class RuntimeConfig:
 
 
 def default_runtime_config() -> RuntimeConfig:
-    """Runtime settings honouring the ``REPRO_JOBS`` environment variable."""
+    """Runtime settings honouring the ``REPRO_JOBS`` and
+    ``REPRO_SIM_ENGINE`` environment variables."""
     from .parallel import resolve_jobs
 
-    cfg = RuntimeConfig(jobs=resolve_jobs(None))
+    engine = os.environ.get("REPRO_SIM_ENGINE", "").strip() or "fast"
+    cfg = RuntimeConfig(jobs=resolve_jobs(None), sim_engine=engine)
     cfg.validate()
     return cfg
 

@@ -17,13 +17,15 @@ import json
 import os
 import time
 import warnings
+from collections import OrderedDict
 from pathlib import Path
 from typing import Mapping, Sequence
 
 from ..config import NMCConfig, default_nmc_config
 from ..doe import ParameterSpace, central_composite
 from ..errors import CampaignError
-from ..nmcsim import NMCSimulator, SimulationResult
+from ..ir import InstructionTrace
+from ..nmcsim import NMCSimulator, SimulationResult, resolve_engine
 from ..obs import get_logger, metrics, tracer
 from ..parallel import map_jobs, resolve_jobs
 from ..profiler import ApplicationProfile, analyze_trace
@@ -33,6 +35,39 @@ from ..workloads.base import config_seed
 from .dataset import TrainingRow, TrainingSet
 
 log = get_logger("repro.campaign")
+
+#: Process-wide memo of generated traces, keyed like the campaign cache
+#: plus the trace scale.  Architecture sweeps revisit the same (workload,
+#: config, seed, scale) points once per architecture — the profile is
+#: already reused via :class:`CampaignCache`, but the trace used to be
+#: regenerated every time.  Traces are immutable once built, so sharing
+#: one object across campaigns (each campaign owns *one* architecture) is
+#: safe; the bound keeps at most a campaign's worth of points resident.
+_TRACE_MEMO: OrderedDict[tuple[str, float], InstructionTrace] = OrderedDict()
+_TRACE_MEMO_CAPACITY = 64
+
+
+def _memoized_trace(
+    workload: Workload,
+    config: Mapping[str, float],
+    seed: int,
+    scale: float,
+    point_key: str,
+) -> InstructionTrace:
+    """Generate (or reuse) the trace of one campaign point."""
+    key = (point_key, scale)
+    trace = _TRACE_MEMO.get(key)
+    if trace is not None:
+        _TRACE_MEMO.move_to_end(key)
+        metrics().inc("campaign.trace_reuse")
+        log.debug("trace reused", extra={"ctx": {"point": point_key}})
+        return trace
+    with metrics().timer("phase.trace"):
+        trace = workload.generate(config, scale=scale, seed=seed)
+    _TRACE_MEMO[key] = trace
+    while len(_TRACE_MEMO) > _TRACE_MEMO_CAPACITY:
+        _TRACE_MEMO.popitem(last=False)
+    return trace
 
 
 def _arch_key(arch: NMCConfig) -> str:
@@ -182,26 +217,27 @@ class CampaignCache:
 
 
 def _simulate_point_job(
-    job: tuple[Workload, dict, int, NMCConfig, float],
+    job: tuple[Workload, dict, int, NMCConfig, float, str],
 ) -> tuple[ApplicationProfile, SimulationResult, float]:
     """Worker-side body of one campaign point (module-level: picklable).
 
     Pure function of its payload — trace generation, profiling and
     simulation are all deterministic given the seed — so parallel
-    campaigns reproduce serial ones bit for bit.
+    campaigns reproduce serial ones bit for bit.  (The trace memo is
+    per-process; workers reuse traces across the points they handle.)
     """
-    workload, config, seed, arch, scale = job
+    workload, config, seed, arch, scale, engine = job
     start = time.perf_counter()
+    point_key = _config_key(workload.name, config, seed)
     with tracer().span(
         "campaign.point", workload=workload.name, seed=seed
     ):
-        with metrics().timer("phase.trace"):
-            trace = workload.generate(config, scale=scale, seed=seed)
+        trace = _memoized_trace(workload, config, seed, scale, point_key)
         with metrics().timer("phase.profile"):
             profile = analyze_trace(
                 trace, workload=workload.name, parameters=dict(config)
             )
-        result = NMCSimulator(arch).run(
+        result = NMCSimulator(arch, engine=engine).run(
             trace, workload=workload.name, parameters=dict(config)
         )
     metrics().inc("campaign.points.simulated")
@@ -213,7 +249,9 @@ class SimulationCampaign:
 
     ``jobs`` selects the worker-process count for campaign runs (1 =
     serial, 0 = all CPUs, None = honour ``REPRO_JOBS``); see
-    :mod:`repro.parallel` for the determinism guarantee.
+    :mod:`repro.parallel` for the determinism guarantee.  ``engine``
+    selects the simulation engine (None = honour ``REPRO_SIM_ENGINE``,
+    default fast); both engines produce identical results.
     """
 
     def __init__(
@@ -223,13 +261,15 @@ class SimulationCampaign:
         cache: CampaignCache | None = None,
         scale: float = 1.0,
         jobs: int | None = None,
+        engine: str | None = None,
     ) -> None:
         self.arch = arch or default_nmc_config()
         self.arch.validate()
         self.cache = cache if cache is not None else CampaignCache()
         self.scale = scale
         self.jobs = resolve_jobs(jobs)
-        self._simulator = NMCSimulator(self.arch)
+        self.engine = resolve_engine(engine)
+        self._simulator = NMCSimulator(self.arch, engine=self.engine)
         #: Wall-clock seconds spent simulating, by workload (Table 4's
         #: "DoE run" column); profiling time is included, simulation of
         #: cached points is not re-counted.  Under parallel execution
@@ -269,10 +309,9 @@ class SimulationCampaign:
             with tracer().span(
                 "campaign.point", workload=workload.name, seed=seed
             ):
-                with metrics().timer("phase.trace"):
-                    trace = workload.generate(
-                        config, scale=self.scale, seed=seed
-                    )
+                trace = _memoized_trace(
+                    workload, config, seed, self.scale, point_key
+                )
                 profile = self.cache.get_profile(point_key)
                 if profile is None:
                     with metrics().timer("phase.profile"):
@@ -391,7 +430,8 @@ class SimulationCampaign:
             if self.cache.get(point_key, arch_key) is None:
                 pending.append((
                     point_key,
-                    (workload, config, seed, self.arch, self.scale),
+                    (workload, config, seed, self.arch, self.scale,
+                     self.engine),
                 ))
         outputs = map_jobs(
             _simulate_point_job,

@@ -29,6 +29,7 @@ from .instructions import (
 )
 from .trace import InstructionTrace, concat_traces
 from .builder import LoopTemplate, TraceBuilder, TemplateOp
+from .stackdist import COLD_DISTANCE, grouped_reuse_distances, reuse_distances
 from .validate import validate_trace
 
 __all__ = [
@@ -46,4 +47,7 @@ __all__ = [
     "CONTROL_OPCODES",
     "INT_OPCODES",
     "FP_OPCODES",
+    "COLD_DISTANCE",
+    "reuse_distances",
+    "grouped_reuse_distances",
 ]

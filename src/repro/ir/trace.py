@@ -46,7 +46,10 @@ class InstructionTrace:
         software thread id.
     """
 
-    __slots__ = ("opcode", "dst", "src1", "src2", "addr", "size", "pc", "tid")
+    __slots__ = (
+        "opcode", "dst", "src1", "src2", "addr", "size", "pc", "tid",
+        "_memo",
+    )
 
     def __init__(self, **columns: np.ndarray) -> None:
         missing = set(TRACE_COLUMNS) - set(columns)
@@ -63,6 +66,11 @@ class InstructionTrace:
             arr = np.ascontiguousarray(columns[name], dtype=dtype)
             arr.setflags(write=False)
             object.__setattr__(self, name, arr)
+        # Memo for derived scalars (footprint, opcode histogram): the
+        # columns are immutable, so once computed they never change.
+        # Simulating the same trace repeatedly (both engines, or many
+        # architecture points of a campaign) skips the re-scan.
+        object.__setattr__(self, "_memo", {})
 
     # Frozen container: forbid rebinding of columns after __init__.
     def __setattr__(self, name: str, value: object) -> None:
@@ -121,9 +129,23 @@ class InstructionTrace:
         return len(self.thread_ids)
 
     def opcode_counts(self) -> dict[Opcode, int]:
-        """Histogram of opcodes present in the trace."""
-        values, counts = np.unique(self.opcode, return_counts=True)
-        return {Opcode(int(v)): int(c) for v, c in zip(values, counts)}
+        """Histogram of opcodes present in the trace (memoised)."""
+        got = self._memo.get("opcode_counts")
+        if got is None:
+            values, counts = np.unique(self.opcode, return_counts=True)
+            got = {Opcode(int(v)): int(c) for v, c in zip(values, counts)}
+            self._memo["opcode_counts"] = got
+        return dict(got)
+
+    def footprint_lines(self, line_shift: int) -> int:
+        """Distinct cache lines touched by memory accesses (memoised)."""
+        key = ("footprint_lines", line_shift)
+        got = self._memo.get(key)
+        if got is None:
+            addrs, _sizes, _is_write = self.memory_accesses()
+            got = int(len(np.unique(addrs >> np.uint64(line_shift))))
+            self._memo[key] = got
+        return got
 
     # ------------------------------------------------------------ views
 

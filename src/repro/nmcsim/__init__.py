@@ -10,9 +10,15 @@ Figure 7.
 """
 
 from .cache import Cache, CacheStats
+from .classify import (
+    LRUClassification,
+    classify_lru,
+    classify_steps,
+    classify_vectorized,
+)
 from .energy import EnergyBreakdown, compute_energy
 from .results import SimulationResult
-from .simulator import NMCSimulator, simulate
+from .simulator import ENGINES, NMCSimulator, resolve_engine, simulate
 
 from .dram import StackedMemory, VaultStats
 from .interconnect import LinkModel, OffloadCost, offload_adjusted_edp
@@ -21,6 +27,12 @@ from .stats import SimulationStats, derive_stats, format_stats
 __all__ = [
     "NMCSimulator",
     "simulate",
+    "ENGINES",
+    "resolve_engine",
+    "LRUClassification",
+    "classify_lru",
+    "classify_steps",
+    "classify_vectorized",
     "SimulationResult",
     "Cache",
     "CacheStats",

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..config import NMCConfig
 from ..errors import ConfigError
 
@@ -102,6 +104,45 @@ class Cache:
                 writeback = victim[0] * self.n_sets + set_idx
         entries.append([tag, is_write])
         return False, writeback
+
+    def classify(
+        self, lines: np.ndarray, writes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Step-wise classification of a whole access stream into arrays.
+
+        Walks :meth:`access` over ``lines``/``writes`` and returns
+        ``(hit, wb_line)``: a boolean hit mask and the dirty victim line
+        evicted by each access (-1 when none).  The cache state and
+        statistics advance exactly as if :meth:`access` had been called
+        per element — this is the array API the simulation engines and
+        the vectorized-classifier golden tests build on.
+        """
+        n = len(lines)
+        hit = np.empty(n, dtype=bool)
+        wb_line = np.full(n, -1, dtype=np.int64)
+        access = self.access
+        for k, (line, is_write) in enumerate(
+            zip(lines.tolist(), writes.tolist())
+        ):
+            h, wb = access(line, is_write)
+            hit[k] = h
+            if wb is not None:
+                wb_line[k] = wb
+        return hit, wb_line
+
+    def dirty_lines(self) -> np.ndarray:
+        """Line addresses of the dirty resident lines (sorted).
+
+        The set :meth:`flush` would write back; read-only census like
+        :meth:`flush_dirty_count`, but as an address array.
+        """
+        dirty = [
+            entry[0] * self.n_sets + set_idx
+            for set_idx, entries in enumerate(self._sets)
+            for entry in entries
+            if entry[1]
+        ]
+        return np.sort(np.asarray(dirty, dtype=np.int64))
 
     def flush_dirty_count(self) -> int:
         """Number of dirty lines still resident (flushed at kernel end).

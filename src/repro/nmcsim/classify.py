@@ -1,0 +1,211 @@
+"""Vectorized L1 classification (phase A of the fast simulation engine).
+
+The classic stack-distance result behind the profiler's locality features
+(:mod:`repro.ir.stackdist`) also makes L1 simulation *data-parallel*: a
+``W``-way set-associative LRU cache hits exactly the accesses whose
+per-set reuse distance is < ``W``, independent of timing.  Hit/miss
+classification, eviction victims, dirty tracking and the end-of-kernel
+flush set are therefore properties of the access *stream alone* and can
+be computed up front as arrays — leaving only the (typically small) miss
+and writeback event set for the exact global-time contention loop
+(phase B, :mod:`repro.nmcsim.simulator`).
+
+Two implementations with identical semantics:
+
+* :func:`classify_vectorized` — pure NumPy, exact for associativity
+  ``ways <= 2`` (covers the paper's Table 3 L1: 2-way, and direct-mapped
+  sweeps).  Distance-0 hits are run repeats within a set; distance-1
+  hits are ``y[i] == y[i-2]`` patterns in the run-deduplicated per-set
+  stream (which is adjacent-distinct, so the LRU victim of a miss is
+  always ``y[i-2]``); dirty state is a segmented any-write scan between
+  allocating misses.
+* :func:`classify_steps` — the step-wise :class:`~repro.nmcsim.cache.Cache`
+  walk, exact for any geometry (and the golden reference the vectorized
+  path is tested against).
+
+:func:`classify_lru` picks the vectorized path whenever it is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cache import Cache, CacheStats
+
+
+@dataclass(frozen=True)
+class LRUClassification:
+    """Per-access outcome arrays of one PE stream against one L1 geometry.
+
+    ``hit[k]`` tells whether memory op ``k`` hits; ``wb_line[k]`` is the
+    line address of the dirty victim evicted by op ``k`` (-1 when the op
+    hits, misses without eviction, or evicts a clean line).
+    ``flush_lines`` holds the dirty lines still resident at kernel end
+    (each flushed back exactly once), and ``stats`` matches the
+    step-wise :class:`Cache` counters *after* its end-of-kernel
+    :meth:`~repro.nmcsim.cache.Cache.flush`.
+    """
+
+    hit: np.ndarray
+    wb_line: np.ndarray
+    flush_lines: np.ndarray
+    stats: CacheStats
+
+    @property
+    def n_misses(self) -> int:
+        return self.stats.misses
+
+
+def _finish_stats(
+    hit: np.ndarray, wb_line: np.ndarray, flush_lines: np.ndarray
+) -> CacheStats:
+    """Reconcile the arrays into post-flush :class:`CacheStats`."""
+    hits = int(hit.sum())
+    flushes = len(flush_lines)
+    return CacheStats(
+        hits=hits,
+        misses=len(hit) - hits,
+        writebacks=int((wb_line >= 0).sum()) + flushes,
+        flushes=flushes,
+    )
+
+
+def classify_steps(
+    lines: np.ndarray, writes: np.ndarray, *, n_sets: int, ways: int
+) -> LRUClassification:
+    """Exact step-wise classification via the :class:`Cache` model."""
+    cache = Cache(n_lines=n_sets * ways, ways=ways)
+    hit, wb_line = cache.classify(lines, writes)
+    flush_lines = cache.dirty_lines()
+    cache.flush()
+    return LRUClassification(hit, wb_line, flush_lines, cache.stats)
+
+
+def classify_lru(
+    lines: np.ndarray, writes: np.ndarray, *, n_sets: int, ways: int
+) -> LRUClassification:
+    """Classify one access stream; vectorized whenever exact (ways <= 2)."""
+    if ways <= 2:
+        return classify_vectorized(lines, writes, n_sets=n_sets, ways=ways)
+    return classify_steps(lines, writes, n_sets=n_sets, ways=ways)
+
+
+def classify_vectorized(
+    lines: np.ndarray, writes: np.ndarray, *, n_sets: int, ways: int
+) -> LRUClassification:
+    """Pure-NumPy exact LRU classification for ``ways <= 2``."""
+    if ways > 2:
+        raise ValueError(
+            "the vectorized classifier is exact only for ways <= 2; "
+            "use classify_steps (or classify_lru, which dispatches)"
+        )
+    n = len(lines)
+    lines = np.asarray(lines, dtype=np.int64)
+    writes = np.asarray(writes, dtype=bool)
+    empty = np.empty(0, dtype=np.int64)
+    if n == 0:
+        return LRUClassification(
+            np.empty(0, dtype=bool), empty, empty, CacheStats()
+        )
+
+    # Group accesses into per-set sub-streams (stable sort keeps the
+    # access order inside every set, matching Cache's set indexing).
+    if n_sets > 1:
+        set_id = lines % n_sets
+        order = np.argsort(set_id, kind="stable")
+        g, gw, gs = lines[order], writes[order], set_id[order]
+    else:
+        order = None
+        g, gw = lines, writes
+        gs = np.zeros(n, dtype=np.int64)
+    same_set = np.empty(n, dtype=bool)
+    same_set[0] = False
+    np.equal(gs[1:], gs[:-1], out=same_set[1:])
+
+    # Distance-0 hits: immediate repeats of the same line within a set.
+    # The runs they form are the dedup'd (adjacent-distinct) per-set
+    # stream y = run_line, on which everything else is computed.
+    dist0 = np.empty(n, dtype=bool)
+    dist0[0] = False
+    dist0[1:] = same_set[1:] & (g[1:] == g[:-1])
+    run_starts = np.flatnonzero(~dist0)
+    n_runs = len(run_starts)
+    run_id = np.cumsum(~dist0) - 1
+    run_line = g[run_starts]
+    run_set = gs[run_starts]
+    run_end = np.empty(n_runs, dtype=np.int64)
+    run_end[:-1] = run_starts[1:] - 1
+    run_end[-1] = n - 1
+    prev1_same = np.empty(n_runs, dtype=bool)
+    prev1_same[0] = False
+    prev1_same[1:] = run_set[1:] == run_set[:-1]
+    last_of_set = np.empty(n_runs, dtype=bool)
+    last_of_set[-1] = True
+    last_of_set[:-1] = run_set[1:] != run_set[:-1]
+
+    hit_g = dist0.copy()
+    wb_g = np.full(n, -1, dtype=np.int64)
+
+    if ways == 1:
+        # Direct-mapped: every run start is a miss; it evicts the
+        # previous run's line of the same set; a line's residency is
+        # exactly one run, so dirty == any write in the run.
+        run_dirty = np.add.reduceat(gw.astype(np.int64), run_starts) > 0
+        evict = np.flatnonzero(prev1_same)  # runs with a same-set victim
+        victims = evict - 1
+        dirty_victims = evict[run_dirty[victims]]
+        wb_g[run_starts[dirty_victims]] = run_line[dirty_victims - 1]
+        flush_lines = run_line[last_of_set & run_dirty]
+    else:
+        # 2-way: distance-1 hits are y[i] == y[i-2] in the dedup'd
+        # stream; a miss with two same-set predecessors evicts y[i-2]
+        # (always the LRU of the two residents).
+        prev2_same = np.empty(n_runs, dtype=bool)
+        prev2_same[:2] = False
+        prev2_same[2:] = prev1_same[2:] & prev1_same[1:-1]
+        hit1 = np.zeros(n_runs, dtype=bool)
+        hit1[2:] = prev2_same[2:] & (run_line[2:] == run_line[:-2])
+        hit_g[run_starts[hit1]] = True
+
+        # Dirty state per access: any write to the line since its
+        # allocating miss (write-allocate: the miss's own write counts).
+        # Segment the accesses by (line, allocation): stable-sorting by
+        # line groups each line's accesses in order; every miss starts a
+        # new segment (a line's first access is always a miss, so line
+        # boundaries coincide with segment starts).
+        order2 = np.argsort(g, kind="stable")
+        h2 = hit_g[order2]
+        w2 = gw[order2].astype(np.int64)
+        seg_first = np.flatnonzero(~h2)
+        seg_id = np.cumsum(~h2) - 1
+        cw = np.cumsum(w2)
+        base = (cw - w2)[seg_first]
+        dirty_after = np.empty(n, dtype=bool)
+        dirty_after[order2] = (cw - base[seg_id]) > 0
+
+        evict = np.flatnonzero(~hit1 & prev2_same)
+        victims = evict - 2
+        # Victim dirty state at eviction == its state after its own last
+        # access (it is untouched between that access and the miss).
+        dirty_mask = dirty_after[run_end[victims]]
+        wb_g[run_starts[evict[dirty_mask]]] = run_line[victims[dirty_mask]]
+
+        # End-of-kernel residents per set: the lines of the last two
+        # runs of each set block (adjacent-distinct, hence distinct).
+        last_runs = np.flatnonzero(last_of_set)
+        penult = last_runs[prev1_same[last_runs]] - 1
+        residents = np.concatenate((last_runs, penult))
+        flush_lines = run_line[residents[dirty_after[run_end[residents]]]]
+
+    if order is not None:
+        hit = np.empty(n, dtype=bool)
+        wb_line = np.empty(n, dtype=np.int64)
+        hit[order] = hit_g
+        wb_line[order] = wb_g
+    else:
+        hit, wb_line = hit_g, wb_g
+    return LRUClassification(
+        hit, wb_line, np.sort(flush_lines), _finish_stats(hit, wb_line, flush_lines)
+    )

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ...config import NMCConfig
 from ...obs.trace import HW_TID_VAULT_BASE
 
@@ -35,20 +37,45 @@ class StackedMemory:
     ``timeline`` (a :class:`repro.obs.HardwareTimeline`, optional) receives
     one ``vault.access`` slice per DRAM access — the vault-occupancy lanes
     of the simulated-hardware trace.
+
+    :meth:`access` sits on the hot path of both simulation engines (it is
+    called once per L1 miss and writeback), so the per-bank and per-vault
+    timing state is kept in flat lists rather than :class:`Bank` /
+    :class:`Vault` object graphs — semantics (and the exact
+    floating-point expressions, see :mod:`repro.nmcsim.simulator`) are
+    those of the reference classes, which remain the readable model and
+    keep their own unit tests.
     """
 
     def __init__(self, config: NMCConfig, timeline=None) -> None:
-        from .vault import Vault  # local import to avoid cycle in docs builds
-
         self.config = config
         self.timing = config.timing
         self.timeline = timeline
-        self.vaults = [
-            Vault(config.banks_per_vault) for _ in range(config.n_vaults)
-        ]
         self._block_shift = config.row_buffer_bytes.bit_length() - 1
         self.reads = 0
         self.writes = 0
+        n_vaults = config.n_vaults
+        banks = config.banks_per_vault
+        timing = config.timing
+        # Flat per-vault / per-bank timing state (bank i of vault v lives
+        # at index v * banks_per_vault + i).
+        self._vault_accesses = [0] * n_vaults
+        self._bus_ready = [0.0] * n_vaults
+        self._bank_ready = [0.0] * (n_vaults * banks)
+        self._bank_row = [-1] * (n_vaults * banks)
+        self._bank_until = [-1.0] * (n_vaults * banks)
+        # Timing constants hoisted out of the per-access path.  The sums
+        # are the same floats Bank.access computes per call (deterministic
+        # expressions of the same operands in the same order).
+        self._t_cl = timing.t_cl_ns
+        self._t_bl = timing.t_bl_ns
+        self._t_rp = timing.t_rp_ns
+        self._hop = timing.hop_ns
+        self._linger = timing.row_linger_ns
+        self._closed = timing.closed_row_access_ns()
+        self._occupancy = max(
+            timing.t_ras_ns, timing.t_rcd_ns + timing.t_cl_ns
+        )
 
     def route(self, addr: int) -> tuple[int, int, int]:
         """Map a byte address to (vault index, bank index, row id).
@@ -64,35 +91,106 @@ class StackedMemory:
         bank = (folded // self.config.n_vaults) % self.config.banks_per_vault
         return vault, bank, block
 
+    def route_array(
+        self, addrs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`route`: (vault, bank, block) int64 arrays.
+
+        ``addrs`` must be non-negative byte addresses.  The hash product
+        is taken mod 2**64 (uint64 wrap-around); :meth:`route` keeps only
+        bits 17..48 of the exact product, so the results are identical.
+        """
+        block = addrs.astype(np.uint64) >> np.uint64(self._block_shift)
+        folded = (
+            (block * np.uint64(0x9E3779B97F4A7C15)) >> np.uint64(17)
+        ) & np.uint64(0xFFFFFFFF)
+        vault = folded % np.uint64(self.config.n_vaults)
+        bank = (
+            folded // np.uint64(self.config.n_vaults)
+        ) % np.uint64(self.config.banks_per_vault)
+        return (
+            vault.astype(np.int64),
+            bank.astype(np.int64),
+            block.astype(np.int64),
+        )
+
+    def add_counts(
+        self, *, reads: int = 0, writes: int = 0, vault_counts=None
+    ) -> None:
+        """Credit access totals computed out-of-band.
+
+        The fast simulation engine pre-counts its miss/writeback traffic
+        vectorized (totals are order-independent) and drives only the
+        timing state through the per-event loop.
+        """
+        self.reads += reads
+        self.writes += writes
+        if vault_counts is not None:
+            acc = self._vault_accesses
+            for vault, count in enumerate(vault_counts):
+                acc[vault] += int(count)
+
     def access(self, now_ns: float, addr: int, is_write: bool) -> float:
         """One cache-line access; returns the data-ready time (ns).
 
         The logic-layer interconnect hop to the vault and back is added
-        here (PEs and vault controllers share the logic layer).
+        here (PEs and vault controllers share the logic layer).  The body
+        is :meth:`route` + :meth:`Vault.access` + :meth:`Bank.access`
+        fused into one frame; every expression involving runtime state
+        keeps the reference association order, so results are identical.
         """
-        vault_idx, bank_idx, row = self.route(addr)
+        cfg = self.config
+        block = addr >> self._block_shift
+        folded = (block * 0x9E3779B97F4A7C15 >> 17) & 0xFFFFFFFF
+        vault = folded % cfg.n_vaults
+        banks = cfg.banks_per_vault
+        bank = (folded // cfg.n_vaults) % banks
         if is_write:
             self.writes += 1
         else:
             self.reads += 1
-        hop = self.timing.hop_ns
-        data_at = self.vaults[vault_idx].access(
-            now_ns + hop, bank_idx, row, self.timing
-        )
+        hop = self._hop
+        now = now_ns + hop
+        self._vault_accesses[vault] += 1
+        # --- bank timing (Bank.access semantics) ---
+        bi = vault * banks + bank
+        ready = self._bank_ready[bi]
+        start = now if now > ready else ready
+        open_row = self._bank_row[bi]
+        row_open = open_row >= 0 and start <= self._bank_until[bi]
+        if row_open and block == open_row:
+            # Row-buffer hit: column access + burst only.
+            data_at = start + self._t_cl + self._t_bl
+            self._bank_ready[bi] = start + self._t_bl
+        else:
+            # Row conflict pays an explicit precharge; an expired row was
+            # already auto-precharged in the background.
+            pre = self._t_rp if row_open else 0.0
+            data_at = start + pre + self._closed
+            self._bank_ready[bi] = start + pre + self._occupancy
+        self._bank_row[bi] = block
+        # The linger window follows the bank-level data time, before the
+        # burst is (possibly) delayed by the vault bus below.
+        self._bank_until[bi] = data_at + self._linger
+        # --- vault TSV bus (Vault.access semantics) ---
+        bus_ready = self._bus_ready[vault]
+        if data_at - self._t_bl < bus_ready:
+            data_at = bus_ready + self._t_bl
+        self._bus_ready[vault] = data_at
         if self.timeline is not None:
             self.timeline.slice(
-                HW_TID_VAULT_BASE + vault_idx,
+                HW_TID_VAULT_BASE + vault,
                 "vault.access",
-                now_ns + hop,
+                now,
                 data_at,
-                bank=bank_idx,
+                bank=bank,
                 write=bool(is_write),
             )
         return data_at + hop
 
     def stats(self) -> VaultStats:
         accesses = self.reads + self.writes
-        per_vault = [v.accesses for v in self.vaults]
+        per_vault = self._vault_accesses
         return VaultStats(
             accesses=accesses,
             reads=self.reads,

@@ -13,27 +13,63 @@ Ramulator-PIM for this paper's experiments:
 * vault/bank contention between PEs is resolved exactly, by processing all
   PEs' memory events in global time order (heap-driven).
 
-The simulator returns IPC (total instructions / makespan cycles), execution
+Two engines implement this model with identical results:
+
+* ``reference`` — one heap event per memory access, stepping the
+  :class:`~repro.nmcsim.cache.Cache` model per access (the original,
+  obviously-correct formulation);
+* ``fast`` (default) — two-phase: **phase A** classifies every PE
+  stream's hits, misses, writebacks and end-of-kernel flushes up front
+  with the vectorized stack-distance classifier
+  (:mod:`repro.nmcsim.classify`), then **phase B** runs the exact
+  contention loop over *only* the miss/writeback events, with hit
+  latencies folded into the compute segments.
+
+Event times in both engines are computed from the same prefix-sum
+expressions (``base_t + (pref[k+1] - pref[base+1]) + n_hits * l1``), so
+the engines agree bit for bit — not merely within tolerance.  The
+simulator returns IPC (total instructions / makespan cycles), execution
 time and the full energy breakdown — the labels NAPEL trains on.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Mapping
 
 import numpy as np
 
-from ..config import NMCConfig, default_nmc_config
-from ..errors import SimulationError
+from ..config import SIM_ENGINES, NMCConfig, default_nmc_config
+from ..errors import ConfigError, SimulationError
 from ..ir import OPCODE_LATENCY, InstructionTrace, Opcode
 from ..obs import get_logger, metrics, tracer
 from .cache import Cache, CacheStats
+from .classify import classify_lru
 from .dram import StackedMemory
 from .energy import compute_energy
 from .results import SimulationResult
 
 log = get_logger("repro.nmcsim")
+
+#: Environment variable selecting the simulation engine.
+ENGINE_ENV_VAR = "REPRO_SIM_ENGINE"
+
+#: Valid engine names; ``fast`` is the default.
+ENGINES = SIM_ENGINES
+
+
+def resolve_engine(engine: str | None = None) -> str:
+    """The effective engine name: argument, ``$REPRO_SIM_ENGINE``, or fast."""
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV_VAR, "").strip() or "fast"
+    if engine not in ENGINES:
+        raise ConfigError(
+            f"unknown simulation engine {engine!r}; "
+            f"expected one of {', '.join(ENGINES)}"
+        )
+    return engine
+
 
 #: numpy lookup table: opcode value -> execute latency (cycles).
 _LATENCY_LUT = np.zeros(max(int(op) for op in Opcode) + 1, dtype=np.int64)
@@ -49,14 +85,25 @@ class _PEStream:
     """Pre-digested per-PE instruction stream.
 
     ``compute_ns[k]`` is the non-memory execution time preceding memory op
-    ``k`` (entry ``n_mem`` is the tail after the last memory op); ``lines``
-    and ``writes`` describe the memory ops themselves.  ``outstanding``
-    holds in-flight miss completion times for the out-of-order PE model.
+    ``k`` (entry ``n_mem`` is the tail after the last memory op); ``pref``
+    is its prefix sum (``pref[k+1]`` = compute time before op ``k``
+    completes its preceding segment); ``lines`` and ``writes`` describe
+    the memory ops themselves and stay NumPy arrays end to end.
+
+    Timing state is normalized to *miss anchors*: ``base_t`` is the
+    completion time of the last miss (0.0 initially) and ``base_k`` its
+    op index (-1 initially); every later event time derives from them via
+    :meth:`issue_ns`, which is the expression both engines share.
+    ``outstanding`` is a min-heap of in-flight miss completion times for
+    the out-of-order PE model.
     """
 
     __slots__ = (
-        "pe", "time_ns", "next_op", "compute_ns", "lines", "writes",
+        "pe", "next_op", "compute_ns", "pref", "lines", "writes",
         "cache", "finish_ns", "n_instructions", "outstanding",
+        "base_t", "base_k",
+        "miss_pos", "events", "n_events", "first_delta", "tail_ns",
+        "next_evt",
     )
 
     def __init__(
@@ -65,23 +112,48 @@ class _PEStream:
         compute_ns: np.ndarray,
         lines: np.ndarray,
         writes: np.ndarray,
-        cache: Cache,
         n_instructions: int,
     ) -> None:
         self.pe = pe
-        self.time_ns = 0.0
         self.next_op = 0
         self.compute_ns = compute_ns
-        self.lines = lines.tolist()
-        self.writes = writes.tolist()
-        self.cache = cache
+        self.pref = np.concatenate(([0.0], np.cumsum(compute_ns)))
+        self.lines = lines
+        self.writes = writes
+        self.cache: Cache | None = None
         self.finish_ns = 0.0
         self.n_instructions = n_instructions
         self.outstanding: list[float] = []
+        self.base_t = 0.0
+        self.base_k = -1
+        # Phase-B (fast engine) miss-compressed event stream: one tuple
+        # per miss — its pre-routed DRAM coordinates (block, vault, flat
+        # bank index), those of its dirty victim (victim bank -1 when
+        # clean), and the deterministic issue gap to the *next* miss
+        # (``first_delta`` carries the gap to the first one).
+        self.miss_pos: np.ndarray | None = None
+        self.events: list[tuple] = []
+        self.n_events = 0
+        self.first_delta = 0.0
+        self.tail_ns = 0.0
+        self.next_evt = 0
 
     @property
     def n_mem(self) -> int:
         return len(self.lines)
+
+    def issue_ns(self, k: int, l1_cycle_ns: float) -> float:
+        """Issue time of memory op ``k`` (``k == n_mem``: kernel finish).
+
+        All ops in ``(base_k, k)`` are hits by construction, each adding
+        one L1 cycle; the expression (and its floating-point evaluation
+        order) is shared verbatim with the fast engine's vectorized
+        delta computation, which is what makes the engines bit-identical.
+        """
+        return self.base_t + (
+            (self.pref[k + 1] - self.pref[self.base_k + 1])
+            + (k - self.base_k - 1) * l1_cycle_ns
+        )
 
 
 def _build_stream(
@@ -90,7 +162,6 @@ def _build_stream(
     addr: np.ndarray,
     cycle_ns: float,
     line_shift: int,
-    cache: Cache,
     issue_width: int = 1,
 ) -> _PEStream:
     lat = _LATENCY_LUT[opcode]
@@ -114,17 +185,28 @@ def _build_stream(
         compute_ns=compute_cycles.astype(np.float64) * cycle_ns,
         lines=lines,
         writes=writes,
-        cache=cache,
         n_instructions=len(opcode),
     )
 
 
 class NMCSimulator:
-    """Simulates kernel traces on one NMC architecture configuration."""
+    """Simulates kernel traces on one NMC architecture configuration.
 
-    def __init__(self, config: NMCConfig | None = None) -> None:
+    ``engine`` selects the execution engine (``"fast"`` two-phase or
+    ``"reference"`` per-access; ``None`` honours ``$REPRO_SIM_ENGINE``,
+    default fast).  Both engines produce identical
+    :class:`SimulationResult` values; see :mod:`repro.nmcsim.classify`.
+    """
+
+    def __init__(
+        self,
+        config: NMCConfig | None = None,
+        *,
+        engine: str | None = None,
+    ) -> None:
         self.config = config or default_nmc_config()
         self.config.validate()
+        self.engine = resolve_engine(engine)
 
     def run(
         self,
@@ -143,12 +225,47 @@ class NMCSimulator:
             "simulation done",
             extra={"ctx": {
                 "workload": workload or "(unnamed)",
+                "engine": self.engine,
                 "instructions": result.instructions,
                 "cycles": result.cycles,
                 "seconds": round(span.elapsed_s or 0.0, 3),
             }},
         )
         return result
+
+    # ----------------------------------------------------------- shared
+
+    def _build_streams(self, trace: InstructionTrace) -> list[_PEStream]:
+        """Round-robin threads onto PEs; threads sharing a PE execute
+        back-to-back (time multiplexed)."""
+        cfg = self.config
+        line_shift = cfg.line_bytes.bit_length() - 1
+        tids = trace.thread_ids
+        # One stable argsort groups the trace by thread id while keeping
+        # per-thread program order — same sub-arrays as a boolean mask
+        # per tid, without T full-column scans.
+        order = np.argsort(trace.tid, kind="stable")
+        sorted_tid = trace.tid[order]
+        starts = np.searchsorted(sorted_tid, tids, side="left")
+        ends = np.searchsorted(sorted_tid, tids, side="right")
+        per_pe_cols: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
+        for idx, tid in enumerate(tids):
+            pe = idx % cfg.n_pes
+            sel = order[starts[idx]:ends[idx]]
+            per_pe_cols.setdefault(pe, []).append(
+                (trace.opcode[sel], trace.addr[sel])
+            )
+        streams: list[_PEStream] = []
+        for pe, parts in sorted(per_pe_cols.items()):
+            opcode = np.concatenate([p[0] for p in parts])
+            addr = np.concatenate([p[1] for p in parts])
+            streams.append(
+                _build_stream(
+                    pe, opcode, addr, cfg.cycle_ns, line_shift,
+                    issue_width=cfg.issue_width,
+                )
+            )
+        return streams
 
     def _run(
         self,
@@ -162,97 +279,24 @@ class NMCSimulator:
         line_shift = cfg.line_bytes.bit_length() - 1
         # Opt-in simulated-hardware timeline (None unless REPRO_TRACE_HW
         # is set): per-PE busy/stall slices, vault occupancy and cache
-        # counter tracks, all on the simulated nanosecond clock.
+        # counter tracks, all on the simulated nanosecond clock.  The
+        # timeline needs one event per access, which is exactly what the
+        # fast engine elides — so hardware-traced runs always take the
+        # reference path (results are identical either way).
         hw = tracer().hw_timeline()
+        engine = self.engine
+        if hw is not None and engine == "fast":
+            engine = "reference"
         memory = StackedMemory(cfg, timeline=hw)
+        streams = self._build_streams(trace)
 
-        # Assign threads to PEs round-robin; threads sharing a PE execute
-        # back-to-back (time multiplexed).
-        tids = trace.thread_ids
-        streams: list[_PEStream] = []
-        per_pe_cols: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
-        for idx, tid in enumerate(tids):
-            pe = idx % cfg.n_pes
-            sub = trace.tid == tid
-            per_pe_cols.setdefault(pe, []).append(
-                (trace.opcode[sub], trace.addr[sub])
+        if engine == "fast":
+            cache_stats, flush_writes = self._contend_fast(streams, memory)
+        else:
+            cache_stats, flush_writes = self._contend_reference(
+                streams, memory, hw
             )
-        for pe, parts in sorted(per_pe_cols.items()):
-            opcode = np.concatenate([p[0] for p in parts])
-            addr = np.concatenate([p[1] for p in parts])
-            streams.append(
-                _build_stream(
-                    pe, opcode, addr, cycle_ns, line_shift,
-                    Cache.l1_for(cfg), issue_width=cfg.issue_width,
-                )
-            )
-
-        # Event loop: always advance the PE whose next memory access comes
-        # earliest in global time, so bank/bus contention is seen in order.
-        #
-        # In-order PEs block on every miss.  Out-of-order PEs ("ooo") keep
-        # issuing past misses until their MSHRs fill; when the MSHR file is
-        # full, the PE stalls until the oldest outstanding miss returns.
-        l1_cycle_ns = cycle_ns  # one-cycle L1 access
-        ooo = cfg.pe_type == "ooo"
-        mshrs = cfg.mshr_entries
-        heap: list[tuple[float, int]] = []
-        for i, s in enumerate(streams):
-            if s.n_mem:
-                heapq.heappush(heap, (s.time_ns + float(s.compute_ns[0]), i))
-            else:
-                s.finish_ns = float(s.compute_ns[0])
-        l1_misses = 0
-        while heap:
-            t, i = heapq.heappop(heap)
-            s = streams[i]
-            k = s.next_op
-            if hw is not None:
-                compute = float(s.compute_ns[k])
-                if compute > 0:
-                    hw.slice(s.pe, "pe.busy", t - compute, t)
-            line = s.lines[k]
-            is_write = s.writes[k]
-            hit, writeback = s.cache.access(line, is_write)
-            if hit:
-                t += l1_cycle_ns
-            elif not ooo:
-                done = memory.access(t, line << line_shift, bool(is_write))
-                if hw is not None:
-                    l1_misses += 1
-                    hw.slice(s.pe, "pe.stall", t, done, reason="l1_miss")
-                    hw.counter("l1.misses", {"misses": l1_misses}, done)
-                t = done + l1_cycle_ns
-            else:
-                done = memory.access(t, line << line_shift, bool(is_write))
-                if hw is not None:
-                    l1_misses += 1
-                    hw.counter("l1.misses", {"misses": l1_misses}, done)
-                s.outstanding.append(done)
-                if len(s.outstanding) >= mshrs:
-                    # MSHRs full: stall until the oldest miss completes.
-                    oldest = min(s.outstanding)
-                    s.outstanding.remove(oldest)
-                    if hw is not None and oldest > t:
-                        hw.slice(s.pe, "pe.stall", t, oldest, reason="mshr_full")
-                    t = max(t, oldest) + l1_cycle_ns
-                else:
-                    t += l1_cycle_ns  # issue continues under the miss
-            if writeback is not None:
-                # Dirty eviction: posted write, does not block the PE but
-                # occupies the bank.
-                memory.access(t, writeback << line_shift, True)
-            s.next_op = k + 1
-            if s.next_op < s.n_mem:
-                heapq.heappush(
-                    heap, (t + float(s.compute_ns[s.next_op]), i)
-                )
-            else:
-                finish = t + float(s.compute_ns[s.n_mem])
-                if s.outstanding:
-                    finish = max(finish, max(s.outstanding))
-                    s.outstanding.clear()
-                s.finish_ns = finish
+        memory.writes += flush_writes
 
         makespan_ns = max(s.finish_ns for s in streams)
         if makespan_ns <= 0:
@@ -261,19 +305,10 @@ class NMCSimulator:
         instructions = len(trace)
         ipc = instructions / cycles
 
-        # Dirty lines still resident are flushed back at kernel completion:
-        # flush() counts each line once in the cache's writeback stats, and
-        # the matching DRAM write traffic (and thus DRAM access energy) is
-        # added below — once per flushed line, same as an eviction.
-        flush_writes = sum(s.cache.flush() for s in streams)
-        memory.writes += flush_writes
-        # Aggregate statistics (after the flush so it is included).
-        cache_stats = CacheStats()
-        for s in streams:
-            cache_stats.merge(s.cache.stats)
         dram_stats = memory.stats()
         if hw is not None:
             for s in streams:
+                assert s.cache is not None
                 hw.counter(
                     f"pe{s.pe}.cache",
                     s.cache.stats.counter_values(),
@@ -281,9 +316,9 @@ class NMCSimulator:
                 )
             hw.close()
 
-        addrs, _sizes, _w = trace.memory_accesses()
-        footprint_lines = len(np.unique(addrs >> np.uint64(line_shift)))
-        offload_bytes = float(footprint_lines * cfg.line_bytes)
+        offload_bytes = float(
+            trace.footprint_lines(line_shift) * cfg.line_bytes
+        )
 
         time_s = makespan_ns * 1e-9
         energy = compute_energy(
@@ -307,6 +342,337 @@ class NMCSimulator:
             parameters=dict(parameters or {}),
         )
 
+    # -------------------------------------------------- reference engine
+
+    def _contend_reference(
+        self,
+        streams: list[_PEStream],
+        memory: StackedMemory,
+        hw,
+    ) -> tuple[CacheStats, int]:
+        """One heap event per memory access, stepping the Cache model.
+
+        In-order PEs block on every miss.  Out-of-order PEs ("ooo") keep
+        issuing past misses until their MSHRs fill; when the MSHR file is
+        full, the PE stalls until the oldest outstanding miss returns.
+        """
+        cfg = self.config
+        line_shift = cfg.line_bytes.bit_length() - 1
+        l1_cycle_ns = cfg.cycle_ns  # one-cycle L1 access
+        ooo = cfg.pe_type == "ooo"
+        mshrs = cfg.mshr_entries
+        heap: list[tuple[float, int]] = []
+        for i, s in enumerate(streams):
+            s.cache = Cache.l1_for(cfg)
+            if s.n_mem:
+                heapq.heappush(heap, (s.issue_ns(0, l1_cycle_ns), i))
+            else:
+                s.finish_ns = float(s.compute_ns[0])
+        l1_misses = 0
+        # Event loop: always advance the PE whose next memory access comes
+        # earliest in global time, so bank/bus contention is seen in order.
+        while heap:
+            t, i = heapq.heappop(heap)
+            s = streams[i]
+            k = s.next_op
+            if hw is not None:
+                compute = float(s.compute_ns[k])
+                if compute > 0:
+                    hw.slice(s.pe, "pe.busy", t - compute, t)
+            line = int(s.lines[k])
+            is_write = bool(s.writes[k])
+            hit, writeback = s.cache.access(line, is_write)
+            if hit:
+                pass  # one L1 cycle, folded into the issue expression
+            else:
+                done = memory.access(t, line << line_shift, is_write)
+                if not ooo:
+                    if hw is not None:
+                        l1_misses += 1
+                        hw.slice(s.pe, "pe.stall", t, done, reason="l1_miss")
+                        hw.counter("l1.misses", {"misses": l1_misses}, done)
+                    t = done + l1_cycle_ns
+                else:
+                    if hw is not None:
+                        l1_misses += 1
+                        hw.counter("l1.misses", {"misses": l1_misses}, done)
+                    heapq.heappush(s.outstanding, done)
+                    if len(s.outstanding) >= mshrs:
+                        # MSHRs full: stall until the oldest miss completes.
+                        oldest = heapq.heappop(s.outstanding)
+                        if hw is not None and oldest > t:
+                            hw.slice(
+                                s.pe, "pe.stall", t, oldest,
+                                reason="mshr_full",
+                            )
+                        t = max(t, oldest) + l1_cycle_ns
+                    else:
+                        t += l1_cycle_ns  # issue continues under the miss
+                # The miss completion re-anchors all later event times.
+                s.base_t = t
+                s.base_k = k
+                if writeback is not None:
+                    # Dirty eviction: posted write, does not block the PE
+                    # but occupies the bank.
+                    memory.access(t, writeback << line_shift, True)
+            s.next_op = k + 1
+            if s.next_op < s.n_mem:
+                heapq.heappush(
+                    heap, (s.issue_ns(s.next_op, l1_cycle_ns), i)
+                )
+            else:
+                finish = s.issue_ns(s.n_mem, l1_cycle_ns)
+                if s.outstanding:
+                    finish = max(finish, max(s.outstanding))
+                    s.outstanding.clear()
+                s.finish_ns = finish
+
+        # Dirty lines still resident are flushed back at kernel completion:
+        # flush() counts each line once in the cache's writeback stats, and
+        # the matching DRAM write traffic (and thus DRAM access energy) is
+        # added by the caller — once per flushed line, same as an eviction.
+        flush_writes = 0
+        cache_stats = CacheStats()
+        for s in streams:
+            assert s.cache is not None
+            flush_writes += s.cache.flush()
+            cache_stats.merge(s.cache.stats)
+        return cache_stats, flush_writes
+
+    # ------------------------------------------------------- fast engine
+
+    def _contend_fast(
+        self,
+        streams: list[_PEStream],
+        memory: StackedMemory,
+    ) -> tuple[CacheStats, int]:
+        """Two-phase: vectorized classification, then a miss-only loop.
+
+        Phase A classifies every stream's accesses against its L1 (hits,
+        misses, dirty-victim writebacks, flush set) without any timing.
+        Phase B replays only the misses through the global-time heap —
+        the same issue-time expressions and the same sequence of
+        ``memory.access`` calls as the reference engine, because hits
+        never touch shared state.
+        """
+        cfg = self.config
+        line_shift = cfg.line_bytes.bit_length() - 1
+        l1_cycle_ns = cfg.cycle_ns
+        ooo = cfg.pe_type == "ooo"
+        mshrs = cfg.mshr_entries
+
+        cache_stats = CacheStats()
+        flush_writes = 0
+        banks_pv = cfg.banks_per_vault
+        shift = np.uint64(line_shift)
+        vault_counts = np.zeros(cfg.n_vaults, dtype=np.int64)
+        n_reads = 0
+        n_writes = 0
+        with metrics().timer("phase.simulate.classify"):
+            for s in streams:
+                cls = classify_lru(
+                    s.lines, s.writes,
+                    n_sets=cfg.l1_sets, ways=cfg.l1_ways,
+                )
+                cache_stats.merge(cls.stats)
+                flush_writes += len(cls.flush_lines)
+                mp = np.flatnonzero(~cls.hit)
+                s.miss_pos = mp
+                if len(mp):
+                    # Deterministic gap from the previous miss completion
+                    # to this miss's issue: the in-between compute
+                    # segments plus one L1 cycle per intervening hit —
+                    # evaluated with the exact operations of issue_ns().
+                    mp1 = mp + 1
+                    comp = s.pref[mp1] - s.pref[
+                        np.concatenate(([0], mp1[:-1]))
+                    ]
+                    gaps = np.diff(np.concatenate(([-1], mp))) - 1
+                    delta = (comp + gaps * l1_cycle_ns).tolist()
+                    s.tail_ns = float(
+                        (s.pref[s.n_mem + 1] - s.pref[mp[-1] + 1])
+                        + (s.n_mem - 1 - mp[-1]) * l1_cycle_ns
+                    )
+                    # Pre-route every miss (and dirty victim) to its DRAM
+                    # coordinates: the Fibonacci hash is stateless, so it
+                    # vectorizes, leaving only bank/bus timing to phase B.
+                    mv, mb, mblk = memory.route_array(
+                        s.lines[mp].astype(np.uint64) << shift
+                    )
+                    wb = cls.wb_line[mp]
+                    has_wb = wb >= 0
+                    wv, wbk, wblk = memory.route_array(
+                        np.where(has_wb, wb, 0).astype(np.uint64) << shift
+                    )
+                    # One tuple per miss, carrying the issue gap of the
+                    # *next* miss so scheduling needs no second lookup
+                    # (tolist() gives plain Python scalars: cheap
+                    # indexing and heap comparisons; float64 -> float is
+                    # exact).
+                    s.first_delta = delta[0]
+                    s.events = list(zip(
+                        mblk.tolist(),
+                        mv.tolist(),
+                        (mv * banks_pv + mb).tolist(),
+                        wblk.tolist(),
+                        wv.tolist(),
+                        np.where(has_wb, wv * banks_pv + wbk, -1).tolist(),
+                        delta[1:] + [0.0],
+                    ))
+                    s.n_events = len(mp)
+                    # DRAM traffic totals are order-independent, so they
+                    # are counted here rather than per event.
+                    miss_writes = int(np.count_nonzero(s.writes[mp]))
+                    n_wb = int(np.count_nonzero(has_wb))
+                    n_reads += len(mp) - miss_writes
+                    n_writes += miss_writes + n_wb
+                    vault_counts += np.bincount(
+                        mv, minlength=len(vault_counts)
+                    )
+                    vault_counts += np.bincount(
+                        wv[has_wb], minlength=len(vault_counts)
+                    )
+                else:
+                    # No misses: purely deterministic stream.
+                    s.finish_ns = (
+                        float(s.compute_ns[0]) if s.n_mem == 0
+                        else s.issue_ns(s.n_mem, l1_cycle_ns)
+                    )
+                s.next_evt = 0
+        memory.add_counts(
+            reads=n_reads, writes=n_writes, vault_counts=vault_counts
+        )
+
+        with metrics().timer("phase.simulate.contend"):
+            # The per-miss loop below inlines the timing half of
+            # StackedMemory.access (bank + vault bus, see dram/hmc.py);
+            # routing and traffic counting were pre-computed vectorized
+            # in phase A.  Every expression keeps the exact evaluation
+            # order of the method, so the floats are identical; the fast
+            # engine never carries a hardware timeline (see _run), so
+            # that branch is dropped.
+            bus_ready = memory._bus_ready
+            bank_ready = memory._bank_ready
+            bank_row = memory._bank_row
+            bank_until = memory._bank_until
+            t_cl = memory._t_cl
+            t_bl = memory._t_bl
+            t_rp = memory._t_rp
+            hop = memory._hop
+            linger = memory._linger
+            closed = memory._closed
+            occupancy = memory._occupancy
+
+            heappush = heapq.heappush
+            heappop = heapq.heappop
+            heapreplace = heapq.heapreplace
+            heap: list[tuple[float, int]] = []
+            for i, s in enumerate(streams):
+                if s.n_events:
+                    heappush(heap, (s.base_t + s.first_delta, i))
+            # The heap is used peek-style: the root is the event being
+            # processed, and it is only rewritten when the active stream
+            # stops being globally next — one heapreplace per stream
+            # switch instead of a pop + push per event.  The event order
+            # is exactly the reference engine's (time, stream index)
+            # order: a stream keeps the floor only while its next miss
+            # precedes both heap children (the decrease-key invariant).
+            inf = float("inf")
+            while heap:
+                t, i = heap[0]
+                s = streams[i]
+                j = s.next_evt
+                ev_i = s.events
+                n_i = s.n_events
+                out_i = s.outstanding
+                # The children of the root are invariant while this
+                # stream keeps the floor, so the decrease-key bound is
+                # computed once per activation.  With no other stream
+                # pending the bound is +inf: run to completion.
+                n_h = len(heap)
+                if n_h > 1:
+                    child = heap[1]
+                    if n_h > 2 and heap[2] < child:
+                        child = heap[2]
+                    ct, ci = child
+                else:
+                    ct, ci = inf, -1
+                while True:
+                    block, vault, bi, wblk, wv, wbi, dnext = ev_i[j]
+                    # Miss access: the timing half of StackedMemory
+                    # .access, inlined (hottest path in the simulator).
+                    now = t + hop
+                    ready = bank_ready[bi]
+                    start = now if now > ready else ready
+                    open_row = bank_row[bi]
+                    row_open = open_row >= 0 and start <= bank_until[bi]
+                    if row_open and block == open_row:
+                        data_at = start + t_cl + t_bl
+                        bank_ready[bi] = start + t_bl
+                    else:
+                        pre = t_rp if row_open else 0.0
+                        data_at = start + pre + closed
+                        bank_ready[bi] = start + pre + occupancy
+                    bank_row[bi] = block
+                    bank_until[bi] = data_at + linger
+                    br = bus_ready[vault]
+                    if data_at - t_bl < br:
+                        data_at = br + t_bl
+                    bus_ready[vault] = data_at
+                    done = data_at + hop
+                    if not ooo:
+                        t = done + l1_cycle_ns
+                    else:
+                        heappush(out_i, done)
+                        if len(out_i) >= mshrs:
+                            oldest = heappop(out_i)
+                            t = max(t, oldest) + l1_cycle_ns
+                        else:
+                            t += l1_cycle_ns
+                    if wbi >= 0:
+                        # Dirty-victim writeback: same inlined pipeline,
+                        # posted at the miss completion time.
+                        now = t + hop
+                        ready = bank_ready[wbi]
+                        start = now if now > ready else ready
+                        open_row = bank_row[wbi]
+                        row_open = (
+                            open_row >= 0 and start <= bank_until[wbi]
+                        )
+                        if row_open and wblk == open_row:
+                            data_at = start + t_cl + t_bl
+                            bank_ready[wbi] = start + t_bl
+                        else:
+                            pre = t_rp if row_open else 0.0
+                            data_at = start + pre + closed
+                            bank_ready[wbi] = start + pre + occupancy
+                        bank_row[wbi] = wblk
+                        bank_until[wbi] = data_at + linger
+                        br = bus_ready[wv]
+                        if data_at - t_bl < br:
+                            data_at = br + t_bl
+                        bus_ready[wv] = data_at
+                    j += 1
+                    if j < n_i:
+                        tn = t + dnext
+                        # Decrease-key check: the root is this stream's
+                        # own (stale) entry, so (tn, i) may stay on the
+                        # floor as long as it precedes both children.
+                        if tn < ct or (tn == ct and i < ci):
+                            t = tn
+                            continue
+                        heapreplace(heap, (tn, i))
+                        break
+                    finish = t + s.tail_ns
+                    if out_i:
+                        finish = max(finish, max(out_i))
+                        out_i.clear()
+                    s.finish_ns = finish
+                    heappop(heap)
+                    break
+                s.next_evt = j
+        return cache_stats, flush_writes
+
 
 def simulate(
     trace: InstructionTrace,
@@ -314,8 +680,9 @@ def simulate(
     *,
     workload: str = "",
     parameters: Mapping[str, float] | None = None,
+    engine: str | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: simulate ``trace`` on ``config`` (Table 3 default)."""
-    return NMCSimulator(config).run(
+    return NMCSimulator(config, engine=engine).run(
         trace, workload=workload, parameters=parameters
     )

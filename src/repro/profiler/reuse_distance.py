@@ -8,8 +8,10 @@ canonical hardware-independent description of temporal locality: a fully
 associative LRU cache of capacity ``C`` lines hits exactly the accesses with
 reuse distance < ``C``.
 
-The computation uses the classic Fenwick-tree (binary indexed tree)
-formulation of Mattson's stack algorithm: O(M log M) over M accesses.
+The computation kernel (the classic Fenwick-tree / move-to-front
+formulation of Mattson's stack algorithm, O(M log M) over M accesses)
+lives in :mod:`repro.ir.stackdist`, shared with the fast simulation
+engine's L1 classifier; this module keeps the feature extraction.
 """
 
 from __future__ import annotations
@@ -19,89 +21,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..ir import InstructionTrace
+from ..ir.stackdist import (  # noqa: F401  (re-exported public API)
+    COLD_DISTANCE,
+    grouped_reuse_distances,
+    reuse_distances,
+)
 from .features import (
     DATA_REUSE_BUCKETS,
     INSTR_REUSE_CDF_BUCKETS,
     INSTR_REUSE_PDF_BUCKETS,
     REUSE_STREAMS,
 )
-
-#: Distance value used for cold (first-touch) accesses.
-COLD_DISTANCE = -1
-
-
-def reuse_distances(keys: np.ndarray) -> np.ndarray:
-    """Per-access LRU stack distances of a reference stream.
-
-    Parameters
-    ----------
-    keys:
-        Integer identifiers of the accessed elements (cache-line ids,
-        program counters, ...), in access order.
-
-    Returns
-    -------
-    ``int64`` array of the same length: number of distinct other elements
-    accessed since the previous access to the same element, or
-    :data:`COLD_DISTANCE` for first touches.
-    """
-    n = len(keys)
-    out = np.empty(n, dtype=np.int64)
-    if n == 0:
-        return out
-
-    # Fast path for small alphabets (instruction PC streams): an exact
-    # move-to-front list — the stack distance of an access is simply the
-    # key's position in the recency list.  O(n * |alphabet|) with small
-    # constants beats the Fenwick tree up to a few hundred distinct keys.
-    if len(np.unique(keys)) <= 512:
-        recency: list[int] = []
-        index = recency.index
-        remove = recency.remove
-        insert = recency.insert
-        for t, key in enumerate(keys.tolist()):
-            try:
-                pos = index(key)
-            except ValueError:
-                out[t] = COLD_DISTANCE
-            else:
-                out[t] = pos
-                remove(key)
-            insert(0, key)
-        return out
-
-    # Fenwick tree over access-time slots; tree[t] counts elements whose
-    # most recent access was at time t.
-    tree = [0] * (n + 1)
-
-    def update(pos: int, delta: int) -> None:
-        pos += 1
-        while pos <= n:
-            tree[pos] += delta
-            pos += pos & (-pos)
-
-    def prefix(pos: int) -> int:
-        # sum of slots [0, pos]
-        pos += 1
-        s = 0
-        while pos > 0:
-            s += tree[pos]
-            pos -= pos & (-pos)
-        return s
-
-    last_seen: dict[int, int] = {}
-    keys_list = keys.tolist()
-    for t, key in enumerate(keys_list):
-        prev = last_seen.get(key)
-        if prev is None:
-            out[t] = COLD_DISTANCE
-        else:
-            # Distinct elements accessed strictly between prev and t.
-            out[t] = prefix(t - 1) - prefix(prev)
-            update(prev, -1)
-        update(t, +1)
-        last_seen[key] = t
-    return out
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,345 @@
+"""Equivalence suite for the two simulation engines.
+
+The fast (two-phase, vectorized) engine must produce *bit-identical*
+:class:`SimulationResult` values to the per-access reference engine —
+across workloads, cache geometries, core models, campaign execution
+modes and tracing.  These tests enforce that contract, plus golden and
+property tests of the vectorized LRU classifier against the step-wise
+:class:`Cache` walk it replaces.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import SimulationCampaign, default_nmc_config, get_workload
+from repro.config import SIM_ENGINES, RuntimeConfig
+from repro.errors import ConfigError
+from repro.nmcsim import (
+    ENGINES,
+    NMCSimulator,
+    classify_lru,
+    classify_steps,
+    classify_vectorized,
+    resolve_engine,
+)
+from repro.obs import activate_tracing, metrics, reset_tracing
+
+WORKLOADS = [
+    "atax", "bfs", "bp", "chol", "gemv", "gesu",
+    "gram", "kme", "lu", "mvt", "syrk", "trmm",
+]
+
+
+def result_dict(result):
+    """Canonical JSON form — the strictest practical equality."""
+    return json.dumps(result.to_json_dict(), sort_keys=True)
+
+
+def small_trace(name, *, scale=6.0, seed=3):
+    wl = get_workload(name)
+    return wl.generate(wl.test_config(), scale=scale, seed=seed)
+
+
+def assert_classifications_equal(a, b):
+    np.testing.assert_array_equal(a.hit, b.hit)
+    np.testing.assert_array_equal(a.wb_line, b.wb_line)
+    np.testing.assert_array_equal(
+        np.sort(np.asarray(a.flush_lines)), np.sort(np.asarray(b.flush_lines))
+    )
+    assert a.stats == b.stats
+
+
+# ------------------------------------------------------- classifier golden
+
+
+class TestClassifierGolden:
+    """Hand-traced streams with independently derived expectations."""
+
+    def test_two_way_single_set(self):
+        # W A, W B, R A, W C, R B against one 2-way set:
+        #   W A miss; W B miss; R A hit (distance 1);
+        #   W C miss, evicts LRU B (dirty)  -> writeback of B;
+        #   R B miss, evicts LRU A (dirty)  -> writeback of A.
+        # Residents at the end: C (dirty), B (clean) -> flush {C}.
+        a, b, c = 3, 5, 9
+        lines = np.array([a, b, a, c, b], dtype=np.int64)
+        writes = np.array([1, 1, 0, 1, 0], dtype=bool)
+        for fn in (classify_vectorized, classify_steps):
+            cls = fn(lines, writes, n_sets=1, ways=2)
+            np.testing.assert_array_equal(
+                cls.hit, [False, False, True, False, False]
+            )
+            np.testing.assert_array_equal(cls.wb_line, [-1, -1, -1, b, a])
+            np.testing.assert_array_equal(np.sort(cls.flush_lines), [c])
+            assert cls.stats.hits == 1
+            assert cls.stats.misses == 4
+            assert cls.stats.writebacks == 3  # two evictions + one flush
+            assert cls.stats.flushes == 1
+            assert cls.n_misses == 4
+
+    def test_direct_mapped_single_set(self):
+        # W 3, R 3, R 5, W 3 against one direct-mapped line:
+        #   W 3 miss; R 3 hit (repeat); R 5 miss evicts dirty 3;
+        #   W 3 miss evicts clean 5.  Flush {3}.
+        lines = np.array([3, 3, 5, 3], dtype=np.int64)
+        writes = np.array([1, 0, 0, 1], dtype=bool)
+        for fn in (classify_vectorized, classify_steps):
+            cls = fn(lines, writes, n_sets=1, ways=1)
+            np.testing.assert_array_equal(cls.hit, [False, True, False, False])
+            np.testing.assert_array_equal(cls.wb_line, [-1, -1, 3, -1])
+            np.testing.assert_array_equal(np.sort(cls.flush_lines), [3])
+            assert cls.stats.writebacks == 2
+            assert cls.stats.flushes == 1
+
+    def test_two_way_thrash_never_hits(self):
+        # Cyclic A, B, C through a 2-way set: classic LRU worst case.
+        lines = np.array([1, 2, 3] * 5, dtype=np.int64)
+        writes = np.zeros(len(lines), dtype=bool)
+        cls = classify_vectorized(lines, writes, n_sets=1, ways=2)
+        assert not cls.hit.any()
+        assert cls.stats.writebacks == 0
+        assert len(cls.flush_lines) == 0
+
+    def test_sets_are_independent(self):
+        # Lines 0 and 1 land in different sets of a 2-set cache; the
+        # interleaved stream hits on every revisit.
+        lines = np.array([0, 1, 0, 1, 0, 1], dtype=np.int64)
+        writes = np.zeros(6, dtype=bool)
+        cls = classify_vectorized(lines, writes, n_sets=2, ways=1)
+        np.testing.assert_array_equal(
+            cls.hit, [False, False, True, True, True, True]
+        )
+
+    def test_empty_and_singleton_streams(self):
+        empty = classify_vectorized(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=bool),
+            n_sets=2, ways=2,
+        )
+        assert len(empty.hit) == 0
+        assert empty.stats.misses == 0
+        one = classify_vectorized(
+            np.array([7], dtype=np.int64), np.array([True]),
+            n_sets=2, ways=2,
+        )
+        np.testing.assert_array_equal(one.hit, [False])
+        np.testing.assert_array_equal(np.sort(one.flush_lines), [7])
+        assert one.stats.writebacks == 1  # the flush
+
+    def test_vectorized_rejects_high_associativity(self):
+        lines = np.array([1, 2], dtype=np.int64)
+        writes = np.zeros(2, dtype=bool)
+        with pytest.raises(ValueError):
+            classify_vectorized(lines, writes, n_sets=1, ways=4)
+
+    def test_dispatch_covers_high_associativity(self):
+        # classify_lru must fall back to the step-wise walk for ways > 2
+        # and agree with it exactly.
+        rng = np.random.default_rng(11)
+        lines = rng.integers(0, 32, 400).astype(np.int64)
+        writes = rng.random(400) < 0.3
+        assert_classifications_equal(
+            classify_lru(lines, writes, n_sets=4, ways=4),
+            classify_steps(lines, writes, n_sets=4, ways=4),
+        )
+
+
+# ----------------------------------------------------- classifier property
+
+
+class TestClassifierProperty:
+    """Vectorized == step-wise on randomized adversarial streams."""
+
+    @pytest.mark.parametrize("n_sets", [1, 2, 4, 8])
+    @pytest.mark.parametrize("ways", [1, 2])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_streams(self, n_sets, ways, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 600))
+        # A small line universe relative to the cache forces heavy
+        # conflict/capacity interaction (evictions, re-allocations).
+        universe = max(2, 3 * n_sets * ways)
+        lines = rng.integers(0, universe, n).astype(np.int64)
+        writes = rng.random(n) < 0.4
+        assert_classifications_equal(
+            classify_vectorized(lines, writes, n_sets=n_sets, ways=ways),
+            classify_steps(lines, writes, n_sets=n_sets, ways=ways),
+        )
+
+    def test_all_writes_and_all_reads(self):
+        rng = np.random.default_rng(5)
+        lines = rng.integers(0, 12, 300).astype(np.int64)
+        for writes in (np.zeros(300, dtype=bool), np.ones(300, dtype=bool)):
+            assert_classifications_equal(
+                classify_vectorized(lines, writes, n_sets=2, ways=2),
+                classify_steps(lines, writes, n_sets=2, ways=2),
+            )
+
+
+# ------------------------------------------------------- engine selection
+
+
+class TestEngineSelection:
+    def test_default_is_fast(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_ENGINE", raising=False)
+        assert resolve_engine() == "fast"
+        assert NMCSimulator().engine == "fast"
+
+    def test_env_selects_reference(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "reference")
+        assert resolve_engine() == "reference"
+        assert NMCSimulator().engine == "reference"
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "reference")
+        assert resolve_engine("fast") == "fast"
+
+    def test_invalid_engine_rejected(self, monkeypatch):
+        with pytest.raises(ConfigError):
+            resolve_engine("turbo")
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "turbo")
+        with pytest.raises(ConfigError):
+            resolve_engine()
+
+    def test_runtime_config_validates_engine(self):
+        with pytest.raises(ConfigError):
+            RuntimeConfig(sim_engine="turbo").validate()
+        RuntimeConfig(sim_engine="reference").validate()
+        assert ENGINES == SIM_ENGINES == ("fast", "reference")
+
+
+# ---------------------------------------------------- engine equivalence
+
+GEOMETRIES = {
+    # Table 3 defaults: tiny 2-way L1, the high-miss regime.
+    "default": {},
+    # Direct-mapped sweep point (vectorized ways==1 path).
+    "direct_mapped": {"l1_lines": 16, "l1_ways": 1},
+    # High associativity: the fast engine's phase A must dispatch to the
+    # step-wise classifier and still match bit for bit.
+    "four_way": {"l1_lines": 64, "l1_ways": 4},
+    # Different DRAM shape: routing, bank and bus state all change.
+    "narrow_cube": {"n_vaults": 8, "banks_per_vault": 4},
+}
+
+
+class TestEngineEquivalence:
+    """fast == reference, bit for bit, on every workload."""
+
+    def _compare(self, trace, cfg, name):
+        rf = NMCSimulator(cfg, engine="fast").run(
+            trace, workload=name, parameters={"p": 1.0}
+        )
+        rr = NMCSimulator(cfg, engine="reference").run(
+            trace, workload=name, parameters={"p": 1.0}
+        )
+        assert result_dict(rf) == result_dict(rr)
+        return rf
+
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_all_workloads_default_config(self, name):
+        self._compare(small_trace(name), default_nmc_config(), name)
+
+    @pytest.mark.parametrize("geometry", sorted(GEOMETRIES))
+    @pytest.mark.parametrize("name", ["atax", "bfs", "kme"])
+    def test_swept_geometries(self, name, geometry):
+        cfg = default_nmc_config().replace(**GEOMETRIES[geometry])
+        self._compare(small_trace(name), cfg, name)
+
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_all_workloads_ooo(self, name):
+        cfg = default_nmc_config().replace(
+            pe_type="ooo", issue_width=2, mshr_entries=8
+        )
+        self._compare(small_trace(name), cfg, name)
+
+    @pytest.mark.parametrize("mshrs", [1, 2, 16])
+    def test_ooo_mshr_sweep(self, mshrs):
+        cfg = default_nmc_config().replace(
+            pe_type="ooo", issue_width=2, mshr_entries=mshrs
+        )
+        self._compare(small_trace("chol"), cfg, "chol")
+
+    def test_seed_and_scale_sweep(self):
+        cfg = default_nmc_config()
+        wl = get_workload("gemv")
+        for seed in (0, 9):
+            for scale in (4.0, 8.0):
+                trace = wl.generate(wl.test_config(), scale=scale, seed=seed)
+                self._compare(trace, cfg, "gemv")
+
+
+# -------------------------------------------------- campaign equivalence
+
+ATAX_CONFIGS = [
+    {"dimensions": 500, "threads": 4},
+    {"dimensions": 1250, "threads": 8},
+    {"dimensions": 2000, "threads": 16},
+]
+
+
+def run_campaign(engine, jobs, arch=None):
+    campaign = SimulationCampaign(
+        arch, scale=4.0, jobs=jobs, engine=engine
+    )
+    return campaign.run(get_workload("atax"), ATAX_CONFIGS, jobs=jobs)
+
+
+def assert_rows_equal(got, expected):
+    assert len(got.rows) == len(expected.rows)
+    for a, b in zip(got.rows, expected.rows):
+        assert a.workload == b.workload
+        assert a.parameters == b.parameters
+        np.testing.assert_array_equal(a.features, b.features)
+        assert result_dict(a.result) == result_dict(b.result)
+
+
+class TestCampaignEquivalence:
+    def test_fast_matches_reference_serial(self):
+        assert_rows_equal(run_campaign("fast", 1), run_campaign("reference", 1))
+
+    def test_fast_matches_reference_parallel(self):
+        assert_rows_equal(run_campaign("fast", 2), run_campaign("reference", 1))
+
+    def test_trace_reused_across_architectures(self):
+        # Two campaigns over the same input points but different
+        # architectures: the second must reuse the memoized traces.
+        run_campaign("fast", 1)
+        before = metrics().count("campaign.trace_reuse")
+        run_campaign(
+            "fast", 1, arch=default_nmc_config().replace(n_vaults=8)
+        )
+        after = metrics().count("campaign.trace_reuse")
+        assert after >= before + len(ATAX_CONFIGS)
+
+
+# -------------------------------------------------------- traced runs
+
+
+class TestTracedEquivalence:
+    def test_hw_traced_fast_run_matches_reference(self, tmp_path):
+        """Hardware tracing forces the per-access path; results agree."""
+        trace = small_trace("atax")
+        cfg = default_nmc_config()
+        baseline = NMCSimulator(cfg, engine="reference").run(trace)
+        fast_plain = NMCSimulator(cfg, engine="fast").run(trace)
+        try:
+            activate_tracing(tmp_path / "trace.json", hw=True)
+            traced = NMCSimulator(cfg, engine="fast").run(trace)
+        finally:
+            reset_tracing()
+        assert result_dict(traced) == result_dict(baseline)
+        assert result_dict(fast_plain) == result_dict(baseline)
+
+    def test_pipeline_traced_fast_run_stays_fast_and_identical(self, tmp_path):
+        """Pipeline-only tracing (hw=False) keeps the fast engine."""
+        trace = small_trace("mvt")
+        cfg = default_nmc_config()
+        baseline = NMCSimulator(cfg, engine="reference").run(trace)
+        try:
+            activate_tracing(tmp_path / "trace.json", hw=False)
+            traced = NMCSimulator(cfg, engine="fast").run(trace)
+        finally:
+            reset_tracing()
+        assert result_dict(traced) == result_dict(baseline)
