@@ -20,6 +20,7 @@ from ..core.dataset import TrainingSet
 from ..core.reporting import format_table
 from ..errors import ReproError, WorkloadError
 from ..ml import mean_relative_error, r2_score
+from ..nmcsim import jit_status, simulation_memo_summary
 from ..obs import (
     config_hash,
     load_trace,
@@ -56,7 +57,12 @@ def _parse_config(workload: Workload, args: argparse.Namespace) -> dict:
 
 
 def _parse_arch(args: argparse.Namespace) -> NMCConfig:
-    """NMC architecture from the --pes/--freq/--l1-lines/--vaults flags."""
+    """NMC architecture from --pes/--freq/--l1-lines/--l1-ways/--vaults.
+
+    Values are taken as given and validated by :class:`NMCConfig`
+    (``replace`` validates): an invalid combination like ``--l1-lines 1
+    --l1-ways 2`` is a loud configuration error, never a silent rewrite.
+    """
     changes: dict = {}
     if getattr(args, "pes", None):
         changes["n_pes"] = args.pes
@@ -64,7 +70,8 @@ def _parse_arch(args: argparse.Namespace) -> NMCConfig:
         changes["frequency_ghz"] = args.freq
     if getattr(args, "l1_lines", None):
         changes["l1_lines"] = args.l1_lines
-        changes["l1_ways"] = min(2, args.l1_lines)
+    if getattr(args, "l1_ways", None):
+        changes["l1_ways"] = args.l1_ways
     if getattr(args, "vaults", None):
         changes["n_vaults"] = args.vaults
     return default_nmc_config().replace(**changes)
@@ -215,6 +222,8 @@ def cmd_campaign(args: argparse.Namespace) -> None:
         doe_run_seconds=campaign.doe_run_seconds,
         jobs=campaign.jobs,
         sim_engine=campaign.engine,
+        sim_memo=simulation_memo_summary(),
+        sim_jit=jit_status(),
     )
     rows = [
         [
@@ -261,6 +270,8 @@ def cmd_train(args: argparse.Namespace) -> None:
         output=str(args.output),
         jobs=campaign.jobs,
         sim_engine=campaign.engine,
+        sim_memo=simulation_memo_summary(),
+        sim_jit=jit_status(),
     )
     print(
         f"trained {args.model} on {len(training)} rows "
@@ -405,6 +416,8 @@ def cmd_suitability(args: argparse.Namespace) -> None:
         },
         jobs=campaign.jobs,
         sim_engine=campaign.engine,
+        sim_memo=simulation_memo_summary(),
+        sim_jit=jit_status(),
     )
     rows = [
         [

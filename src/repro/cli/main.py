@@ -90,6 +90,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--pes", type=int, help="number of NMC PEs")
         p.add_argument("--freq", type=float, help="PE frequency (GHz)")
         p.add_argument("--l1-lines", type=int, help="L1 lines per PE")
+        p.add_argument(
+            "--l1-ways", type=int,
+            help="L1 associativity (any value dividing --l1-lines; "
+                 "default 2)",
+        )
         p.add_argument("--vaults", type=int, help="DRAM vaults")
 
     def add_engine_arg(p: argparse.ArgumentParser) -> None:

@@ -25,7 +25,12 @@ from ..config import NMCConfig, default_nmc_config
 from ..doe import ParameterSpace, central_composite
 from ..errors import CampaignError
 from ..ir import InstructionTrace
-from ..nmcsim import NMCSimulator, SimulationResult, resolve_engine
+from ..nmcsim import (
+    MEMO_COUNTER_NAMES,
+    NMCSimulator,
+    SimulationResult,
+    resolve_engine,
+)
 from ..obs import get_logger, metrics, tracer
 from ..parallel import map_jobs, resolve_jobs
 from ..profiler import ApplicationProfile, analyze_trace
@@ -218,16 +223,21 @@ class CampaignCache:
 
 def _simulate_point_job(
     job: tuple[Workload, dict, int, NMCConfig, float, str],
-) -> tuple[ApplicationProfile, SimulationResult, float]:
+) -> tuple[ApplicationProfile, SimulationResult, float, dict[str, int]]:
     """Worker-side body of one campaign point (module-level: picklable).
 
     Pure function of its payload — trace generation, profiling and
     simulation are all deterministic given the seed — so parallel
     campaigns reproduce serial ones bit for bit.  (The trace memo is
     per-process; workers reuse traces across the points they handle.)
+    The returned mapping carries the point's ``sim.memo.*`` counter
+    deltas, so worker-side memo activity reaches the parent's metrics
+    registry (and hence run manifests).
     """
     workload, config, seed, arch, scale, engine = job
     start = time.perf_counter()
+    m = metrics()
+    memo_before = {name: m.count(name) for name in MEMO_COUNTER_NAMES}
     point_key = _config_key(workload.name, config, seed)
     with tracer().span(
         "campaign.point", workload=workload.name, seed=seed
@@ -240,8 +250,12 @@ def _simulate_point_job(
         result = NMCSimulator(arch, engine=engine).run(
             trace, workload=workload.name, parameters=dict(config)
         )
-    metrics().inc("campaign.points.simulated")
-    return profile, result, time.perf_counter() - start
+    m.inc("campaign.points.simulated")
+    memo_deltas = {
+        name: m.count(name) - memo_before[name]
+        for name in MEMO_COUNTER_NAMES
+    }
+    return profile, result, time.perf_counter() - start, memo_deltas
 
 
 class SimulationCampaign:
@@ -433,14 +447,25 @@ class SimulationCampaign:
                     (workload, config, seed, self.arch, self.scale,
                      self.engine),
                 ))
+        m = metrics()
+        memo_before = {name: m.count(name) for name in MEMO_COUNTER_NAMES}
         outputs = map_jobs(
             _simulate_point_job,
             [job for _, job in pending],
             jobs_n=jobs_n,
         )
+        # Fold worker-side sim-memo counter activity into this process's
+        # registry.  map_jobs may have run the jobs in-process (serial
+        # fallback), in which case the counters already moved here — only
+        # the part not observed locally is added.
+        for name in MEMO_COUNTER_NAMES:
+            reported = sum(deltas.get(name, 0) for *_, deltas in outputs)
+            missing = reported - (m.count(name) - memo_before[name])
+            if missing > 0:
+                m.inc(name, missing)
         # Merge in dispatch order so cache contents and timing tallies are
         # independent of worker completion order.
-        for i, ((point_key, _), (profile, result, elapsed)) in enumerate(
+        for i, ((point_key, _), (profile, result, elapsed, _)) in enumerate(
             zip(pending, outputs), 1
         ):
             self.cache.put(point_key, arch_key, profile, result)

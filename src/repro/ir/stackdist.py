@@ -97,6 +97,24 @@ def reuse_distances(keys: np.ndarray) -> np.ndarray:
     return out
 
 
+def lru_hit_mask(
+    keys: np.ndarray, groups: np.ndarray, ways: int
+) -> np.ndarray:
+    """Hit mask of a ``ways``-way set-associative LRU cache.
+
+    Mattson's inclusion property turned into a classifier: access ``t``
+    hits if and only if its per-group (per-set) stack distance is a real
+    reuse (not :data:`COLD_DISTANCE`) and smaller than the associativity.
+    This is the exact hit/miss oracle for *any* ``ways`` — the fast
+    simulation engine's phase-A classifier builds on it
+    (:mod:`repro.nmcsim.classify`).
+    """
+    if ways < 1:
+        raise ValueError("ways must be >= 1")
+    dist = grouped_reuse_distances(keys, groups)
+    return (dist != COLD_DISTANCE) & (dist < ways)
+
+
 def grouped_reuse_distances(
     keys: np.ndarray, groups: np.ndarray
 ) -> np.ndarray:

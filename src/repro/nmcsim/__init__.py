@@ -18,7 +18,16 @@ from .classify import (
 )
 from .energy import EnergyBreakdown, compute_energy
 from .results import SimulationResult
-from .simulator import ENGINES, NMCSimulator, resolve_engine, simulate
+from .simulator import (
+    ENGINES,
+    MEMO_COUNTER_NAMES,
+    NMCSimulator,
+    jit_status,
+    memo_enabled,
+    resolve_engine,
+    simulate,
+    simulation_memo_summary,
+)
 
 from .dram import StackedMemory, VaultStats
 from .interconnect import LinkModel, OffloadCost, offload_adjusted_edp
@@ -29,6 +38,10 @@ __all__ = [
     "simulate",
     "ENGINES",
     "resolve_engine",
+    "MEMO_COUNTER_NAMES",
+    "jit_status",
+    "memo_enabled",
+    "simulation_memo_summary",
     "LRUClassification",
     "classify_lru",
     "classify_steps",

@@ -1,0 +1,574 @@
+"""Optional JIT/native backend for the fast engine's contention loop.
+
+Phase B of the fast engine (:mod:`repro.nmcsim.simulator`) replays the
+miss/writeback event stream through a global-time heap.  The loop is
+exact but interpreter-bound: profiling shows ~70% of its cost is CPython
+dispatch and heap bookkeeping, not arithmetic.  This module provides the
+same loop over *packed* flat arrays (all streams' events concatenated,
+offset-indexed) as a compiled kernel, selected at import time:
+
+* ``numba`` — :func:`contend_packed` is ``njit``-compiled when numba is
+  importable (the dependency stays optional; nothing here imports it at
+  module load);
+* ``cc`` — otherwise the equivalent C translation is compiled on demand
+  with the system C compiler (``-O2 -fPIC -shared -ffp-contract=off``)
+  into a source-hash-keyed shared object under a cache directory and
+  loaded with :mod:`ctypes`;
+* neither available → :func:`get_kernel` returns ``(None, None)`` and
+  the simulator keeps its pure-Python loop.
+
+Bit-equivalence contract: every floating-point expression below keeps
+the exact operation order of the Python loop (and of
+``StackedMemory.access``).  C ``double`` and CPython ``float`` are both
+IEEE-754 binary64, and ``-ffp-contract=off`` forbids FMA contraction,
+so the compiled kernels produce byte-identical results — this is
+asserted by the equivalence suite, not assumed.
+
+The kernel is gated behind ``REPRO_SIM_JIT=1`` (checked by the
+simulator, not here); :func:`contend_packed` itself is also the pure
+Python reference used by the unit tests to validate the packed
+formulation independently of any compiler.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import Callable
+
+import numpy as np
+
+from ..obs import get_logger
+
+log = get_logger("repro.nmcsim.native")
+
+#: Environment variable selecting the shared-object cache directory.
+CACHE_ENV_VAR = "REPRO_SIM_JIT_CACHE"
+
+
+def contend_packed(
+    off,
+    block, vault, bank,
+    wblock, wvault, wbank,
+    dnext, t0, tail, finish,
+    bank_ready, bank_row, bank_until, bus_ready,
+    t_cl, t_bl, t_rp, hop, linger, closed, occupancy, l1_cycle,
+    ooo, mshrs, mshr_buf, mshr_len,
+    heap_t, heap_i, pos,
+):  # pragma: no cover - exercised via tests + compiled backends
+    """Packed-array contention loop (numba-compilable, pure NumPy ops).
+
+    One entry per miss event, streams concatenated with ``off`` bounds;
+    ``wbank < 0`` marks clean evictions.  ``finish`` receives each packed
+    stream's completion time.  ``heap_t``/``heap_i``/``pos``/``mshr_*``
+    are caller-allocated scratch.  Algorithm, event order and FP
+    evaluation order are exactly the simulator's Python loop: a
+    (time, stream) min-heap used peek-style, with the root's decrease-key
+    bound being the heap's second minimum — which in a binary heap is
+    always one of the root's two children, so the bound (and hence the
+    event order) is independent of the heap's internal layout.
+    """
+    n_streams = off.shape[0] - 1
+    heap_n = n_streams
+    for i in range(n_streams):
+        heap_t[i] = t0[i]
+        heap_i[i] = i
+        pos[i] = off[i]
+        mshr_len[i] = 0
+    # Bottom-up heapify on the (t, i) keys.
+    for k0 in range(heap_n // 2 - 1, -1, -1):
+        k = k0
+        kt = heap_t[k]
+        ki = heap_i[k]
+        while True:
+            c = 2 * k + 1
+            if c >= heap_n:
+                break
+            if c + 1 < heap_n and (
+                heap_t[c + 1] < heap_t[c]
+                or (heap_t[c + 1] == heap_t[c] and heap_i[c + 1] < heap_i[c])
+            ):
+                c += 1
+            if heap_t[c] < kt or (heap_t[c] == kt and heap_i[c] < ki):
+                heap_t[k] = heap_t[c]
+                heap_i[k] = heap_i[c]
+                k = c
+            else:
+                break
+        heap_t[k] = kt
+        heap_i[k] = ki
+
+    inf = np.inf
+    while heap_n > 0:
+        t = heap_t[0]
+        i = heap_i[0]
+        j = pos[i]
+        end = off[i + 1]
+        mbase = i * mshrs
+        mlen = mshr_len[i]
+        # Decrease-key bound: the global second minimum, i.e. the
+        # smaller of the root's children; +inf when this stream is alone.
+        if heap_n > 1:
+            c = 1
+            if heap_n > 2 and (
+                heap_t[2] < heap_t[1]
+                or (heap_t[2] == heap_t[1] and heap_i[2] < heap_i[1])
+            ):
+                c = 2
+            ct = heap_t[c]
+            ci = heap_i[c]
+        else:
+            ct = inf
+            ci = np.int64(-1)
+        while True:
+            blk = block[j]
+            v = vault[j]
+            bi = bank[j]
+            # Miss access: timing half of StackedMemory.access.
+            now = t + hop
+            ready = bank_ready[bi]
+            start = now if now > ready else ready
+            open_row = bank_row[bi]
+            row_open = open_row >= 0 and start <= bank_until[bi]
+            if row_open and blk == open_row:
+                data_at = start + t_cl + t_bl
+                bank_ready[bi] = start + t_bl
+            else:
+                pre = t_rp if row_open else 0.0
+                data_at = start + pre + closed
+                bank_ready[bi] = start + pre + occupancy
+            bank_row[bi] = blk
+            bank_until[bi] = data_at + linger
+            br = bus_ready[v]
+            if data_at - t_bl < br:
+                data_at = br + t_bl
+            bus_ready[v] = data_at
+            done = data_at + hop
+            if ooo == 0:
+                t = done + l1_cycle
+            else:
+                # Per-stream MSHR min-heap (completion times).
+                k = mlen
+                mlen += 1
+                while k > 0:
+                    p = (k - 1) // 2
+                    if done < mshr_buf[mbase + p]:
+                        mshr_buf[mbase + k] = mshr_buf[mbase + p]
+                        k = p
+                    else:
+                        break
+                mshr_buf[mbase + k] = done
+                if mlen >= mshrs:
+                    oldest = mshr_buf[mbase]
+                    mlen -= 1
+                    if mlen > 0:
+                        last = mshr_buf[mbase + mlen]
+                        k = 0
+                        while True:
+                            c = 2 * k + 1
+                            if c >= mlen:
+                                break
+                            if (
+                                c + 1 < mlen
+                                and mshr_buf[mbase + c + 1]
+                                < mshr_buf[mbase + c]
+                            ):
+                                c += 1
+                            if mshr_buf[mbase + c] < last:
+                                mshr_buf[mbase + k] = mshr_buf[mbase + c]
+                                k = c
+                            else:
+                                break
+                        mshr_buf[mbase + k] = last
+                    t = (t if t >= oldest else oldest) + l1_cycle
+                else:
+                    t = t + l1_cycle
+            wbi = wbank[j]
+            if wbi >= 0:
+                # Dirty-victim writeback: same pipeline, posted at the
+                # miss completion time; does not block the PE.
+                wblk = wblock[j]
+                wv = wvault[j]
+                now = t + hop
+                ready = bank_ready[wbi]
+                start = now if now > ready else ready
+                open_row = bank_row[wbi]
+                row_open = open_row >= 0 and start <= bank_until[wbi]
+                if row_open and wblk == open_row:
+                    data_at = start + t_cl + t_bl
+                    bank_ready[wbi] = start + t_bl
+                else:
+                    pre = t_rp if row_open else 0.0
+                    data_at = start + pre + closed
+                    bank_ready[wbi] = start + pre + occupancy
+                bank_row[wbi] = wblk
+                bank_until[wbi] = data_at + linger
+                br = bus_ready[wv]
+                if data_at - t_bl < br:
+                    data_at = br + t_bl
+                bus_ready[wv] = data_at
+            dn = dnext[j]
+            j += 1
+            if j < end:
+                tn = t + dn
+                if tn < ct or (tn == ct and i < ci):
+                    t = tn
+                    continue
+                pos[i] = j
+                mshr_len[i] = mlen
+                # heapreplace with the stream's new key.
+                k = 0
+                while True:
+                    c = 2 * k + 1
+                    if c >= heap_n:
+                        break
+                    if c + 1 < heap_n and (
+                        heap_t[c + 1] < heap_t[c]
+                        or (
+                            heap_t[c + 1] == heap_t[c]
+                            and heap_i[c + 1] < heap_i[c]
+                        )
+                    ):
+                        c += 1
+                    if heap_t[c] < tn or (
+                        heap_t[c] == tn and heap_i[c] < i
+                    ):
+                        heap_t[k] = heap_t[c]
+                        heap_i[k] = heap_i[c]
+                        k = c
+                    else:
+                        break
+                heap_t[k] = tn
+                heap_i[k] = i
+                break
+            fin = t + tail[i]
+            for q in range(mlen):
+                if mshr_buf[mbase + q] > fin:
+                    fin = mshr_buf[mbase + q]
+            mshr_len[i] = 0
+            finish[i] = fin
+            # Pop the exhausted stream.
+            heap_n -= 1
+            if heap_n > 0:
+                kt = heap_t[heap_n]
+                ki = heap_i[heap_n]
+                k = 0
+                while True:
+                    c = 2 * k + 1
+                    if c >= heap_n:
+                        break
+                    if c + 1 < heap_n and (
+                        heap_t[c + 1] < heap_t[c]
+                        or (
+                            heap_t[c + 1] == heap_t[c]
+                            and heap_i[c + 1] < heap_i[c]
+                        )
+                    ):
+                        c += 1
+                    if heap_t[c] < kt or (
+                        heap_t[c] == kt and heap_i[c] < ki
+                    ):
+                        heap_t[k] = heap_t[c]
+                        heap_i[k] = heap_i[c]
+                        k = c
+                    else:
+                        break
+                heap_t[k] = kt
+                heap_i[k] = ki
+            break
+
+
+_C_SOURCE = r"""
+#include <stdint.h>
+#include <math.h>
+
+typedef int64_t i64;
+
+static void sift_down(double *ht, i64 *hi, i64 n, i64 k) {
+    double t = ht[k];
+    i64 v = hi[k];
+    for (;;) {
+        i64 c = 2 * k + 1;
+        if (c >= n) break;
+        if (c + 1 < n && (ht[c + 1] < ht[c] ||
+                          (ht[c + 1] == ht[c] && hi[c + 1] < hi[c]))) c++;
+        if (ht[c] < t || (ht[c] == t && hi[c] < v)) {
+            ht[k] = ht[c];
+            hi[k] = hi[c];
+            k = c;
+        } else break;
+    }
+    ht[k] = t;
+    hi[k] = v;
+}
+
+void contend_packed(
+    const i64 *off,
+    const i64 *block, const i64 *vault, const i64 *bank,
+    const i64 *wblock, const i64 *wvault, const i64 *wbank,
+    const double *dnext, const double *t0, const double *tail,
+    double *finish,
+    double *bank_ready, i64 *bank_row, double *bank_until,
+    double *bus_ready,
+    double t_cl, double t_bl, double t_rp, double hop,
+    double linger, double closed, double occupancy, double l1_cycle,
+    i64 ooo, i64 mshrs, double *mshr_buf, i64 *mshr_len,
+    double *heap_t, i64 *heap_i, i64 *pos, i64 n_streams)
+{
+    i64 heap_n = n_streams;
+    for (i64 i = 0; i < n_streams; i++) {
+        heap_t[i] = t0[i];
+        heap_i[i] = i;
+        pos[i] = off[i];
+        mshr_len[i] = 0;
+    }
+    for (i64 k = heap_n / 2 - 1; k >= 0; k--)
+        sift_down(heap_t, heap_i, heap_n, k);
+
+    while (heap_n > 0) {
+        double t = heap_t[0];
+        i64 i = heap_i[0];
+        i64 j = pos[i];
+        i64 end = off[i + 1];
+        double *mbuf = mshr_buf + i * mshrs;
+        i64 mlen = mshr_len[i];
+        double ct;
+        i64 ci;
+        if (heap_n > 1) {
+            i64 c = 1;
+            if (heap_n > 2 && (heap_t[2] < heap_t[1] ||
+                               (heap_t[2] == heap_t[1] &&
+                                heap_i[2] < heap_i[1]))) c = 2;
+            ct = heap_t[c];
+            ci = heap_i[c];
+        } else {
+            ct = INFINITY;
+            ci = -1;
+        }
+        for (;;) {
+            i64 blk = block[j];
+            i64 v = vault[j];
+            i64 bi = bank[j];
+            double now = t + hop;
+            double ready = bank_ready[bi];
+            double start = now > ready ? now : ready;
+            i64 open_row = bank_row[bi];
+            int row_open = open_row >= 0 && start <= bank_until[bi];
+            double data_at;
+            if (row_open && blk == open_row) {
+                data_at = start + t_cl + t_bl;
+                bank_ready[bi] = start + t_bl;
+            } else {
+                double pre = row_open ? t_rp : 0.0;
+                data_at = start + pre + closed;
+                bank_ready[bi] = start + pre + occupancy;
+            }
+            bank_row[bi] = blk;
+            bank_until[bi] = data_at + linger;
+            double br = bus_ready[v];
+            if (data_at - t_bl < br) data_at = br + t_bl;
+            bus_ready[v] = data_at;
+            double done = data_at + hop;
+            if (!ooo) {
+                t = done + l1_cycle;
+            } else {
+                i64 k = mlen++;
+                while (k > 0) {
+                    i64 p = (k - 1) / 2;
+                    if (done < mbuf[p]) { mbuf[k] = mbuf[p]; k = p; }
+                    else break;
+                }
+                mbuf[k] = done;
+                if (mlen >= mshrs) {
+                    double oldest = mbuf[0];
+                    mlen--;
+                    if (mlen > 0) {
+                        double last = mbuf[mlen];
+                        k = 0;
+                        for (;;) {
+                            i64 c = 2 * k + 1;
+                            if (c >= mlen) break;
+                            if (c + 1 < mlen && mbuf[c + 1] < mbuf[c]) c++;
+                            if (mbuf[c] < last) { mbuf[k] = mbuf[c]; k = c; }
+                            else break;
+                        }
+                        mbuf[k] = last;
+                    }
+                    t = (t >= oldest ? t : oldest) + l1_cycle;
+                } else {
+                    t = t + l1_cycle;
+                }
+            }
+            i64 wbi = wbank[j];
+            if (wbi >= 0) {
+                i64 wblk = wblock[j];
+                i64 wv = wvault[j];
+                now = t + hop;
+                ready = bank_ready[wbi];
+                start = now > ready ? now : ready;
+                open_row = bank_row[wbi];
+                row_open = open_row >= 0 && start <= bank_until[wbi];
+                if (row_open && wblk == open_row) {
+                    data_at = start + t_cl + t_bl;
+                    bank_ready[wbi] = start + t_bl;
+                } else {
+                    double pre = row_open ? t_rp : 0.0;
+                    data_at = start + pre + closed;
+                    bank_ready[wbi] = start + pre + occupancy;
+                }
+                bank_row[wbi] = wblk;
+                bank_until[wbi] = data_at + linger;
+                br = bus_ready[wv];
+                if (data_at - t_bl < br) data_at = br + t_bl;
+                bus_ready[wv] = data_at;
+            }
+            double dn = dnext[j];
+            j++;
+            if (j < end) {
+                double tn = t + dn;
+                if (tn < ct || (tn == ct && i < ci)) { t = tn; continue; }
+                pos[i] = j;
+                mshr_len[i] = mlen;
+                heap_t[0] = tn;
+                heap_i[0] = i;
+                sift_down(heap_t, heap_i, heap_n, 0);
+                break;
+            }
+            double fin = t + tail[i];
+            for (i64 q = 0; q < mlen; q++)
+                if (mbuf[q] > fin) fin = mbuf[q];
+            mshr_len[i] = 0;
+            finish[i] = fin;
+            heap_n--;
+            if (heap_n > 0) {
+                heap_t[0] = heap_t[heap_n];
+                heap_i[0] = heap_i[heap_n];
+                sift_down(heap_t, heap_i, heap_n, 0);
+            }
+            break;
+        }
+    }
+}
+"""
+
+
+def _build_numba() -> Callable | None:
+    try:
+        import numba  # noqa: F401 - optional dependency
+    except ImportError:
+        return None
+    try:
+        return numba.njit(cache=True, fastmath=False)(contend_packed)
+    except Exception as exc:  # pragma: no cover - defensive
+        log.warning("numba JIT unavailable", extra={"ctx": {"error": str(exc)}})
+        return None
+
+
+def _cache_dir() -> str:
+    path = os.environ.get(CACHE_ENV_VAR, "").strip() or os.path.join(
+        tempfile.gettempdir(), "repro-simjit"
+    )
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def _build_cc() -> Callable | None:
+    compiler = (
+        shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+    )
+    if compiler is None:
+        return None
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    try:
+        cache = _cache_dir()
+        so_path = os.path.join(cache, f"contend-{digest}.so")
+        if not os.path.exists(so_path):
+            src_path = os.path.join(cache, f"contend-{digest}.c")
+            with open(src_path, "w") as fh:
+                fh.write(_C_SOURCE)
+            tmp_path = so_path + f".tmp{os.getpid()}"
+            # -ffp-contract=off: no FMA contraction, so the doubles match
+            # CPython's float arithmetic operation for operation.
+            subprocess.run(
+                [
+                    compiler, "-O2", "-fPIC", "-shared",
+                    "-ffp-contract=off", "-o", tmp_path, src_path,
+                ],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            os.replace(tmp_path, so_path)
+        lib = ctypes.CDLL(so_path)
+    except (OSError, subprocess.SubprocessError) as exc:
+        log.warning(
+            "C kernel build failed; falling back to Python loop",
+            extra={"ctx": {"compiler": compiler, "error": str(exc)}},
+        )
+        return None
+    fn = lib.contend_packed
+    fn.restype = None
+    dp = ctypes.POINTER(ctypes.c_double)
+    ip = ctypes.POINTER(ctypes.c_int64)
+    fn.argtypes = (
+        [ip] + [ip] * 6 + [dp] * 4
+        + [dp, ip, dp, dp]
+        + [ctypes.c_double] * 8
+        + [ctypes.c_int64, ctypes.c_int64, dp, ip]
+        + [dp, ip, ip, ctypes.c_int64]
+    )
+
+    def _as(arr: np.ndarray, ptr_type):
+        return arr.ctypes.data_as(ptr_type)
+
+    def kernel(
+        off, block, vault, bank, wblock, wvault, wbank,
+        dnext, t0, tail, finish,
+        bank_ready, bank_row, bank_until, bus_ready,
+        t_cl, t_bl, t_rp, hop, linger, closed, occupancy, l1_cycle,
+        ooo, mshrs, mshr_buf, mshr_len, heap_t, heap_i, pos,
+    ) -> None:
+        fn(
+            _as(off, ip), _as(block, ip), _as(vault, ip), _as(bank, ip),
+            _as(wblock, ip), _as(wvault, ip), _as(wbank, ip),
+            _as(dnext, dp), _as(t0, dp), _as(tail, dp), _as(finish, dp),
+            _as(bank_ready, dp), _as(bank_row, ip), _as(bank_until, dp),
+            _as(bus_ready, dp),
+            t_cl, t_bl, t_rp, hop, linger, closed, occupancy, l1_cycle,
+            int(ooo), int(mshrs), _as(mshr_buf, dp), _as(mshr_len, ip),
+            _as(heap_t, dp), _as(heap_i, ip), _as(pos, ip),
+            len(off) - 1,
+        )
+
+    return kernel
+
+
+_RESOLVED: tuple[Callable | None, str | None] | None = None
+
+
+def get_kernel() -> tuple[Callable | None, str | None]:
+    """The compiled contention kernel as ``(callable, backend_name)``.
+
+    Resolution is attempted once per process: numba first (portable,
+    no toolchain needed), then the system C compiler; ``(None, None)``
+    when neither is available.  The callable has the exact signature of
+    :func:`contend_packed`.
+    """
+    global _RESOLVED
+    if _RESOLVED is None:
+        kernel = _build_numba()
+        if kernel is not None:
+            _RESOLVED = (kernel, "numba")
+        else:
+            kernel = _build_cc()
+            _RESOLVED = (kernel, "cc") if kernel is not None else (None, None)
+        if _RESOLVED[0] is not None:
+            log.info(
+                "native contention kernel ready",
+                extra={"ctx": {"backend": _RESOLVED[1]}},
+            )
+    return _RESOLVED

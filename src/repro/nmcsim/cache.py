@@ -6,6 +6,14 @@ sweep examples can size it up (Section 3.4 suggests atax-like workloads
 would benefit from a larger NMC cache).
 
 Policy: write-back, write-allocate, LRU replacement.
+
+Role in the engines: the *reference* simulation engine steps this model
+per access, and the classifier tests use the step-wise walk
+(:func:`repro.nmcsim.classify.classify_steps`) as the golden oracle.
+The fast engine never consults it — its vectorized stack-distance
+classifier (:mod:`repro.nmcsim.classify`) is exact for any geometry —
+so this class is the readable statement of the cache semantics, not a
+production fallback.
 """
 
 from __future__ import annotations

@@ -10,20 +10,25 @@ be computed up front as arrays — leaving only the (typically small) miss
 and writeback event set for the exact global-time contention loop
 (phase B, :mod:`repro.nmcsim.simulator`).
 
-Two implementations with identical semantics:
+:func:`classify_vectorized` is exact for **any** associativity:
 
-* :func:`classify_vectorized` — pure NumPy, exact for associativity
-  ``ways <= 2`` (covers the paper's Table 3 L1: 2-way, and direct-mapped
-  sweeps).  Distance-0 hits are run repeats within a set; distance-1
-  hits are ``y[i] == y[i-2]`` patterns in the run-deduplicated per-set
-  stream (which is adjacent-distinct, so the LRU victim of a miss is
-  always ``y[i-2]``); dirty state is a segmented any-write scan between
-  allocating misses.
-* :func:`classify_steps` — the step-wise :class:`~repro.nmcsim.cache.Cache`
-  walk, exact for any geometry (and the golden reference the vectorized
-  path is tested against).
+* the access stream is grouped per set and deduplicated into runs
+  (adjacent repeats of one line are distance-0 hits);
+* ``ways <= 2`` keep closed-form hit/victim expressions on the run
+  stream (distance-1 hits are ``y[i] == y[i-2]`` patterns, and the LRU
+  victim is always ``y[i-2]``);
+* general ``ways`` derive the hit mask from Mattson's inclusion property
+  via the per-set stack-distance kernel
+  (:func:`repro.ir.stackdist.lru_hit_mask`) and attribute eviction
+  victims with an O(1)-per-run recency-list walk (the list holds exactly
+  the resident runs of each set, most recent first, so the victim of an
+  evicting miss is the set's tail);
+* dirty state is a segmented any-write scan between allocating misses,
+  shared by every associativity >= 2.
 
-:func:`classify_lru` picks the vectorized path whenever it is exact.
+:func:`classify_steps` — the step-wise :class:`~repro.nmcsim.cache.Cache`
+walk — remains as the independent golden oracle the vectorized paths are
+tested against; the engines themselves never fall back to it.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..ir.stackdist import lru_hit_mask
 from .cache import Cache, CacheStats
 
 
@@ -86,21 +92,42 @@ def classify_steps(
 def classify_lru(
     lines: np.ndarray, writes: np.ndarray, *, n_sets: int, ways: int
 ) -> LRUClassification:
-    """Classify one access stream; vectorized whenever exact (ways <= 2)."""
-    if ways <= 2:
-        return classify_vectorized(lines, writes, n_sets=n_sets, ways=ways)
-    return classify_steps(lines, writes, n_sets=n_sets, ways=ways)
+    """Classify one access stream (vectorized, exact for any ways)."""
+    return classify_vectorized(lines, writes, n_sets=n_sets, ways=ways)
+
+
+def _dirty_after(
+    g: np.ndarray, gw: np.ndarray, hit_g: np.ndarray
+) -> np.ndarray:
+    """Dirty state of each access's line right after the access.
+
+    Write-allocate write-back semantics: a line is dirty iff it has been
+    written since (and including) its allocating miss.  Segmenting the
+    per-line access history at misses makes this a cumulative-sum scan:
+    stable-sorting by line groups each line's accesses in order, and
+    every miss starts a new segment (a line's first access is always a
+    miss, so line boundaries coincide with segment starts).  Only needs
+    the hit mask, so it works for every associativity.
+    """
+    n = len(g)
+    order2 = np.argsort(g, kind="stable")
+    h2 = hit_g[order2]
+    w2 = gw[order2].astype(np.int64)
+    seg_first = np.flatnonzero(~h2)
+    seg_id = np.cumsum(~h2) - 1
+    cw = np.cumsum(w2)
+    base = (cw - w2)[seg_first]
+    dirty_after = np.empty(n, dtype=bool)
+    dirty_after[order2] = (cw - base[seg_id]) > 0
+    return dirty_after
 
 
 def classify_vectorized(
     lines: np.ndarray, writes: np.ndarray, *, n_sets: int, ways: int
 ) -> LRUClassification:
-    """Pure-NumPy exact LRU classification for ``ways <= 2``."""
-    if ways > 2:
-        raise ValueError(
-            "the vectorized classifier is exact only for ways <= 2; "
-            "use classify_steps (or classify_lru, which dispatches)"
-        )
+    """Exact LRU classification for any ``(n_sets, ways)`` geometry."""
+    if ways < 1 or n_sets < 1:
+        raise ValueError("cache geometry needs >= 1 way and >= 1 set")
     n = len(lines)
     lines = np.asarray(lines, dtype=np.int64)
     writes = np.asarray(writes, dtype=bool)
@@ -132,7 +159,6 @@ def classify_vectorized(
     dist0[1:] = same_set[1:] & (g[1:] == g[:-1])
     run_starts = np.flatnonzero(~dist0)
     n_runs = len(run_starts)
-    run_id = np.cumsum(~dist0) - 1
     run_line = g[run_starts]
     run_set = gs[run_starts]
     run_end = np.empty(n_runs, dtype=np.int64)
@@ -158,7 +184,7 @@ def classify_vectorized(
         dirty_victims = evict[run_dirty[victims]]
         wb_g[run_starts[dirty_victims]] = run_line[dirty_victims - 1]
         flush_lines = run_line[last_of_set & run_dirty]
-    else:
+    elif ways == 2:
         # 2-way: distance-1 hits are y[i] == y[i-2] in the dedup'd
         # stream; a miss with two same-set predecessors evicts y[i-2]
         # (always the LRU of the two residents).
@@ -169,21 +195,7 @@ def classify_vectorized(
         hit1[2:] = prev2_same[2:] & (run_line[2:] == run_line[:-2])
         hit_g[run_starts[hit1]] = True
 
-        # Dirty state per access: any write to the line since its
-        # allocating miss (write-allocate: the miss's own write counts).
-        # Segment the accesses by (line, allocation): stable-sorting by
-        # line groups each line's accesses in order; every miss starts a
-        # new segment (a line's first access is always a miss, so line
-        # boundaries coincide with segment starts).
-        order2 = np.argsort(g, kind="stable")
-        h2 = hit_g[order2]
-        w2 = gw[order2].astype(np.int64)
-        seg_first = np.flatnonzero(~h2)
-        seg_id = np.cumsum(~h2) - 1
-        cw = np.cumsum(w2)
-        base = (cw - w2)[seg_first]
-        dirty_after = np.empty(n, dtype=bool)
-        dirty_after[order2] = (cw - base[seg_id]) > 0
+        dirty_after = _dirty_after(g, gw, hit_g)
 
         evict = np.flatnonzero(~hit1 & prev2_same)
         victims = evict - 2
@@ -198,6 +210,97 @@ def classify_vectorized(
         penult = last_runs[prev1_same[last_runs]] - 1
         residents = np.concatenate((last_runs, penult))
         flush_lines = run_line[residents[dirty_after[run_end[residents]]]]
+    else:
+        # General associativity.  The hit mask comes straight from
+        # Mattson: a run hits iff its per-set stack distance on the
+        # dedup'd stream is < ways (dedup preserves distances — repeats
+        # add no distinct lines).
+        hit_runs = lru_hit_mask(run_line, run_set, ways)
+        hit_g[run_starts[hit_runs]] = True
+        dirty_after = _dirty_after(g, gw, hit_g)
+
+        # Victim attribution: per set, keep the residents as a recency
+        # list of run indices (most recent first) threaded through
+        # ``fwd``/``bwd`` link arrays.  A hit moves its line's entry —
+        # which is exactly the line's previous run in the set — to the
+        # front; a miss pushes a new entry and, when the set exceeds
+        # ``ways`` residents, evicts the tail (the LRU resident).  Each
+        # run does O(1) pointer work, so the walk is linear.
+        prev_occ = np.full(n_runs, -1, dtype=np.int64)
+        seen: dict[int, int] = {}
+        run_line_l = run_line.tolist()
+        run_set_l = run_set.tolist()
+        for r, ln in enumerate(run_line_l):
+            key = ln  # one line maps to one set; the line is the key
+            p = seen.get(key, -1)
+            prev_occ[r] = p
+            seen[key] = r
+        prev_occ_l = prev_occ.tolist()
+        hit_runs_l = hit_runs.tolist()
+
+        fwd = [-1] * n_runs  # next-less-recent run in the set's list
+        bwd = [-1] * n_runs  # next-more-recent run in the set's list
+        heads: dict[int, int] = {}
+        tails: dict[int, int] = {}
+        sizes: dict[int, int] = {}
+        victim_of = np.full(n_runs, -1, dtype=np.int64)
+        for r in range(n_runs):
+            si = run_set_l[r]
+            if hit_runs_l[r]:
+                # Unlink the line's previous entry.
+                p = prev_occ_l[r]
+                pb, pf = bwd[p], fwd[p]
+                if pb >= 0:
+                    fwd[pb] = pf
+                else:
+                    heads[si] = pf
+                if pf >= 0:
+                    bwd[pf] = pb
+                else:
+                    tails[si] = pb
+            else:
+                size = sizes.get(si, 0)
+                if size >= ways:
+                    # Evict the LRU resident: the tail of the list.
+                    v = tails[si]
+                    victim_of[r] = v
+                    vb = bwd[v]
+                    tails[si] = vb
+                    if vb >= 0:
+                        fwd[vb] = -1
+                    else:
+                        heads[si] = -1
+                else:
+                    sizes[si] = size + 1
+            # Push this run at the front.
+            h = heads.get(si, -1)
+            fwd[r] = h
+            bwd[r] = -1
+            if h >= 0:
+                bwd[h] = r
+            else:
+                tails[si] = r
+            heads[si] = r
+
+        evict = np.flatnonzero(victim_of >= 0)
+        victims = victim_of[evict]
+        dirty_mask = dirty_after[run_end[victims]]
+        wb_g[run_starts[evict[dirty_mask]]] = run_line[victims[dirty_mask]]
+
+        # End-of-kernel residents: whatever remains on the recency lists.
+        residents_l: list[int] = []
+        for si, h in heads.items():
+            r = h
+            while r >= 0:
+                residents_l.append(r)
+                r = fwd[r]
+        residents = np.asarray(residents_l, dtype=np.int64)
+        if len(residents):
+            flush_lines = run_line[
+                residents[dirty_after[run_end[residents]]]
+            ]
+        else:
+            flush_lines = empty
 
     if order is not None:
         hit = np.empty(n, dtype=bool)

@@ -21,22 +21,42 @@ Two engines implement this model with identical results:
 * ``fast`` (default) — two-phase: **phase A** classifies every PE
   stream's hits, misses, writebacks and end-of-kernel flushes up front
   with the vectorized stack-distance classifier
-  (:mod:`repro.nmcsim.classify`), then **phase B** runs the exact
-  contention loop over *only* the miss/writeback events, with hit
-  latencies folded into the compute segments.
+  (:mod:`repro.nmcsim.classify`, exact for any associativity), then
+  **phase B** runs the exact contention loop over *only* the
+  miss/writeback events, with hit latencies folded into the compute
+  segments.
 
 Event times in both engines are computed from the same prefix-sum
 expressions (``base_t + (pref[k+1] - pref[base+1]) + n_hits * l1``), so
-the engines agree bit for bit — not merely within tolerance.  The
-simulator returns IPC (total instructions / makespan cycles), execution
-time and the full energy breakdown — the labels NAPEL trains on.
+the engines agree bit for bit — not merely within tolerance.
+
+Two further levers sit on top of the fast engine:
+
+* **geometry memos** — phase A's products are pure functions of
+  (trace, architecture-slice): PE streams depend only on the PE count /
+  issue width / frequency / line size, classifications only on the L1
+  geometry, and the packed phase-B event arrays on the DRAM geometry and
+  clock as well.  Each is cached on the trace's ``_memo`` side table
+  under its own key, so DoE campaign points that share a slice skip the
+  corresponding work entirely (``sim.memo.*`` counters; disable with
+  ``REPRO_SIM_MEMO=0``).
+* **native phase B** — with ``REPRO_SIM_JIT=1`` the contention loop runs
+  as a compiled kernel (:mod:`repro.nmcsim._native`: numba if
+  importable, else a C translation built with the system compiler),
+  byte-identical to the Python loop; without a usable backend the
+  Python loop is used and results are unchanged.
+
+The simulator returns IPC (total instructions / makespan cycles),
+execution time and the full energy breakdown — the labels NAPEL trains
+on.
 """
 
 from __future__ import annotations
 
 import heapq
 import os
-from typing import Mapping
+from collections import OrderedDict
+from typing import Callable, Mapping
 
 import numpy as np
 
@@ -44,6 +64,7 @@ from ..config import SIM_ENGINES, NMCConfig, default_nmc_config
 from ..errors import ConfigError, SimulationError
 from ..ir import OPCODE_LATENCY, InstructionTrace, Opcode
 from ..obs import get_logger, metrics, tracer
+from ._native import get_kernel
 from .cache import Cache, CacheStats
 from .classify import classify_lru
 from .dram import StackedMemory
@@ -55,8 +76,16 @@ log = get_logger("repro.nmcsim")
 #: Environment variable selecting the simulation engine.
 ENGINE_ENV_VAR = "REPRO_SIM_ENGINE"
 
+#: Environment variable opting into the compiled phase-B kernel.
+JIT_ENV_VAR = "REPRO_SIM_JIT"
+
+#: Environment variable disabling the phase-A geometry memos ("0" = off).
+MEMO_ENV_VAR = "REPRO_SIM_MEMO"
+
 #: Valid engine names; ``fast`` is the default.
 ENGINES = SIM_ENGINES
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
 
 
 def resolve_engine(engine: str | None = None) -> str:
@@ -69,6 +98,102 @@ def resolve_engine(engine: str | None = None) -> str:
             f"expected one of {', '.join(ENGINES)}"
         )
     return engine
+
+
+def jit_requested() -> bool:
+    """Whether ``$REPRO_SIM_JIT`` opts into the compiled phase-B kernel."""
+    return os.environ.get(JIT_ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+def _active_kernel() -> Callable | None:
+    """The compiled contention kernel, or None (not requested/available)."""
+    if not jit_requested():
+        return None
+    kernel, _ = get_kernel()
+    return kernel
+
+
+def jit_status() -> dict:
+    """JIT provenance for manifests and benchmark records.
+
+    ``backend`` is the compiled backend actually in use (``"numba"`` or
+    ``"cc"``), or None when the JIT is not requested or no backend could
+    be built (the pure-Python loop runs in that case).
+    """
+    requested = jit_requested()
+    backend = None
+    if requested:
+        kernel, name = get_kernel()
+        backend = name if kernel is not None else None
+    return {"requested": requested, "backend": backend}
+
+
+# --------------------------------------------------------------- memos
+
+_MEMO_KINDS = ("streams", "classify", "events")
+
+#: ``repro.obs`` counter names fed by the phase-A memo layers (exported
+#: so the campaign runner can aggregate worker deltas into manifests).
+MEMO_COUNTER_NAMES = tuple(
+    f"sim.memo.{kind}.{outcome}"
+    for kind in _MEMO_KINDS
+    for outcome in ("hits", "misses")
+)
+
+#: Per-trace LRU capacity of each memo kind.  Streams only vary with the
+#: coarse PE slice (few distinct values per campaign); classification and
+#: event bundles track swept geometries, so they keep a few more entries.
+_MEMO_CAPS = {"streams": 2, "classify": 4, "events": 4}
+
+
+def memo_enabled() -> bool:
+    """Whether the phase-A geometry memos are active (default yes)."""
+    return os.environ.get(MEMO_ENV_VAR, "").strip() != "0"
+
+
+def _memo_lookup(trace: InstructionTrace, kind: str, key: tuple, build):
+    """Geometry-keyed lookup in the trace's ``_memo`` side table.
+
+    Each kind gets its own small LRU (:data:`_MEMO_CAPS`); hits and
+    misses are counted as ``sim.memo.<kind>.<hits|misses>``.  The memo
+    lives on the trace object, so its lifetime is bounded by the
+    campaign-level trace memo that already bounds trace lifetimes.
+    """
+    if not memo_enabled():
+        return build()
+    memo: OrderedDict = trace._memo.setdefault(f"sim.{kind}", OrderedDict())
+    value = memo.get(key)
+    if value is not None:
+        memo.move_to_end(key)
+        metrics().inc(f"sim.memo.{kind}.hits")
+        return value
+    value = build()
+    memo[key] = value
+    metrics().inc(f"sim.memo.{kind}.misses")
+    while len(memo) > _MEMO_CAPS[kind]:
+        memo.popitem(last=False)
+    return value
+
+
+def simulation_memo_summary() -> dict:
+    """Memo hit/miss counters as a manifest-ready mapping.
+
+    ``classification_hit_ratio`` is the headline number: the fraction of
+    simulation runs whose phase-A classification was served from the
+    geometry memo instead of recomputed.
+    """
+    m = metrics()
+    out: dict = {}
+    for kind in _MEMO_KINDS:
+        out[kind] = {
+            "hits": m.count(f"sim.memo.{kind}.hits"),
+            "misses": m.count(f"sim.memo.{kind}.misses"),
+        }
+    total = out["classify"]["hits"] + out["classify"]["misses"]
+    out["classification_hit_ratio"] = (
+        out["classify"]["hits"] / total if total else 0.0
+    )
+    return out
 
 
 #: numpy lookup table: opcode value -> execute latency (cycles).
@@ -88,7 +213,9 @@ class _PEStream:
     ``k`` (entry ``n_mem`` is the tail after the last memory op); ``pref``
     is its prefix sum (``pref[k+1]`` = compute time before op ``k``
     completes its preceding segment); ``lines`` and ``writes`` describe
-    the memory ops themselves and stay NumPy arrays end to end.
+    the memory ops themselves and stay NumPy arrays end to end.  The
+    array columns are the memoizable *digest* (shared across runs via
+    the streams memo); everything else is per-run mutable state.
 
     Timing state is normalized to *miss anchors*: ``base_t`` is the
     completion time of the last miss (0.0 initially) and ``base_k`` its
@@ -102,14 +229,14 @@ class _PEStream:
         "pe", "next_op", "compute_ns", "pref", "lines", "writes",
         "cache", "finish_ns", "n_instructions", "outstanding",
         "base_t", "base_k",
-        "miss_pos", "events", "n_events", "first_delta", "tail_ns",
-        "next_evt",
+        "events", "n_events", "first_delta", "tail_ns", "next_evt",
     )
 
     def __init__(
         self,
         pe: int,
         compute_ns: np.ndarray,
+        pref: np.ndarray,
         lines: np.ndarray,
         writes: np.ndarray,
         n_instructions: int,
@@ -117,7 +244,7 @@ class _PEStream:
         self.pe = pe
         self.next_op = 0
         self.compute_ns = compute_ns
-        self.pref = np.concatenate(([0.0], np.cumsum(compute_ns)))
+        self.pref = pref
         self.lines = lines
         self.writes = writes
         self.cache: Cache | None = None
@@ -131,7 +258,6 @@ class _PEStream:
         # bank index), those of its dirty victim (victim bank -1 when
         # clean), and the deterministic issue gap to the *next* miss
         # (``first_delta`` carries the gap to the first one).
-        self.miss_pos: np.ndarray | None = None
         self.events: list[tuple] = []
         self.n_events = 0
         self.first_delta = 0.0
@@ -156,14 +282,15 @@ class _PEStream:
         )
 
 
-def _build_stream(
+def _stream_digest(
     pe: int,
     opcode: np.ndarray,
     addr: np.ndarray,
     cycle_ns: float,
     line_shift: int,
     issue_width: int = 1,
-) -> _PEStream:
+) -> tuple:
+    """The immutable array columns of one PE stream (memoizable)."""
     lat = _LATENCY_LUT[opcode]
     is_mem = (opcode == _LOAD) | (opcode == _STORE) | (opcode == _ATOMIC)
     mem_pos = np.flatnonzero(is_mem)
@@ -180,13 +307,70 @@ def _build_stream(
     compute_cycles = pref[bounds[1:]] - pref[bounds[:-1]]
     lines = (addr[mem_pos] >> np.uint64(line_shift)).astype(np.int64)
     writes = (opcode[mem_pos] == _STORE) | (opcode[mem_pos] == _ATOMIC)
-    return _PEStream(
-        pe=pe,
-        compute_ns=compute_cycles.astype(np.float64) * cycle_ns,
-        lines=lines,
-        writes=writes,
-        n_instructions=len(opcode),
+    compute_ns = compute_cycles.astype(np.float64) * cycle_ns
+    return (
+        pe,
+        compute_ns,
+        np.concatenate(([0.0], np.cumsum(compute_ns))),
+        lines,
+        writes,
+        len(opcode),
     )
+
+
+class _EventBundle:
+    """Packed phase-B inputs for one (trace, architecture-slice) pair.
+
+    Miss/writeback events of all streams concatenated into flat arrays
+    (``off`` holds per-packed-stream bounds, ``sidx`` maps packed slots
+    back to stream indices), plus the order-independent aggregates that
+    phase A pre-counts (DRAM traffic, no-miss stream finish times).
+    Everything here is immutable across runs — the bundle is what the
+    events memo caches.
+    """
+
+    __slots__ = (
+        "sidx", "off", "block", "vault", "bank",
+        "wblock", "wvault", "wbank", "dnext", "t0", "tail",
+        "finish0", "n_reads", "n_writes", "vault_counts",
+        "_events_lists",
+    )
+
+    def __init__(self) -> None:
+        self.sidx: list[int] = []
+        self.finish0: dict[int, float] = {}
+        self.n_reads = 0
+        self.n_writes = 0
+        self._events_lists: list[list[tuple]] | None = None
+
+    @property
+    def n_packed(self) -> int:
+        return len(self.sidx)
+
+    def events_lists(self) -> list[list[tuple]]:
+        """Per-packed-stream Python event tuples (pure-Python loop food).
+
+        Built lazily from the packed arrays on the first run that falls
+        back to the interpreter loop, then cached on the bundle (tuples
+        of plain scalars: cheap indexing and comparisons; float64 ->
+        float is exact).
+        """
+        if self._events_lists is None:
+            built = []
+            off = self.off
+            for slot in range(self.n_packed):
+                lo, hi = int(off[slot]), int(off[slot + 1])
+                built.append(list(zip(
+                    self.block[lo:hi].tolist(),
+                    self.vault[lo:hi].tolist(),
+                    self.bank[lo:hi].tolist(),
+                    self.wblock[lo:hi].tolist(),
+                    self.wvault[lo:hi].tolist(),
+                    self.wbank[lo:hi].tolist(),
+                    self.dnext[lo:hi].tolist(),
+                )))
+            self._events_lists = built
+        return self._events_lists
 
 
 class NMCSimulator:
@@ -235,7 +419,7 @@ class NMCSimulator:
 
     # ----------------------------------------------------------- shared
 
-    def _build_streams(self, trace: InstructionTrace) -> list[_PEStream]:
+    def _stream_digests(self, trace: InstructionTrace) -> list[tuple]:
         """Round-robin threads onto PEs; threads sharing a PE execute
         back-to-back (time multiplexed)."""
         cfg = self.config
@@ -255,17 +439,28 @@ class NMCSimulator:
             per_pe_cols.setdefault(pe, []).append(
                 (trace.opcode[sel], trace.addr[sel])
             )
-        streams: list[_PEStream] = []
+        digests: list[tuple] = []
         for pe, parts in sorted(per_pe_cols.items()):
             opcode = np.concatenate([p[0] for p in parts])
             addr = np.concatenate([p[1] for p in parts])
-            streams.append(
-                _build_stream(
+            digests.append(
+                _stream_digest(
                     pe, opcode, addr, cfg.cycle_ns, line_shift,
                     issue_width=cfg.issue_width,
                 )
             )
-        return streams
+        return digests
+
+    def _build_streams(self, trace: InstructionTrace) -> list[_PEStream]:
+        cfg = self.config
+        digests = _memo_lookup(
+            trace,
+            "streams",
+            (cfg.n_pes, cfg.issue_width, cfg.frequency_ghz, cfg.line_bytes),
+            lambda: self._stream_digests(trace),
+        )
+        # Fresh per-run wrappers around the shared (immutable) columns.
+        return [_PEStream(*d) for d in digests]
 
     def _run(
         self,
@@ -291,7 +486,9 @@ class NMCSimulator:
         streams = self._build_streams(trace)
 
         if engine == "fast":
-            cache_stats, flush_writes = self._contend_fast(streams, memory)
+            cache_stats, flush_writes = self._contend_fast(
+                trace, streams, memory
+            )
         else:
             cache_stats, flush_writes = self._contend_reference(
                 streams, memory, hw
@@ -441,237 +638,364 @@ class NMCSimulator:
 
     # ------------------------------------------------------- fast engine
 
+    def _build_events(
+        self,
+        streams: list[_PEStream],
+        cls_list: list,
+        memory: StackedMemory,
+    ) -> _EventBundle:
+        """Pack every stream's miss/writeback events into flat arrays.
+
+        Everything deterministic is computed here, vectorized: issue-gap
+        deltas (the exact :meth:`_PEStream.issue_ns` operations), DRAM
+        routing (the Fibonacci hash is stateless, so ``route_array``
+        covers misses and victims alike) and the order-independent
+        traffic totals.  Only bank/bus timing is left for phase B.
+        """
+        cfg = self.config
+        line_shift = cfg.line_bytes.bit_length() - 1
+        l1_cycle_ns = cfg.cycle_ns
+        banks_pv = cfg.banks_per_vault
+        shift = np.uint64(line_shift)
+        bundle = _EventBundle()
+        vault_counts = np.zeros(cfg.n_vaults, dtype=np.int64)
+        cols: list[tuple] = []
+        t0: list[float] = []
+        tail: list[float] = []
+        for i, s in enumerate(streams):
+            cls = cls_list[i]
+            mp = np.flatnonzero(~cls.hit)
+            if not len(mp):
+                # No misses: purely deterministic stream (base_t = 0).
+                bundle.finish0[i] = (
+                    float(s.compute_ns[0]) if s.n_mem == 0
+                    else float(s.issue_ns(s.n_mem, l1_cycle_ns))
+                )
+                continue
+            # Deterministic gap from the previous miss completion to this
+            # miss's issue: the in-between compute segments plus one L1
+            # cycle per intervening hit — evaluated with the exact
+            # operations of issue_ns().
+            mp1 = mp + 1
+            comp = s.pref[mp1] - s.pref[np.concatenate(([0], mp1[:-1]))]
+            gaps = np.diff(np.concatenate(([-1], mp))) - 1
+            delta = comp + gaps * l1_cycle_ns
+            dnext = np.empty(len(mp), dtype=np.float64)
+            dnext[:-1] = delta[1:]
+            dnext[-1] = 0.0
+            mv, mb, mblk = memory.route_array(
+                s.lines[mp].astype(np.uint64) << shift
+            )
+            wb = cls.wb_line[mp]
+            has_wb = wb >= 0
+            wv, wbk, wblk = memory.route_array(
+                np.where(has_wb, wb, 0).astype(np.uint64) << shift
+            )
+            bundle.sidx.append(i)
+            t0.append(float(delta[0]))
+            tail.append(float(
+                (s.pref[s.n_mem + 1] - s.pref[mp[-1] + 1])
+                + (s.n_mem - 1 - mp[-1]) * l1_cycle_ns
+            ))
+            cols.append((
+                mblk, mv, mv * banks_pv + mb,
+                wblk, wv, np.where(has_wb, wv * banks_pv + wbk, -1),
+                dnext,
+            ))
+            # DRAM traffic totals are order-independent: count them once
+            # here rather than per event.
+            miss_writes = int(np.count_nonzero(s.writes[mp]))
+            n_wb = int(np.count_nonzero(has_wb))
+            bundle.n_reads += len(mp) - miss_writes
+            bundle.n_writes += miss_writes + n_wb
+            vault_counts += np.bincount(mv, minlength=len(vault_counts))
+            vault_counts += np.bincount(
+                wv[has_wb], minlength=len(vault_counts)
+            )
+        bundle.vault_counts = vault_counts
+        n_events = [len(c[0]) for c in cols]
+        bundle.off = np.concatenate(
+            ([0], np.cumsum(np.asarray(n_events, dtype=np.int64)))
+        ).astype(np.int64)
+        names = ("block", "vault", "bank", "wblock", "wvault", "wbank")
+        for col, name in enumerate(names):
+            packed = (
+                np.concatenate([c[col] for c in cols]).astype(np.int64)
+                if cols else np.empty(0, dtype=np.int64)
+            )
+            setattr(bundle, name, packed)
+        bundle.dnext = (
+            np.concatenate([c[6] for c in cols])
+            if cols else np.empty(0, dtype=np.float64)
+        )
+        bundle.t0 = np.asarray(t0, dtype=np.float64)
+        bundle.tail = np.asarray(tail, dtype=np.float64)
+        return bundle
+
     def _contend_fast(
         self,
+        trace: InstructionTrace,
         streams: list[_PEStream],
         memory: StackedMemory,
     ) -> tuple[CacheStats, int]:
         """Two-phase: vectorized classification, then a miss-only loop.
 
         Phase A classifies every stream's accesses against its L1 (hits,
-        misses, dirty-victim writebacks, flush set) without any timing.
-        Phase B replays only the misses through the global-time heap —
-        the same issue-time expressions and the same sequence of
-        ``memory.access`` calls as the reference engine, because hits
-        never touch shared state.
+        misses, dirty-victim writebacks, flush set) without any timing
+        and packs the miss events; both products are served from the
+        geometry memos when a previous run on this trace shares the
+        relevant architecture slice.  Phase B replays only the misses
+        through the global-time heap — the same issue-time expressions
+        and the same sequence of memory-pipeline updates as the
+        reference engine, because hits never touch shared state.
         """
         cfg = self.config
-        line_shift = cfg.line_bytes.bit_length() - 1
         l1_cycle_ns = cfg.cycle_ns
         ooo = cfg.pe_type == "ooo"
         mshrs = cfg.mshr_entries
 
-        cache_stats = CacheStats()
-        flush_writes = 0
-        banks_pv = cfg.banks_per_vault
-        shift = np.uint64(line_shift)
-        vault_counts = np.zeros(cfg.n_vaults, dtype=np.int64)
-        n_reads = 0
-        n_writes = 0
         with metrics().timer("phase.simulate.classify"):
-            for s in streams:
-                cls = classify_lru(
-                    s.lines, s.writes,
-                    n_sets=cfg.l1_sets, ways=cfg.l1_ways,
-                )
+            cls_list = _memo_lookup(
+                trace,
+                "classify",
+                (cfg.n_pes, cfg.line_bytes, cfg.l1_sets, cfg.l1_ways),
+                lambda: [
+                    classify_lru(
+                        s.lines, s.writes,
+                        n_sets=cfg.l1_sets, ways=cfg.l1_ways,
+                    )
+                    for s in streams
+                ],
+            )
+            cache_stats = CacheStats()
+            flush_writes = 0
+            for cls in cls_list:
                 cache_stats.merge(cls.stats)
                 flush_writes += len(cls.flush_lines)
-                mp = np.flatnonzero(~cls.hit)
-                s.miss_pos = mp
-                if len(mp):
-                    # Deterministic gap from the previous miss completion
-                    # to this miss's issue: the in-between compute
-                    # segments plus one L1 cycle per intervening hit —
-                    # evaluated with the exact operations of issue_ns().
-                    mp1 = mp + 1
-                    comp = s.pref[mp1] - s.pref[
-                        np.concatenate(([0], mp1[:-1]))
-                    ]
-                    gaps = np.diff(np.concatenate(([-1], mp))) - 1
-                    delta = (comp + gaps * l1_cycle_ns).tolist()
-                    s.tail_ns = float(
-                        (s.pref[s.n_mem + 1] - s.pref[mp[-1] + 1])
-                        + (s.n_mem - 1 - mp[-1]) * l1_cycle_ns
-                    )
-                    # Pre-route every miss (and dirty victim) to its DRAM
-                    # coordinates: the Fibonacci hash is stateless, so it
-                    # vectorizes, leaving only bank/bus timing to phase B.
-                    mv, mb, mblk = memory.route_array(
-                        s.lines[mp].astype(np.uint64) << shift
-                    )
-                    wb = cls.wb_line[mp]
-                    has_wb = wb >= 0
-                    wv, wbk, wblk = memory.route_array(
-                        np.where(has_wb, wb, 0).astype(np.uint64) << shift
-                    )
-                    # One tuple per miss, carrying the issue gap of the
-                    # *next* miss so scheduling needs no second lookup
-                    # (tolist() gives plain Python scalars: cheap
-                    # indexing and heap comparisons; float64 -> float is
-                    # exact).
-                    s.first_delta = delta[0]
-                    s.events = list(zip(
-                        mblk.tolist(),
-                        mv.tolist(),
-                        (mv * banks_pv + mb).tolist(),
-                        wblk.tolist(),
-                        wv.tolist(),
-                        np.where(has_wb, wv * banks_pv + wbk, -1).tolist(),
-                        delta[1:] + [0.0],
-                    ))
-                    s.n_events = len(mp)
-                    # DRAM traffic totals are order-independent, so they
-                    # are counted here rather than per event.
-                    miss_writes = int(np.count_nonzero(s.writes[mp]))
-                    n_wb = int(np.count_nonzero(has_wb))
-                    n_reads += len(mp) - miss_writes
-                    n_writes += miss_writes + n_wb
-                    vault_counts += np.bincount(
-                        mv, minlength=len(vault_counts)
-                    )
-                    vault_counts += np.bincount(
-                        wv[has_wb], minlength=len(vault_counts)
-                    )
-                else:
-                    # No misses: purely deterministic stream.
-                    s.finish_ns = (
-                        float(s.compute_ns[0]) if s.n_mem == 0
-                        else s.issue_ns(s.n_mem, l1_cycle_ns)
-                    )
-                s.next_evt = 0
+            bundle = _memo_lookup(
+                trace,
+                "events",
+                (
+                    cfg.n_pes, cfg.line_bytes, cfg.l1_sets, cfg.l1_ways,
+                    cfg.issue_width, cfg.frequency_ghz, cfg.n_vaults,
+                    cfg.banks_per_vault, cfg.row_buffer_bytes,
+                ),
+                lambda: self._build_events(streams, cls_list, memory),
+            )
         memory.add_counts(
-            reads=n_reads, writes=n_writes, vault_counts=vault_counts
+            reads=bundle.n_reads,
+            writes=bundle.n_writes,
+            vault_counts=bundle.vault_counts,
         )
 
         with metrics().timer("phase.simulate.contend"):
-            # The per-miss loop below inlines the timing half of
-            # StackedMemory.access (bank + vault bus, see dram/hmc.py);
-            # routing and traffic counting were pre-computed vectorized
-            # in phase A.  Every expression keeps the exact evaluation
-            # order of the method, so the floats are identical; the fast
-            # engine never carries a hardware timeline (see _run), so
-            # that branch is dropped.
-            bus_ready = memory._bus_ready
-            bank_ready = memory._bank_ready
-            bank_row = memory._bank_row
-            bank_until = memory._bank_until
-            t_cl = memory._t_cl
-            t_bl = memory._t_bl
-            t_rp = memory._t_rp
-            hop = memory._hop
-            linger = memory._linger
-            closed = memory._closed
-            occupancy = memory._occupancy
+            kernel = _active_kernel()
+            if kernel is not None and bundle.n_packed:
+                self._contend_native(
+                    streams, memory, bundle, kernel,
+                    ooo=ooo, mshrs=mshrs, l1_cycle_ns=l1_cycle_ns,
+                )
+            elif bundle.n_packed:
+                self._contend_python(
+                    streams, memory, bundle,
+                    ooo=ooo, mshrs=mshrs, l1_cycle_ns=l1_cycle_ns,
+                )
+            for i, fin in bundle.finish0.items():
+                streams[i].finish_ns = fin
+        return cache_stats, flush_writes
 
-            heappush = heapq.heappush
-            heappop = heapq.heappop
-            heapreplace = heapq.heapreplace
-            heap: list[tuple[float, int]] = []
-            for i, s in enumerate(streams):
-                if s.n_events:
-                    heappush(heap, (s.base_t + s.first_delta, i))
-            # The heap is used peek-style: the root is the event being
-            # processed, and it is only rewritten when the active stream
-            # stops being globally next — one heapreplace per stream
-            # switch instead of a pop + push per event.  The event order
-            # is exactly the reference engine's (time, stream index)
-            # order: a stream keeps the floor only while its next miss
-            # precedes both heap children (the decrease-key invariant).
-            inf = float("inf")
-            while heap:
-                t, i = heap[0]
-                s = streams[i]
-                j = s.next_evt
-                ev_i = s.events
-                n_i = s.n_events
-                out_i = s.outstanding
-                # The children of the root are invariant while this
-                # stream keeps the floor, so the decrease-key bound is
-                # computed once per activation.  With no other stream
-                # pending the bound is +inf: run to completion.
-                n_h = len(heap)
-                if n_h > 1:
-                    child = heap[1]
-                    if n_h > 2 and heap[2] < child:
-                        child = heap[2]
-                    ct, ci = child
+    def _contend_native(
+        self,
+        streams: list[_PEStream],
+        memory: StackedMemory,
+        bundle: _EventBundle,
+        kernel: Callable,
+        *,
+        ooo: bool,
+        mshrs: int,
+        l1_cycle_ns: float,
+    ) -> None:
+        """Run phase B through the compiled kernel (packed arrays).
+
+        The kernel is handed fresh state arrays matching StackedMemory's
+        initial timing state; nothing reads that state after the run
+        (DRAM statistics are count-based and pre-credited in phase A),
+        so it does not need to be copied back.
+        """
+        cfg = self.config
+        n = bundle.n_packed
+        n_banks = cfg.n_vaults * cfg.banks_per_vault
+        finish = np.empty(n, dtype=np.float64)
+        kernel(
+            bundle.off,
+            bundle.block, bundle.vault, bundle.bank,
+            bundle.wblock, bundle.wvault, bundle.wbank,
+            bundle.dnext, bundle.t0, bundle.tail, finish,
+            np.zeros(n_banks, dtype=np.float64),
+            np.full(n_banks, -1, dtype=np.int64),
+            np.full(n_banks, -1.0, dtype=np.float64),
+            np.zeros(cfg.n_vaults, dtype=np.float64),
+            memory._t_cl, memory._t_bl, memory._t_rp, memory._hop,
+            memory._linger, memory._closed, memory._occupancy,
+            l1_cycle_ns,
+            1 if ooo else 0, mshrs,
+            np.empty(n * mshrs, dtype=np.float64),
+            np.empty(n, dtype=np.int64),
+            np.empty(n, dtype=np.float64),
+            np.empty(n, dtype=np.int64),
+            np.empty(n, dtype=np.int64),
+        )
+        for slot, i in enumerate(bundle.sidx):
+            streams[i].finish_ns = float(finish[slot])
+
+    def _contend_python(
+        self,
+        streams: list[_PEStream],
+        memory: StackedMemory,
+        bundle: _EventBundle,
+        *,
+        ooo: bool,
+        mshrs: int,
+        l1_cycle_ns: float,
+    ) -> None:
+        """Phase-B contention loop, pure Python (no compiled backend)."""
+        ev_lists = bundle.events_lists()
+        t0 = bundle.t0.tolist()
+        tails = bundle.tail.tolist()
+        for slot, i in enumerate(bundle.sidx):
+            s = streams[i]
+            s.events = ev_lists[slot]
+            s.n_events = len(s.events)
+            s.first_delta = t0[slot]
+            s.tail_ns = tails[slot]
+            s.next_evt = 0
+        # The per-miss loop below inlines the timing half of
+        # StackedMemory.access (bank + vault bus, see dram/hmc.py);
+        # routing and traffic counting were pre-computed vectorized
+        # in phase A.  Every expression keeps the exact evaluation
+        # order of the method, so the floats are identical; the fast
+        # engine never carries a hardware timeline (see _run), so
+        # that branch is dropped.
+        bus_ready = memory._bus_ready
+        bank_ready = memory._bank_ready
+        bank_row = memory._bank_row
+        bank_until = memory._bank_until
+        t_cl = memory._t_cl
+        t_bl = memory._t_bl
+        t_rp = memory._t_rp
+        hop = memory._hop
+        linger = memory._linger
+        closed = memory._closed
+        occupancy = memory._occupancy
+
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        heapreplace = heapq.heapreplace
+        heap: list[tuple[float, int]] = []
+        for i in bundle.sidx:
+            s = streams[i]
+            heappush(heap, (s.base_t + s.first_delta, i))
+        # The heap is used peek-style: the root is the event being
+        # processed, and it is only rewritten when the active stream
+        # stops being globally next — one heapreplace per stream
+        # switch instead of a pop + push per event.  The event order
+        # is exactly the reference engine's (time, stream index)
+        # order: a stream keeps the floor only while its next miss
+        # precedes both heap children (the decrease-key invariant).
+        inf = float("inf")
+        while heap:
+            t, i = heap[0]
+            s = streams[i]
+            j = s.next_evt
+            ev_i = s.events
+            n_i = s.n_events
+            out_i = s.outstanding
+            # The children of the root are invariant while this
+            # stream keeps the floor, so the decrease-key bound is
+            # computed once per activation.  With no other stream
+            # pending the bound is +inf: run to completion.
+            n_h = len(heap)
+            if n_h > 1:
+                child = heap[1]
+                if n_h > 2 and heap[2] < child:
+                    child = heap[2]
+                ct, ci = child
+            else:
+                ct, ci = inf, -1
+            while True:
+                block, vault, bi, wblk, wv, wbi, dnext = ev_i[j]
+                # Miss access: the timing half of StackedMemory
+                # .access, inlined (hottest path in the simulator).
+                now = t + hop
+                ready = bank_ready[bi]
+                start = now if now > ready else ready
+                open_row = bank_row[bi]
+                row_open = open_row >= 0 and start <= bank_until[bi]
+                if row_open and block == open_row:
+                    data_at = start + t_cl + t_bl
+                    bank_ready[bi] = start + t_bl
                 else:
-                    ct, ci = inf, -1
-                while True:
-                    block, vault, bi, wblk, wv, wbi, dnext = ev_i[j]
-                    # Miss access: the timing half of StackedMemory
-                    # .access, inlined (hottest path in the simulator).
+                    pre = t_rp if row_open else 0.0
+                    data_at = start + pre + closed
+                    bank_ready[bi] = start + pre + occupancy
+                bank_row[bi] = block
+                bank_until[bi] = data_at + linger
+                br = bus_ready[vault]
+                if data_at - t_bl < br:
+                    data_at = br + t_bl
+                bus_ready[vault] = data_at
+                done = data_at + hop
+                if not ooo:
+                    t = done + l1_cycle_ns
+                else:
+                    heappush(out_i, done)
+                    if len(out_i) >= mshrs:
+                        oldest = heappop(out_i)
+                        t = max(t, oldest) + l1_cycle_ns
+                    else:
+                        t += l1_cycle_ns
+                if wbi >= 0:
+                    # Dirty-victim writeback: same inlined pipeline,
+                    # posted at the miss completion time.
                     now = t + hop
-                    ready = bank_ready[bi]
+                    ready = bank_ready[wbi]
                     start = now if now > ready else ready
-                    open_row = bank_row[bi]
-                    row_open = open_row >= 0 and start <= bank_until[bi]
-                    if row_open and block == open_row:
+                    open_row = bank_row[wbi]
+                    row_open = (
+                        open_row >= 0 and start <= bank_until[wbi]
+                    )
+                    if row_open and wblk == open_row:
                         data_at = start + t_cl + t_bl
-                        bank_ready[bi] = start + t_bl
+                        bank_ready[wbi] = start + t_bl
                     else:
                         pre = t_rp if row_open else 0.0
                         data_at = start + pre + closed
-                        bank_ready[bi] = start + pre + occupancy
-                    bank_row[bi] = block
-                    bank_until[bi] = data_at + linger
-                    br = bus_ready[vault]
+                        bank_ready[wbi] = start + pre + occupancy
+                    bank_row[wbi] = wblk
+                    bank_until[wbi] = data_at + linger
+                    br = bus_ready[wv]
                     if data_at - t_bl < br:
                         data_at = br + t_bl
-                    bus_ready[vault] = data_at
-                    done = data_at + hop
-                    if not ooo:
-                        t = done + l1_cycle_ns
-                    else:
-                        heappush(out_i, done)
-                        if len(out_i) >= mshrs:
-                            oldest = heappop(out_i)
-                            t = max(t, oldest) + l1_cycle_ns
-                        else:
-                            t += l1_cycle_ns
-                    if wbi >= 0:
-                        # Dirty-victim writeback: same inlined pipeline,
-                        # posted at the miss completion time.
-                        now = t + hop
-                        ready = bank_ready[wbi]
-                        start = now if now > ready else ready
-                        open_row = bank_row[wbi]
-                        row_open = (
-                            open_row >= 0 and start <= bank_until[wbi]
-                        )
-                        if row_open and wblk == open_row:
-                            data_at = start + t_cl + t_bl
-                            bank_ready[wbi] = start + t_bl
-                        else:
-                            pre = t_rp if row_open else 0.0
-                            data_at = start + pre + closed
-                            bank_ready[wbi] = start + pre + occupancy
-                        bank_row[wbi] = wblk
-                        bank_until[wbi] = data_at + linger
-                        br = bus_ready[wv]
-                        if data_at - t_bl < br:
-                            data_at = br + t_bl
-                        bus_ready[wv] = data_at
-                    j += 1
-                    if j < n_i:
-                        tn = t + dnext
-                        # Decrease-key check: the root is this stream's
-                        # own (stale) entry, so (tn, i) may stay on the
-                        # floor as long as it precedes both children.
-                        if tn < ct or (tn == ct and i < ci):
-                            t = tn
-                            continue
-                        heapreplace(heap, (tn, i))
-                        break
-                    finish = t + s.tail_ns
-                    if out_i:
-                        finish = max(finish, max(out_i))
-                        out_i.clear()
-                    s.finish_ns = finish
-                    heappop(heap)
+                    bus_ready[wv] = data_at
+                j += 1
+                if j < n_i:
+                    tn = t + dnext
+                    # Decrease-key check: the root is this stream's
+                    # own (stale) entry, so (tn, i) may stay on the
+                    # floor as long as it precedes both children.
+                    if tn < ct or (tn == ct and i < ci):
+                        t = tn
+                        continue
+                    heapreplace(heap, (tn, i))
                     break
-                s.next_evt = j
-        return cache_stats, flush_writes
+                finish = t + s.tail_ns
+                if out_i:
+                    finish = max(finish, max(out_i))
+                    out_i.clear()
+                s.finish_ns = finish
+                heappop(heap)
+                break
+            s.next_evt = j
 
 
 def simulate(

@@ -2,13 +2,16 @@
 
 The fast (two-phase, vectorized) engine must produce *bit-identical*
 :class:`SimulationResult` values to the per-access reference engine —
-across workloads, cache geometries, core models, campaign execution
-modes and tracing.  These tests enforce that contract, plus golden and
-property tests of the vectorized LRU classifier against the step-wise
-:class:`Cache` walk it replaces.
+across workloads, cache geometries (any associativity), core models,
+campaign execution modes, the geometry memos, the compiled phase-B
+kernel and tracing.  These tests enforce that contract, plus golden and
+property tests of the vectorized LRU classifier against two independent
+oracles: the step-wise :class:`Cache` walk and a stack-distance +
+ordered-dict reconstruction.
 """
 
 import json
+from collections import OrderedDict, defaultdict
 
 import numpy as np
 import pytest
@@ -16,14 +19,18 @@ import pytest
 from repro import SimulationCampaign, default_nmc_config, get_workload
 from repro.config import SIM_ENGINES, RuntimeConfig
 from repro.errors import ConfigError
+from repro.ir import lru_hit_mask
 from repro.nmcsim import (
     ENGINES,
     NMCSimulator,
     classify_lru,
     classify_steps,
     classify_vectorized,
+    jit_status,
     resolve_engine,
+    simulation_memo_summary,
 )
+from repro.nmcsim._native import contend_packed, get_kernel
 from repro.obs import activate_tracing, metrics, reset_tracing
 
 WORKLOADS = [
@@ -127,32 +134,78 @@ class TestClassifierGolden:
         np.testing.assert_array_equal(np.sort(one.flush_lines), [7])
         assert one.stats.writebacks == 1  # the flush
 
-    def test_vectorized_rejects_high_associativity(self):
+    def test_vectorized_rejects_invalid_geometry(self):
         lines = np.array([1, 2], dtype=np.int64)
         writes = np.zeros(2, dtype=bool)
         with pytest.raises(ValueError):
-            classify_vectorized(lines, writes, n_sets=1, ways=4)
+            classify_vectorized(lines, writes, n_sets=1, ways=0)
+        with pytest.raises(ValueError):
+            classify_vectorized(lines, writes, n_sets=0, ways=2)
 
-    def test_dispatch_covers_high_associativity(self):
-        # classify_lru must fall back to the step-wise walk for ways > 2
-        # and agree with it exactly.
+    def test_high_associativity_is_exact(self):
+        # ways > 2 runs the general stack-distance path (no step-wise
+        # fallback any more) and must agree with the Cache walk exactly.
         rng = np.random.default_rng(11)
         lines = rng.integers(0, 32, 400).astype(np.int64)
         writes = rng.random(400) < 0.3
-        assert_classifications_equal(
-            classify_lru(lines, writes, n_sets=4, ways=4),
-            classify_steps(lines, writes, n_sets=4, ways=4),
-        )
+        for ways in (3, 4, 8):
+            assert_classifications_equal(
+                classify_lru(lines, writes, n_sets=4, ways=ways),
+                classify_steps(lines, writes, n_sets=4, ways=ways),
+            )
+
+    def test_lru_dispatch_is_vectorized_for_all_ways(self):
+        # classify_lru IS the vectorized classifier at every geometry.
+        rng = np.random.default_rng(12)
+        lines = rng.integers(0, 48, 300).astype(np.int64)
+        writes = rng.random(300) < 0.3
+        for ways in (1, 2, 4):
+            assert_classifications_equal(
+                classify_lru(lines, writes, n_sets=2, ways=ways),
+                classify_vectorized(lines, writes, n_sets=2, ways=ways),
+            )
 
 
 # ----------------------------------------------------- classifier property
 
 
+def stackdist_oracle(lines, writes, n_sets, ways):
+    """Independent oracle: stack-distance hits + ordered-dict LRU walk.
+
+    Hits come straight from the Mattson stack-distance criterion
+    (:func:`repro.ir.lru_hit_mask`); dirty/writeback/flush state from a
+    per-set ``OrderedDict`` walk that shares no code with either
+    production classifier.  The walk cross-asserts the hit mask, so the
+    two halves of the oracle also check each other.
+    """
+    hit = lru_hit_mask(lines, lines % n_sets, ways)
+    sets = defaultdict(OrderedDict)  # per set: line -> dirty, LRU first
+    wb_line = np.full(len(lines), -1, dtype=np.int64)
+    for k, (ln, w) in enumerate(zip(lines.tolist(), writes.tolist())):
+        s = sets[ln % n_sets]
+        if ln in s:
+            assert hit[k], "stack-distance oracle disagrees with LRU walk"
+            dirty = s.pop(ln)
+            s[ln] = dirty or bool(w)
+        else:
+            assert not hit[k], "stack-distance oracle disagrees with LRU walk"
+            if len(s) >= ways:
+                victim, vdirty = next(iter(s.items()))
+                del s[victim]
+                if vdirty:
+                    wb_line[k] = victim
+            s[ln] = bool(w)
+    flush = sorted(
+        ln for s in sets.values() for ln, dirty in s.items() if dirty
+    )
+    return hit, wb_line, np.asarray(flush, dtype=np.int64)
+
+
 class TestClassifierProperty:
-    """Vectorized == step-wise on randomized adversarial streams."""
+    """Vectorized == step-wise == stack-distance oracle on random streams."""
 
     @pytest.mark.parametrize("n_sets", [1, 2, 4, 8])
-    @pytest.mark.parametrize("ways", [1, 2])
+    @pytest.mark.parametrize("ways", [1, 2, 3, 4, 8])
     @pytest.mark.parametrize("seed", [0, 1, 2])
     def test_random_streams(self, n_sets, ways, seed):
         rng = np.random.default_rng(seed)
@@ -162,10 +215,20 @@ class TestClassifierProperty:
         universe = max(2, 3 * n_sets * ways)
         lines = rng.integers(0, universe, n).astype(np.int64)
         writes = rng.random(n) < 0.4
+        got = classify_vectorized(lines, writes, n_sets=n_sets, ways=ways)
         assert_classifications_equal(
-            classify_vectorized(lines, writes, n_sets=n_sets, ways=ways),
-            classify_steps(lines, writes, n_sets=n_sets, ways=ways),
+            got, classify_steps(lines, writes, n_sets=n_sets, ways=ways)
         )
+        # Second, code-independent oracle: stack-distance hit criterion
+        # plus an OrderedDict LRU reconstruction.
+        o_hit, o_wb, o_flush = stackdist_oracle(lines, writes, n_sets, ways)
+        np.testing.assert_array_equal(got.hit, o_hit)
+        np.testing.assert_array_equal(got.wb_line, o_wb)
+        np.testing.assert_array_equal(np.sort(got.flush_lines), o_flush)
+        assert got.stats.hits == int(o_hit.sum())
+        assert got.stats.misses == len(lines) - int(o_hit.sum())
+        assert got.stats.flushes == len(o_flush)
+        assert got.stats.writebacks == int((o_wb >= 0).sum()) + len(o_flush)
 
     def test_all_writes_and_all_reads(self):
         rng = np.random.default_rng(5)
@@ -216,9 +279,9 @@ GEOMETRIES = {
     "default": {},
     # Direct-mapped sweep point (vectorized ways==1 path).
     "direct_mapped": {"l1_lines": 16, "l1_ways": 1},
-    # High associativity: the fast engine's phase A must dispatch to the
-    # step-wise classifier and still match bit for bit.
+    # High associativity: the general stack-distance classification path.
     "four_way": {"l1_lines": 64, "l1_ways": 4},
+    "eight_way": {"l1_lines": 64, "l1_ways": 8},
     # Different DRAM shape: routing, bank and bus state all change.
     "narrow_cube": {"n_vaults": 8, "banks_per_vault": 4},
 }
@@ -312,6 +375,111 @@ class TestCampaignEquivalence:
         )
         after = metrics().count("campaign.trace_reuse")
         assert after >= before + len(ATAX_CONFIGS)
+
+
+# ------------------------------------------------------ geometry memos
+
+
+class TestClassificationMemo:
+    def test_memo_summary_shape(self):
+        summary = simulation_memo_summary()
+        for kind in ("streams", "classify", "events"):
+            assert set(summary[kind]) == {"hits", "misses"}
+        ratio = summary["classification_hit_ratio"]
+        assert 0.0 <= ratio <= 1.0
+
+    def test_resimulating_a_trace_hits_every_memo(self):
+        trace = small_trace("gemv")
+        sim = NMCSimulator(default_nmc_config(), engine="fast")
+        first = sim.run(trace, workload="gemv")
+        m = metrics()
+        before = {name: m.count(name) for name in
+                  ("sim.memo.streams.hits", "sim.memo.classify.hits",
+                   "sim.memo.events.hits")}
+        second = sim.run(trace, workload="gemv")
+        assert result_dict(second) == result_dict(first)
+        for name, count in before.items():
+            assert m.count(name) == count + 1, name
+
+    def test_geometry_sharing_campaign_hits_classify_memo(self):
+        # Same traces (campaign trace memo), same L1 geometry, different
+        # DRAM shape: classification is served from the memo while the
+        # DRAM-dependent event build re-runs — and results still match
+        # the reference engine exactly.
+        run_campaign("fast", 1)
+        hits_before = metrics().count("sim.memo.classify.hits")
+        narrow = default_nmc_config().replace(n_vaults=8)
+        got = run_campaign("fast", 1, arch=narrow)
+        assert (
+            metrics().count("sim.memo.classify.hits")
+            >= hits_before + len(ATAX_CONFIGS)
+        )
+        assert_rows_equal(got, run_campaign("reference", 1, arch=narrow))
+
+    def test_parallel_memo_campaign_matches_serial(self):
+        serial = run_campaign("fast", 1)
+        assert_rows_equal(run_campaign("fast", 2), serial)
+
+    def test_memo_disabled_results_unchanged(self, monkeypatch):
+        trace = small_trace("bfs")
+        cfg = default_nmc_config()
+        baseline = NMCSimulator(cfg, engine="reference").run(trace)
+        monkeypatch.setenv("REPRO_SIM_MEMO", "0")
+        m = metrics()
+        before = {name: m.count(name) for name in
+                  ("sim.memo.classify.hits", "sim.memo.classify.misses")}
+        sim = NMCSimulator(cfg, engine="fast")
+        for _ in range(2):
+            assert result_dict(sim.run(trace)) == result_dict(baseline)
+        for name, count in before.items():
+            assert m.count(name) == count, name
+
+
+# ------------------------------------------------- compiled phase-B kernel
+
+
+class TestJITEquivalence:
+    def test_jit_status_shape(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_JIT", raising=False)
+        status = jit_status()
+        assert status == {"requested": False, "backend": None}
+
+    def test_packed_kernel_python_semantics_match_reference(self, monkeypatch):
+        # Run the packed kernel (the numba/C compile target) as plain
+        # Python: validates the batched-replay semantics even on hosts
+        # with no compiler toolchain.
+        from repro.nmcsim import simulator as sim_mod
+
+        monkeypatch.setattr(sim_mod, "_active_kernel", lambda: contend_packed)
+        for replace in (
+            {},
+            {"l1_lines": 64, "l1_ways": 4},
+            {"pe_type": "ooo", "issue_width": 2, "mshr_entries": 8},
+            {"pe_type": "ooo", "issue_width": 2, "mshr_entries": 1},
+        ):
+            cfg = default_nmc_config().replace(**replace)
+            trace = small_trace("chol")
+            fast = NMCSimulator(cfg, engine="fast").run(trace)
+            ref = NMCSimulator(cfg, engine="reference").run(trace)
+            assert result_dict(fast) == result_dict(ref), replace
+
+    def test_compiled_kernel_matches_reference(self, monkeypatch):
+        kernel, backend = get_kernel()
+        if kernel is None:
+            pytest.skip("no compiled backend (numba or C compiler) available")
+        monkeypatch.setenv("REPRO_SIM_JIT", "1")
+        assert jit_status() == {"requested": True, "backend": backend}
+        for replace in (
+            {},
+            {"l1_lines": 64, "l1_ways": 8},
+            {"pe_type": "ooo", "issue_width": 2, "mshr_entries": 8},
+        ):
+            cfg = default_nmc_config().replace(**replace)
+            for name in ("atax", "kme"):
+                trace = small_trace(name)
+                fast = NMCSimulator(cfg, engine="fast").run(trace)
+                ref = NMCSimulator(cfg, engine="reference").run(trace)
+                assert result_dict(fast) == result_dict(ref), (name, replace)
 
 
 # -------------------------------------------------------- traced runs
