@@ -26,6 +26,14 @@ that regenerates every table and figure of the paper.
 # package is still initialising (manifests record the package version).
 __version__ = "1.1.0"
 
+from .backends import (
+    BackendDescriptor,
+    LinkParams,
+    backend_names,
+    backend_summaries,
+    get_backend,
+    register_backend,
+)
 from .config import (
     DRAMTiming,
     HostConfig,
@@ -100,6 +108,13 @@ __all__ = [
     "SuitabilityResult",
     "save_model",
     "load_model",
+    # memory backends
+    "BackendDescriptor",
+    "LinkParams",
+    "get_backend",
+    "register_backend",
+    "backend_names",
+    "backend_summaries",
     # feature schema
     "FeatureSchema",
     "FeatureBlock",

@@ -1,0 +1,46 @@
+"""Memory backend descriptors and registry (``repro.backends``).
+
+Device identity — topology, DRAM timing, energy constants and the
+off-chip link — lives here as frozen, name-keyed
+:class:`BackendDescriptor` instances instead of constants baked into
+:class:`~repro.config.NMCConfig`.  Four backends ship:
+
+========== =============================================================
+``hmc``          HMC-class 3D stack (Table 3 defaults; bit-identical to
+                 the pre-registry simulator)
+``hbm2``         HBM2-class stack: wide slow interposer links, no SerDes
+``ddr4-channel`` commodity DDR4 channels, open-row policy
+``nand-nmc``     NAND-flash-like: high capacity/latency, asymmetric
+                 read/write
+========== =============================================================
+
+Select one with ``NMCConfig.from_backend(name)``, the campaign/train/
+suitability ``--backend`` flag, or the ``backend=`` knob of the DSE
+spaces; list them with ``repro backends``.
+"""
+
+from .descriptor import FAMILIES, BackendDescriptor, LinkParams
+from .registry import (
+    DDR4_CHANNEL,
+    HBM2,
+    HMC,
+    NAND_NMC,
+    backend_names,
+    backend_summaries,
+    get_backend,
+    register_backend,
+)
+
+__all__ = [
+    "FAMILIES",
+    "BackendDescriptor",
+    "LinkParams",
+    "HMC",
+    "HBM2",
+    "DDR4_CHANNEL",
+    "NAND_NMC",
+    "backend_names",
+    "backend_summaries",
+    "get_backend",
+    "register_backend",
+]

@@ -1,0 +1,219 @@
+"""The name-keyed backend registry and the four shipped descriptors.
+
+``hmc`` reproduces the pre-registry defaults bit for bit (it *is* the
+Table 3 device); ``hbm2``, ``ddr4-channel`` and ``nand-nmc`` span the
+wide-interposer, commodity-channel and high-capacity/asymmetric corners
+of the near-memory design space.  Registering a new backend extends the
+``arch`` feature block (one extra one-hot column), so the active feature
+schema is reset on every registry mutation — stale model artifacts and
+campaign caches then fail loudly via the schema-hash machinery instead
+of mispredicting silently.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..config import GIB, DRAMTiming, NMCEnergyParams
+from .descriptor import BackendDescriptor, LinkParams
+
+_REGISTRY: dict[str, BackendDescriptor] = {}
+
+
+def _refresh_schema() -> None:
+    # The arch feature block carries one one-hot column per registered
+    # backend; any registry change invalidates the assembled schema.
+    from .. import schema
+
+    schema._reset_active_schema()
+
+
+def register_backend(
+    descriptor: BackendDescriptor, *, replace: bool = False
+) -> BackendDescriptor:
+    """Register one backend descriptor under its name.
+
+    Re-registering an identical descriptor is a no-op; a *different*
+    descriptor under an existing name raises :class:`ConfigError` unless
+    ``replace=True`` (descriptor identity feeds caches and memos, so a
+    silent swap would poison them).
+    """
+    descriptor.validate()
+    existing = _REGISTRY.get(descriptor.name)
+    if existing is not None and not replace:
+        if existing == descriptor:
+            return descriptor
+        raise ConfigError(
+            f"memory backend {descriptor.name!r} is already registered "
+            "with different parameters; pass replace=True to override"
+        )
+    _REGISTRY[descriptor.name] = descriptor
+    _refresh_schema()
+    return descriptor
+
+
+def get_backend(name: str) -> BackendDescriptor:
+    """Look up a registered backend; unknown names raise ConfigError."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(backend_names()) or "(none)"
+        raise ConfigError(
+            f"unknown memory backend {name!r}; registered backends: {known}"
+        ) from None
+
+
+def backend_names() -> tuple[str, ...]:
+    """Registered backend names, in registration order.
+
+    Registration order is the canonical column order of the
+    ``arch.backend.*`` one-hot features — stable across processes
+    because the shipped descriptors register at import time, in source
+    order, before any user registration can run.
+    """
+    return tuple(_REGISTRY)
+
+
+def backend_summaries() -> list[dict]:
+    """CLI/manifest-ready summaries of every registered backend."""
+    return [d.summary() for d in _REGISTRY.values()]
+
+
+def _unregister_backend(name: str) -> None:
+    """Remove a registered backend (test hook; resets the schema)."""
+    _REGISTRY.pop(name, None)
+    _refresh_schema()
+
+
+# ------------------------------------------------------ shipped backends
+
+#: Hybrid Memory Cube class 3D stack — the paper's Table 3 device and
+#: the default everywhere.  Field values are exactly the pre-registry
+#: ``NMCConfig``/``DRAMTiming``/``NMCEnergyParams`` defaults, which is
+#: what keeps ``--backend hmc`` bit-identical to the old behaviour.
+HMC = register_backend(BackendDescriptor(
+    name="hmc",
+    description="HMC-class 3D-stacked DRAM, 32 vaults, SerDes links",
+    family="3d-stacked",
+    n_vaults=32,
+    n_layers=8,
+    banks_per_vault=16,
+    row_buffer_bytes=256,
+    dram_bytes=4 * GIB,
+    closed_row=True,
+    timing=DRAMTiming(),
+    energy=NMCEnergyParams(),
+    link=LinkParams(),
+))
+
+#: HBM2-class 2.5D stack: wider, slower-clocked interposer interface
+#: (no SerDes), larger rows, fewer independent channels than HMC vaults.
+HBM2 = register_backend(BackendDescriptor(
+    name="hbm2",
+    description="HBM2-class stack on interposer: wide slow links, no SerDes",
+    family="2.5d-stacked",
+    n_vaults=16,            # pseudo-channels
+    n_layers=4,
+    banks_per_vault=16,
+    row_buffer_bytes=1024,
+    dram_bytes=8 * GIB,
+    closed_row=True,
+    timing=DRAMTiming(
+        t_rcd_ns=14.0,
+        t_cl_ns=14.0,
+        t_rp_ns=14.0,
+        t_ras_ns=33.0,
+        t_bl_ns=3.2,        # 64 B burst over the wide legacy-mode bus
+        hop_ns=3.2,
+        row_linger_ns=25.0,
+    ),
+    energy=NMCEnergyParams(
+        dram_activate_pj=1400.0,     # 1 KiB row
+        dram_rw_pj_per_bit=3.9,
+        link_pj_per_bit=0.6,         # short interposer wires, no SerDes
+        dram_static_w=1.100,
+    ),
+    link=LinkParams(
+        width_bits=1024,
+        gbps=2.0,
+        serdes=False,
+        packet_overhead=0.02,
+        setup_latency_s=2.0e-7,
+    ),
+))
+
+#: Commodity DDR4 channels: few independent channels, big open rows,
+#: an open-page controller (modelled as a long row-linger window).
+DDR4_CHANNEL = register_backend(BackendDescriptor(
+    name="ddr4-channel",
+    description="DDR4-2400 memory channels: few channels, open-row policy",
+    family="planar-dram",
+    n_vaults=4,             # channels
+    n_layers=1,
+    banks_per_vault=16,
+    row_buffer_bytes=8192,
+    dram_bytes=16 * GIB,
+    closed_row=False,
+    timing=DRAMTiming(
+        t_rcd_ns=14.16,
+        t_cl_ns=14.16,
+        t_rp_ns=14.16,
+        t_ras_ns=32.0,
+        t_bl_ns=13.3,       # 64 B over one 64-bit DDR4-2400 channel
+        hop_ns=6.4,
+        row_linger_ns=1000.0,   # open-page: rows stay open ~1 us
+    ),
+    energy=NMCEnergyParams(
+        dram_activate_pj=2500.0,     # 8 KiB row
+        dram_rw_pj_per_bit=4.6,
+        link_pj_per_bit=6.0,         # board-level DDR I/O
+        dram_static_w=2.500,
+    ),
+    link=LinkParams(
+        width_bits=64,
+        gbps=2.4,
+        serdes=False,
+        packet_overhead=0.05,
+        setup_latency_s=5.0e-7,
+    ),
+))
+
+#: NAND-flash-like NMC device: huge capacity, page-buffer "rows",
+#: microsecond reads and strongly asymmetric (program) writes.
+NAND_NMC = register_backend(BackendDescriptor(
+    name="nand-nmc",
+    description=(
+        "NAND-flash-class NMC: high capacity, us-scale reads, "
+        "asymmetric program writes"
+    ),
+    family="nand-flash",
+    n_vaults=8,             # channels
+    n_layers=1,
+    banks_per_vault=4,      # dies (planes) per channel
+    row_buffer_bytes=16384,
+    dram_bytes=64 * GIB,
+    closed_row=False,
+    timing=DRAMTiming(
+        t_rcd_ns=3000.0,    # tR: array -> page buffer
+        t_cl_ns=100.0,
+        t_rp_ns=50.0,
+        t_ras_ns=3000.0,
+        t_bl_ns=50.0,
+        hop_ns=10.0,
+        row_linger_ns=10000.0,  # the page buffer acts as a long-lived row
+        t_wr_extra_ns=30000.0,  # SLC-mode program penalty on writes
+    ),
+    energy=NMCEnergyParams(
+        dram_activate_pj=30000.0,    # 16 KiB page sense
+        dram_rw_pj_per_bit=8.0,
+        dram_wr_extra_pj_per_bit=40.0,   # program >> read energy
+        link_pj_per_bit=2.0,
+        dram_static_w=0.200,
+    ),
+    link=LinkParams(
+        width_bits=8,
+        gbps=12.0,
+        serdes=True,
+        packet_overhead=0.12,
+        setup_latency_s=2.0e-6,
+    ),
+))

@@ -7,12 +7,15 @@ import json
 import time
 from pathlib import Path
 
+from ..backends import backend_summaries, get_backend
 from ..config import NMCConfig, default_nmc_config
 from ..core import (
     CampaignCache,
     NapelTrainer,
     SimulationCampaign,
+    analyze_backend_suitability,
     analyze_suitability,
+    format_backend_suitability,
     load_model,
     save_model,
 )
@@ -57,11 +60,14 @@ def _parse_config(workload: Workload, args: argparse.Namespace) -> dict:
 
 
 def _parse_arch(args: argparse.Namespace) -> NMCConfig:
-    """NMC architecture from --pes/--freq/--l1-lines/--l1-ways/--vaults.
+    """NMC architecture from --backend/--pes/--freq/--l1-lines/... flags.
 
-    Values are taken as given and validated by :class:`NMCConfig`
-    (``replace`` validates): an invalid combination like ``--l1-lines 1
-    --l1-ways 2`` is a loud configuration error, never a silent rewrite.
+    The base configuration is the named backend's descriptor
+    (``--backend``, default hmc — the pre-backend defaults exactly); the
+    per-run knobs override on top.  Values are taken as given and
+    validated by :class:`NMCConfig` (``replace`` validates): an invalid
+    combination like ``--l1-lines 1 --l1-ways 2`` is a loud configuration
+    error, never a silent rewrite.
     """
     changes: dict = {}
     if getattr(args, "pes", None):
@@ -74,7 +80,10 @@ def _parse_arch(args: argparse.Namespace) -> NMCConfig:
         changes["l1_ways"] = args.l1_ways
     if getattr(args, "vaults", None):
         changes["n_vaults"] = args.vaults
-    return default_nmc_config().replace(**changes)
+    backend = getattr(args, "backend", None) or "hmc"
+    if isinstance(backend, list):  # repeatable flags pick their own arch
+        backend = backend[0]
+    return NMCConfig.from_backend(backend).replace(**changes)
 
 
 def _campaign(args: argparse.Namespace, arch: NMCConfig | None = None):
@@ -128,6 +137,58 @@ def _model_fit_summary(trained, training: TrainingSet) -> dict:
 
 
 # -------------------------------------------------------------- commands
+
+def cmd_backends(args: argparse.Namespace) -> None:
+    """List registered memory backends, or show one in detail."""
+    if getattr(args, "name", None):
+        descriptor = get_backend(args.name)
+        if getattr(args, "json", False):
+            print(json.dumps(descriptor.to_json_dict(), indent=2))
+            return
+        rows = [[k, f"{v}"] for k, v in descriptor.summary().items()]
+        t = descriptor.timing
+        e = descriptor.energy
+        rows += [
+            ["t_rcd/t_cl/t_rp (ns)",
+             f"{t.t_rcd_ns:g} / {t.t_cl_ns:g} / {t.t_rp_ns:g}"],
+            ["t_ras/t_bl (ns)", f"{t.t_ras_ns:g} / {t.t_bl_ns:g}"],
+            ["write extra (ns)", f"{t.t_wr_extra_ns:g}"],
+            ["activate / rw energy (pJ, pJ/bit)",
+             f"{e.dram_activate_pj:g} / {e.dram_rw_pj_per_bit:g}"],
+            ["write extra energy (pJ/bit)",
+             f"{e.dram_wr_extra_pj_per_bit:g}"],
+            ["link", f"{descriptor.link.width_bits} bits x "
+                     f"{descriptor.link.gbps:g} Gbps"],
+        ]
+        print(format_table(
+            ["field", "value"], rows,
+            title=f"backend descriptor: {descriptor.name}",
+        ))
+        return
+    summaries = backend_summaries()
+    if getattr(args, "json", False):
+        print(json.dumps(summaries, indent=2))
+        return
+    rows = [
+        [
+            s["name"],
+            s["family"],
+            s["topology"],
+            f"{s['capacity_gib']:g}",
+            s["row_policy"],
+            f"{s['link_gbytes_per_s']:g}",
+            f"{s['rw_asymmetry']:g}",
+            s["description"],
+        ]
+        for s in summaries
+    ]
+    print(format_table(
+        ["name", "family", "vaults x layers x banks", "GiB",
+         "row policy", "link GB/s", "R/W asym", "description"],
+        rows,
+        title="registered memory backends (`--backend NAME` to use one)",
+    ))
+
 
 def cmd_workloads(args: argparse.Namespace) -> None:
     rows = []
@@ -216,6 +277,7 @@ def cmd_campaign(args: argparse.Namespace) -> None:
         workloads=[workload.name],
         n_points=len(training),
         scale=args.scale,
+        backend=campaign.arch.backend,
         arch_config_hash=config_hash(campaign.arch),
         schema_hash=active_schema().content_hash,
         cache=_cache_summary(campaign.cache),
@@ -242,12 +304,31 @@ def cmd_campaign(args: argparse.Namespace) -> None:
 
 
 def cmd_train(args: argparse.Namespace) -> None:
-    campaign = _campaign(args)
+    backends = getattr(args, "backend", None) or ["hmc"]
+    cache = (
+        CampaignCache(args.cache) if getattr(args, "cache", None)
+        else CampaignCache()
+    )
+    campaigns = [
+        SimulationCampaign(
+            NMCConfig.from_backend(name),
+            cache=cache,
+            scale=getattr(args, "scale", 1.0),
+            jobs=getattr(args, "jobs", None),
+            engine=getattr(args, "engine", None),
+        )
+        for name in backends
+    ]
+    campaign = campaigns[0]
     sets = []
     for name in args.apps:
         workload = get_workload(name)
-        print(f"running CCD campaign for {name} ...")
-        sets.append(campaign.run(workload))
+        for c in campaigns:
+            print(
+                f"running CCD campaign for {name} "
+                f"on {c.arch.backend} ..."
+            )
+            sets.append(c.run(workload))
     campaign.cache.save()
     training = TrainingSet.concat(sets)
     trainer = NapelTrainer(
@@ -263,6 +344,7 @@ def cmd_train(args: argparse.Namespace) -> None:
         workloads=list(args.apps),
         n_points=len(training),
         scale=args.scale,
+        backends=list(backends),
         arch_config_hash=config_hash(campaign.arch),
         schema_hash=trained.model.schema.content_hash,
         cache=_cache_summary(campaign.cache),
@@ -393,7 +475,11 @@ def cmd_suitability(args: argparse.Namespace) -> None:
             "suitability needs at least two workloads (the NAPEL model is "
             "trained on the other applications)"
         )
-    campaign = _campaign(args)
+    backends = getattr(args, "backend", None) or ["hmc"]
+    if len(backends) > 1:
+        _suitability_by_backend(args, workloads, backends)
+        return
+    campaign = _campaign(args, NMCConfig.from_backend(backends[0]))
     print(f"running CCD campaigns for {', '.join(args.apps)} ...")
     training = campaign.run_all(workloads)
     campaign.cache.save()
@@ -403,6 +489,7 @@ def cmd_suitability(args: argparse.Namespace) -> None:
         workloads=list(args.apps),
         n_points=len(training),
         scale=args.scale,
+        backend=campaign.arch.backend,
         arch_config_hash=config_hash(campaign.arch),
         schema_hash=active_schema().content_hash,
         cache=_cache_summary(campaign.cache),
@@ -434,3 +521,41 @@ def cmd_suitability(args: argparse.Namespace) -> None:
         rows,
         title="NMC-suitability analysis (cf. paper Figure 7)",
     ))
+
+
+def _suitability_by_backend(
+    args: argparse.Namespace, workloads: list[Workload], backends: list[str]
+) -> None:
+    """Multi-backend suitability: rank backends per kernel by EDP."""
+    cache = (
+        CampaignCache(args.cache) if getattr(args, "cache", None)
+        else CampaignCache()
+    )
+    print(
+        f"running CCD campaigns for {', '.join(args.apps)} on "
+        f"{', '.join(backends)} ..."
+    )
+    results = analyze_backend_suitability(
+        workloads,
+        backends,
+        cache=cache,
+        scale=getattr(args, "scale", 1.0),
+        jobs=getattr(args, "jobs", None),
+        engine=getattr(args, "engine", None),
+    )
+    cache.save()
+    best = {
+        r.workload: r.backend for r in results if r.rank == 1
+    }
+    _manifest_update(
+        args,
+        workloads=list(args.apps),
+        backends=list(backends),
+        scale=args.scale,
+        schema_hash=active_schema().content_hash,
+        cache=_cache_summary(cache),
+        best_backend=best,
+        sim_memo=simulation_memo_summary(),
+        sim_jit=jit_status(),
+    )
+    print(format_backend_suitability(results))

@@ -9,6 +9,7 @@ import traceback
 from typing import Sequence
 
 from .. import __version__
+from ..backends import backend_names
 from ..errors import ReproError
 from ..obs import RunManifest, configure_logging, get_logger, metrics
 from ..obs.trace import (
@@ -86,7 +87,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="extra trace shrink factor (default 1.0)",
         )
 
+    def add_backend_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--backend", choices=backend_names(), default="hmc",
+            help="memory backend descriptor (default: hmc, the paper's "
+                 "Table 3 device; see `repro backends`)",
+        )
+
     def add_arch_args(p: argparse.ArgumentParser) -> None:
+        add_backend_arg(p)
         p.add_argument("--pes", type=int, help="number of NMC PEs")
         p.add_argument("--freq", type=float, help="PE frequency (GHz)")
         p.add_argument("--l1-lines", type=int, help="L1 lines per PE")
@@ -142,6 +151,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = new_command("workloads", help="list workloads and parameters")
     p.set_defaults(func=commands.cmd_workloads)
 
+    p = new_command(
+        "backends", help="list registered memory backend descriptors"
+    )
+    p.add_argument(
+        "name", nargs="?", default=None,
+        help="show one backend's full descriptor (timing, energy, link)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="dump the descriptor(s) as JSON",
+    )
+    p.set_defaults(func=commands.cmd_backends)
+
     p = new_command("profile", help="phase 1: profile a configuration")
     add_workload_args(p)
     p.add_argument(
@@ -173,6 +195,13 @@ def build_parser() -> argparse.ArgumentParser:
         "training set",
     )
     p.add_argument("--output", "-o", required=True, help="model file path")
+    p.add_argument(
+        "--backend", choices=backend_names(), action="append",
+        default=None, metavar="NAME",
+        help="memory backend(s) for the training campaigns (repeatable; "
+             "default: hmc; several backends produce one multi-backend "
+             "model — the arch.backend.* one-hot keeps them apart)",
+    )
     p.add_argument("--cache", help="campaign cache file (JSON)")
     p.add_argument(
         "--model", choices=("rf", "ann", "tree"), default="rf",
@@ -220,6 +249,13 @@ def build_parser() -> argparse.ArgumentParser:
         "suitability", help="EDP-based NMC-suitability analysis (Sec. 3.4)"
     )
     p.add_argument("apps", nargs="+", help="workloads to analyze")
+    p.add_argument(
+        "--backend", choices=backend_names(), action="append",
+        default=None, metavar="NAME",
+        help="memory backend(s) to analyze (repeatable; default: hmc; "
+             "with several, backends are ranked per kernel by EDP "
+             "reduction)",
+    )
     p.add_argument("--cache", help="campaign cache file (JSON)")
     p.add_argument(
         "--scale", type=float, default=1.0, help="trace shrink factor"

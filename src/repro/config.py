@@ -37,11 +37,14 @@ SIM_ENGINES = ("fast", "reference")
 
 @dataclass(frozen=True)
 class DRAMTiming:
-    """Timing parameters (nanoseconds) of the 3D-stacked DRAM.
+    """Timing parameters (nanoseconds) of one memory backend.
 
-    The values follow Hybrid Memory Cube (HMC)-class internal DRAM timing:
-    TSV-connected banks with short global wires, hence slightly faster
-    row activation than commodity DDR.
+    The *field semantics* are device-neutral — row activation, column
+    access, burst, precharge, an on-device interconnect hop and a
+    row-linger window cover 3D stacks, planar DRAM channels and
+    page-buffered NAND alike.  The *default values* are the HMC-class
+    device of paper Table 3; every registered backend
+    (:mod:`repro.backends`) ships its own instance.
     """
 
     t_rcd_ns: float = 13.75   #: row-to-column delay (ACT -> READ/WRITE)
@@ -53,8 +56,16 @@ class DRAMTiming:
     #: How long the controller keeps a row open after an access before the
     #: automatic precharge fires (closed-page-with-timeout policy);
     #: back-to-back accesses to the same row within this window are row
-    #: hits.  Set to 0 for a strict closed-row policy.
+    #: hits.  Set to 0 for a strict closed-row policy; open-page
+    #: controllers (DDR channels, NAND page buffers) use a long window.
     row_linger_ns: float = 25.0
+    #: Extra latency a *posted write* (dirty-line writeback) pays on top
+    #: of the read pipeline — 0 for symmetric DRAM-class devices, large
+    #: for NAND-class program operations.  Demand store misses are line
+    #: *fetches* under write-allocate and pay read timing; the write
+    #: itself is deferred to the eviction/flush, which is where this
+    #: penalty lands.
+    t_wr_extra_ns: float = 0.0
 
     def closed_row_access_ns(self) -> float:
         """Latency of one access under the closed-row policy.
@@ -73,9 +84,9 @@ class DRAMTiming:
     def validate(self) -> None:
         for f in dataclasses.fields(self):
             value = getattr(self, f.name)
-            if f.name == "row_linger_ns":
+            if f.name in ("row_linger_ns", "t_wr_extra_ns"):
                 if value < 0:
-                    raise ConfigError("row_linger_ns must be >= 0")
+                    raise ConfigError(f"{f.name} must be >= 0")
             elif value <= 0:
                 raise ConfigError(f"DRAM timing {f.name!r} must be positive")
 
@@ -84,8 +95,11 @@ class DRAMTiming:
 class NMCEnergyParams:
     """Per-event energies (picojoules) and static power for the NMC system.
 
-    Sources: HMC energy-per-bit estimates (~3.7 pJ/bit internal access),
-    in-order embedded-core op energies, and SerDes link energy (~2 pJ/bit).
+    Like :class:`DRAMTiming`, the field semantics are device-neutral
+    (every backend has activation, per-bit access, link and static
+    terms); the defaults are HMC-class estimates (~3.7 pJ/bit internal
+    access, SerDes link ~2 pJ/bit) and each registered backend supplies
+    its own values.
     """
 
     int_alu_pj: float = 4.0       #: simple integer op
@@ -99,6 +113,9 @@ class NMCEnergyParams:
     l1_access_pj: float = 8.0     #: L1 cache lookup (hit or miss probe)
     dram_activate_pj: float = 900.0   #: row activation (256 B row buffer)
     dram_rw_pj_per_bit: float = 3.7   #: internal column read/write per bit
+    #: Extra per-bit energy of a device *write* on top of the symmetric
+    #: read/write term — 0 for DRAM, large for NAND program operations.
+    dram_wr_extra_pj_per_bit: float = 0.0
     link_pj_per_bit: float = 2.0      #: off-chip SerDes link per bit
     pe_static_w: float = 0.020        #: static+clock power per PE (W)
     dram_static_w: float = 0.850      #: DRAM background power, whole cube (W)
@@ -109,6 +126,15 @@ class NMCEnergyParams:
                 raise ConfigError(f"NMC energy {f.name!r} must be >= 0")
 
 
+#: Compute-side fields carried over unchanged when :meth:`NMCConfig.replace`
+#: switches a configuration to a different memory backend (the device
+#: fields re-base on the new backend's descriptor instead).
+PE_FIELDS = (
+    "n_pes", "frequency_ghz", "pe_type", "issue_width", "mshr_entries",
+    "l1_ways", "l1_lines", "line_bytes",
+)
+
+
 @dataclass(frozen=True)
 class NMCConfig:
     """Architecture configuration of the NMC system (paper Table 3).
@@ -117,6 +143,11 @@ class NMCConfig:
     feature* (core count, frequency, cache geometry, DRAM organisation) is a
     field here, so a configuration can be turned into a feature vector for
     the NAPEL model with :meth:`feature_vector`.
+
+    ``backend`` names the memory device the DRAM-side fields were drawn
+    from (:mod:`repro.backends`); the default field values *are* the
+    ``hmc`` descriptor, so ``NMCConfig()`` and
+    ``NMCConfig.from_backend("hmc")`` are the same configuration.
     """
 
     n_pes: int = 32                    #: number of near-memory PEs
@@ -139,8 +170,9 @@ class NMCConfig:
     row_buffer_bytes: int = 256        #: row buffer size per bank
     dram_bytes: int = 4 * GIB          #: total stacked-DRAM capacity
     closed_row: bool = True            #: closed-row controller policy
-    link_width_bits: int = 16          #: SerDes off-chip link width
-    link_gbps: float = 15.0            #: SerDes lane speed (Gbit/s per lane)
+    link_width_bits: int = 16          #: off-chip link width (lanes/bits)
+    link_gbps: float = 15.0            #: link lane speed (Gbit/s per lane)
+    backend: str = "hmc"               #: registered memory backend name
     timing: DRAMTiming = field(default_factory=DRAMTiming)
     energy: NMCEnergyParams = field(default_factory=NMCEnergyParams)
 
@@ -161,14 +193,11 @@ class NMCConfig:
             raise ConfigError("l1_lines must be a multiple of l1_ways")
         if self.line_bytes & (self.line_bytes - 1):
             raise ConfigError("line_bytes must be a power of two")
-        if self.n_vaults < 1 or self.n_layers < 1 or self.banks_per_vault < 1:
-            raise ConfigError("DRAM organisation fields must be >= 1")
-        if self.dram_bytes < self.n_vaults * self.row_buffer_bytes:
-            raise ConfigError("dram_bytes too small for vault organisation")
-        if self.link_width_bits < 1 or self.link_gbps <= 0:
-            raise ConfigError("link parameters must be positive")
-        self.timing.validate()
-        self.energy.validate()
+        # Device-level validation is per-descriptor: the registered
+        # backend owns the DRAM-organisation, link and timing rules.
+        from .backends import get_backend
+
+        get_backend(self.backend).validate_config(self)
 
     @property
     def l1_bytes(self) -> int:
@@ -191,7 +220,11 @@ class NMCConfig:
 
     # ----- NAPEL architectural features (paper Table 1, lower half) -----
     # Registered below as the "arch" block of the model-input feature
-    # schema (repro.schema); feature_vector() must stay aligned with it.
+    # schema (repro.schema); feature_vector() must stay aligned with
+    # arch_feature_names().  ARCH_FEATURE_NAMES is the static scalar
+    # part; the full block adds one one-hot column per registered
+    # backend plus the backend-derived scalars (row policy, link
+    # bandwidth, read/write asymmetry).
 
     ARCH_FEATURE_NAMES = (
         "arch.n_pes",
@@ -206,8 +239,18 @@ class NMCConfig:
         "arch.mshr_entries",
     )
 
+    #: Backend-derived scalar features appended after the one-hot block.
+    BACKEND_SCALAR_FEATURES = (
+        "arch.closed_row",
+        "arch.link_gbytes_per_s",
+        "arch.rw_asymmetry",
+    )
+
     def feature_vector(self) -> list[float]:
-        """Architectural feature values, aligned with ARCH_FEATURE_NAMES."""
+        """Architectural feature values, aligned with arch_feature_names()."""
+        from .backends import backend_names
+
+        t = self.timing
         return [
             float(self.n_pes),
             float(self.frequency_ghz),
@@ -219,19 +262,74 @@ class NMCConfig:
             float(self.row_buffer_bytes),
             float(self.issue_width),
             float(self.mshr_entries),
+        ] + [
+            1.0 if self.backend == name else 0.0 for name in backend_names()
+        ] + [
+            1.0 if self.closed_row else 0.0,
+            self.link_gbytes_per_s,
+            t.t_wr_extra_ns / t.closed_row_access_ns(),
         ]
 
+    @classmethod
+    def from_backend(cls, name: str = "hmc", **overrides: object) -> "NMCConfig":
+        """Build a configuration on a registered memory backend.
+
+        Device fields come from the backend's descriptor; compute-side
+        fields keep their defaults; ``overrides`` wins over both.
+        """
+        from .backends import get_backend
+
+        return get_backend(name).to_config(**overrides)
+
     def replace(self, **changes: object) -> "NMCConfig":
-        """Return a copy with the given fields replaced (validated)."""
+        """Return a copy with the given fields replaced (validated).
+
+        Changing ``backend`` re-bases the device fields (topology,
+        capacity, row policy, link, timing, energy) on the new backend's
+        descriptor while carrying the compute-side fields
+        (:data:`PE_FIELDS`) over; other ``changes`` still win.
+        """
+        new_backend = changes.get("backend")
+        if new_backend is not None and new_backend != self.backend:
+            from .backends import get_backend
+
+            carried: dict[str, object] = {
+                f: getattr(self, f) for f in PE_FIELDS
+            }
+            carried.update(
+                (k, v) for k, v in changes.items() if k != "backend"
+            )
+            return get_backend(str(new_backend)).to_config(**carried)
         cfg = dataclasses.replace(self, **changes)  # type: ignore[arg-type]
         cfg.validate()
         return cfg
 
 
+def arch_feature_names() -> tuple[str, ...]:
+    """The full ``arch`` feature block, including backend features.
+
+    Scalar knobs first (:data:`NMCConfig.ARCH_FEATURE_NAMES`), then one
+    ``arch.backend.<name>`` one-hot column per registered backend (in
+    registration order) and the backend-derived scalars.  Registering a
+    backend changes this list — and therefore the schema content hash —
+    which is exactly the drift the schema machinery must flag.
+    """
+    from .backends import backend_names
+
+    return (
+        NMCConfig.ARCH_FEATURE_NAMES
+        + tuple(f"arch.backend.{name}" for name in backend_names())
+        + NMCConfig.BACKEND_SCALAR_FEATURES
+    )
+
+
 schema.register_block(
     "arch",
-    NMCConfig.ARCH_FEATURE_NAMES,
-    description="NMC architectural knobs (paper Table 1, lower half)",
+    arch_feature_names,
+    description=(
+        "NMC architectural knobs (paper Table 1, lower half) plus "
+        "memory-backend identity features"
+    ),
 )
 
 

@@ -12,7 +12,6 @@ evaluation and the benchmark harness revisit the same points many times.
 
 from __future__ import annotations
 
-import dataclasses
 import json
 import os
 import time
@@ -34,7 +33,7 @@ from ..nmcsim import (
 from ..obs import get_logger, metrics, tracer
 from ..parallel import map_jobs, resolve_jobs
 from ..profiler import ApplicationProfile, analyze_trace
-from ..schema import active_schema
+from ..schema import active_schema, canonical_hash
 from ..workloads import Workload
 from ..workloads.base import config_seed
 from .dataset import TrainingRow, TrainingSet
@@ -75,8 +74,22 @@ def _memoized_trace(
     return trace
 
 
+#: On-disk campaign-cache layout version.  v2: arch keys switched from
+#: raw JSON dumps to backend-prefixed canonical content hashes; caches
+#: written by older versions are discarded with a warning on load.
+CACHE_FORMAT_VERSION = 2
+
+
 def _arch_key(arch: NMCConfig) -> str:
-    return json.dumps(dataclasses.asdict(arch), sort_keys=True, default=str)
+    """Canonical cache key of one architecture.
+
+    ``<backend>:<canonical_hash>`` — the hash covers every config field
+    (so any device or PE knob change misses the cache), while the
+    leading backend name keeps keys human-attributable in cache dumps.
+    Uses the same canonicalisation as the feature-schema content hash,
+    so float fields key bit-exactly rather than by ``repr``.
+    """
+    return f"{arch.backend}:{canonical_hash(arch)}"
 
 
 def _config_key(workload: str, config: Mapping[str, float], seed: int) -> str:
@@ -164,6 +177,7 @@ class CampaignCache:
         if self.path is None:
             return
         data = {
+            "format": CACHE_FORMAT_VERSION,
             "schema_hash": active_schema().content_hash,
             "profiles": {
                 k: p.to_json_dict() for k, p in self._profiles.items()
@@ -181,6 +195,19 @@ class CampaignCache:
     def _load(self) -> None:
         try:
             data = json.loads(self.path.read_text())
+            stored_format = data.get("format")
+            if stored_format != CACHE_FORMAT_VERSION:
+                warnings.warn(
+                    f"campaign cache {self.path} uses cache format "
+                    f"{stored_format!r}; this version writes format "
+                    f"{CACHE_FORMAT_VERSION} (arch keys are now canonical "
+                    "backend-aware hashes) — discarding the stale cache",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self._profiles = {}
+                self._results = {}
+                return
             stored_hash = data.get("schema_hash")
             expected_hash = active_schema().content_hash
             if stored_hash != expected_hash:

@@ -58,7 +58,10 @@ def grid_space(
 
     ``knobs`` maps :class:`~repro.config.NMCConfig` field names to value
     lists, e.g. ``{"n_pes": [16, 32], "frequency_ghz": [1.0, 1.25]}``.
-    Every produced configuration is validated.
+    The memory backend is a knob like any other: ``{"backend": ["hmc",
+    "hbm2"]}`` sweeps device families (``NMCConfig.replace`` re-bases
+    device fields on the named backend's descriptor, carrying the PE
+    knobs over).  Every produced configuration is validated.
     """
     if not knobs:
         raise MLError("grid_space needs at least one knob")
@@ -126,8 +129,8 @@ def explore(
         changes = {
             name: getattr(arch, name)
             for name in (
-                "n_pes", "frequency_ghz", "l1_lines", "n_vaults",
-                "pe_type", "issue_width", "mshr_entries",
+                "backend", "n_pes", "frequency_ghz", "l1_lines",
+                "n_vaults", "pe_type", "issue_width", "mshr_entries",
             )
             if getattr(arch, name) != getattr(base_fields, name)
         }

@@ -11,21 +11,30 @@ For each application at its *test* input (Table 2):
 
 An application is NMC-suitable when its EDP reduction (host EDP / NMC EDP)
 exceeds 1.
+
+:func:`analyze_backend_suitability` extends the analysis with the memory
+backend as a design axis: every registered (or requested) backend is
+simulated at each application's test input and the backends are ranked per
+kernel by actual EDP reduction, with the held-out model — trained on the
+multi-backend campaign data, so one model spans backends — predicting the
+same ranking.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
-from ..config import HostConfig
+from ..config import HostConfig, NMCConfig
 from ..errors import ReproError
 from ..hostsim import HostSimulator
 from ..obs import get_logger, metrics
 from ..workloads import Workload
-from .campaign import SimulationCampaign
+from .campaign import CampaignCache, SimulationCampaign
 from .dataset import TrainingSet
 from .pipeline import NapelTrainer
+from .reporting import format_table
 
 log = get_logger("repro.campaign")
 
@@ -183,3 +192,137 @@ def analyze_suitability(
         )
         results.append(result)
     return results
+
+
+@dataclass(frozen=True)
+class BackendSuitability:
+    """One (workload, backend) cell of the backend × kernel ranking."""
+
+    workload: str
+    backend: str
+    edp_reduction_actual: float
+    edp_reduction_pred: float
+    #: 1 = best backend for this workload by actual EDP reduction.
+    rank: int
+
+    @property
+    def suitable_actual(self) -> bool:
+        return self.edp_reduction_actual > 1.0
+
+
+def analyze_backend_suitability(
+    workloads: list[Workload],
+    backends: Sequence[str] | None = None,
+    *,
+    cache: CampaignCache | None = None,
+    scale: float = 1.0,
+    jobs: int | None = None,
+    engine: str | None = None,
+    host_config: HostConfig | None = None,
+    trainer_kwargs: dict | None = None,
+) -> list[BackendSuitability]:
+    """Rank memory backends per kernel by EDP reduction over the host.
+
+    One CCD campaign runs per backend (all sharing ``cache``; profiles
+    are backend-independent, so only the simulations repeat), the
+    campaigns concatenate into a single multi-backend training set (the
+    ``arch.backend.*`` one-hot keeps the backends apart), and for each
+    workload a held-out model predicts the EDP of every backend.  Results
+    come back grouped by workload, best backend first.
+    """
+    from ..backends import backend_names
+
+    if backends is None:
+        backends = backend_names()
+    host = HostSimulator(host_config)
+    cache = cache if cache is not None else CampaignCache()
+    campaigns = {
+        name: SimulationCampaign(
+            NMCConfig.from_backend(name),
+            cache=cache, scale=scale, jobs=jobs, engine=engine,
+        )
+        for name in backends
+    }
+    training = TrainingSet.concat(
+        campaigns[name].run_all(workloads) for name in backends
+    )
+    # Test rows per (workload, backend): the Figure 7 "Actual" data,
+    # which also joins the training pool (see analyze_suitability).
+    test_rows = {
+        (w.name, name): campaigns[name].run_point(w, w.test_config())
+        for w in workloads
+        for name in backends
+    }
+    combined = TrainingSet.concat(
+        [training, TrainingSet(list(test_rows.values()))]
+    )
+    results: list[BackendSuitability] = []
+    for workload in workloads:
+        host_result = host.evaluate(
+            test_rows[(workload.name, backends[0])].profile
+        )
+        host_edp = host_result.energy_j * host_result.time_s
+        trainer = NapelTrainer(**(trainer_kwargs or {}))
+        trained = trainer.train(combined.exclude(workload.name))
+        per_backend: list[tuple[str, float, float]] = []
+        for name in backends:
+            test_row = test_rows[(workload.name, name)]
+            prediction = trained.model.predict(
+                test_row.profile, campaigns[name].arch
+            )
+            for component, value in (
+                ("simulated NMC time", test_row.result.time_s),
+                ("simulated NMC energy", test_row.result.energy_j),
+                ("predicted NMC time", prediction.time_s),
+                ("predicted NMC energy", prediction.energy_j),
+            ):
+                _require_positive(
+                    f"{workload.name}@{name}", component, value
+                )
+            actual = host_edp / (
+                test_row.result.energy_j * test_row.result.time_s
+            )
+            pred = host_edp / (prediction.energy_j * prediction.time_s)
+            per_backend.append((name, actual, pred))
+        per_backend.sort(key=lambda t: -t[1])
+        metrics().inc("suitability.backend_cells", len(per_backend))
+        for rank, (name, actual, pred) in enumerate(per_backend, 1):
+            results.append(BackendSuitability(
+                workload=workload.name,
+                backend=name,
+                edp_reduction_actual=actual,
+                edp_reduction_pred=pred,
+                rank=rank,
+            ))
+        log.info(
+            "backend suitability app done",
+            extra={"ctx": {
+                "workload": workload.name,
+                "best_backend": per_backend[0][0],
+            }},
+        )
+    return results
+
+
+def format_backend_suitability(
+    results: Sequence[BackendSuitability],
+) -> str:
+    """Backend × kernel ranking table, best backend first per kernel."""
+    rows = [
+        [
+            r.workload if r.rank == 1 else "",
+            str(r.rank),
+            r.backend,
+            f"{r.edp_reduction_actual:10.4f}",
+            f"{r.edp_reduction_pred:10.4f}",
+            "yes" if r.suitable_actual else "no",
+        ]
+        for r in results
+    ]
+    return format_table(
+        ["kernel", "rank", "backend", "EDP gain (sim)",
+         "EDP gain (NAPEL)", "suitable"],
+        rows,
+        title="NMC suitability by memory backend "
+              "(EDP reduction vs host; rank 1 = best backend)",
+    )

@@ -6,7 +6,7 @@ training data.  Full-factorial, Latin-hypercube and uniform-random designs
 are provided as baselines for the DoE ablation benchmarks.
 """
 
-from .space import ParameterSpace
+from .space import ParameterSpace, cross_backends
 from .box_behnken import box_behnken, box_behnken_run_count
 from .ccd import central_composite, ccd_run_count
 from .doptimal import d_optimal, quadratic_basis
@@ -17,6 +17,7 @@ from .rsm import ResponseSurface
 
 __all__ = [
     "ParameterSpace",
+    "cross_backends",
     "central_composite",
     "ccd_run_count",
     "box_behnken",

@@ -18,8 +18,10 @@ are simulated with distinct seeds.)
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from ..errors import DoEError
-from .space import ParameterSpace
+from .space import ParameterSpace, cross_backends
 
 
 def ccd_run_count(n_parameters: int) -> int:
@@ -31,13 +33,21 @@ def ccd_run_count(n_parameters: int) -> int:
 
 
 def central_composite(
-    space: ParameterSpace, *, center_replicates: int | None = None
-) -> list[dict[str, float]]:
+    space: ParameterSpace,
+    *,
+    center_replicates: int | None = None,
+    backends: Sequence[str] | None = None,
+) -> list[dict[str, float]] | list[tuple[str, dict[str, float]]]:
     """The CCD configurations of a parameter space, in canonical order.
 
     Order: factorial corners (low/high grid), axial points (per parameter:
     minimum then maximum), centre replicates.  ``center_replicates``
     defaults to ``2k - 1`` (see module docstring).
+
+    ``backends`` adds the memory backend as a categorical design factor:
+    the CCD is crossed with each named backend and the return value
+    becomes ``(backend_name, config)`` pairs (see
+    :func:`~repro.doe.space.cross_backends`).
     """
     k = len(space)
     if center_replicates is None:
@@ -55,4 +65,6 @@ def central_composite(
     # Centre replicates.
     for _ in range(center_replicates):
         configs.append(space.central())
+    if backends is not None:
+        return cross_backends(configs, backends)
     return configs

@@ -8,6 +8,8 @@ stratified unit grid, guaranteeing one-dimensional uniformity.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ..errors import DoEError
@@ -15,9 +17,22 @@ from .space import ParameterSpace
 
 
 def latin_hypercube(
-    space: ParameterSpace, n: int, rng: np.random.Generator
-) -> list[dict[str, float]]:
-    """``n`` Latin-hypercube configurations over the space's full range."""
+    space: ParameterSpace,
+    n: int,
+    rng: np.random.Generator,
+    *,
+    backends: Sequence[str] | None = None,
+) -> list[dict[str, float]] | list[tuple[str, dict[str, float]]]:
+    """``n`` Latin-hypercube configurations over the space's full range.
+
+    ``backends`` treats the memory backend as a categorical LHS factor:
+    each backend is assigned to ``n / len(backends)`` samples (±1, the
+    stratification of a categorical dimension) and the assignment is
+    randomly permuted.  The continuous coordinates are generated first,
+    so the configs are identical with and without ``backends`` for the
+    same ``rng`` state; the return value becomes ``(backend, config)``
+    pairs.
+    """
     if n < 1:
         raise DoEError("latin hypercube needs at least one sample")
     k = len(space)
@@ -27,4 +42,16 @@ def latin_hypercube(
     points = cut[:n, None] + u * (1.0 / n)
     for dim in range(k):
         points[:, dim] = points[rng.permutation(n), dim]
-    return [space.from_unit(row) for row in points]
+    configs = [space.from_unit(row) for row in points]
+    if backends is None:
+        return configs
+    from ..backends import get_backend
+
+    if not backends:
+        raise DoEError("latin hypercube backends must be non-empty")
+    for name in backends:
+        get_backend(name)
+    # Balanced categorical stratification: round-robin, then permute.
+    assigned = [backends[i % len(backends)] for i in range(n)]
+    order = rng.permutation(n)
+    return [(assigned[order[i]], configs[i]) for i in range(n)]

@@ -110,3 +110,28 @@ class ParameterSpace:
             raise DoEError("sample size must be >= 0")
         points = rng.random((n, len(self.parameters)))
         return [self.from_unit(row) for row in points]
+
+
+def cross_backends(
+    configs: Sequence[Mapping[str, float]],
+    backends: Sequence[str],
+) -> list[tuple[str, dict[str, float]]]:
+    """Cross a design with a categorical memory-backend factor.
+
+    Returns ``(backend_name, config)`` pairs: the full design replicated
+    once per backend, in backend order — the categorical analogue of a
+    full-factorial crossing.  Backend names are validated against the
+    registry (:func:`repro.backends.get_backend`), so a typo fails here
+    rather than deep inside a campaign.
+    """
+    from ..backends import get_backend
+
+    if not backends:
+        raise DoEError("cross_backends needs at least one backend")
+    if len(set(backends)) != len(backends):
+        raise DoEError(f"duplicate backends: {list(backends)}")
+    for name in backends:
+        get_backend(name)  # raises ConfigError with the known names
+    return [
+        (name, dict(config)) for name in backends for config in configs
+    ]

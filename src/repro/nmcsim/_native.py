@@ -56,7 +56,7 @@ def contend_packed(
     wblock, wvault, wbank,
     dnext, t0, tail, finish,
     bank_ready, bank_row, bank_until, bus_ready,
-    t_cl, t_bl, t_rp, hop, linger, closed, occupancy, l1_cycle,
+    t_cl, t_bl, t_rp, hop, linger, closed, occupancy, wr_extra, l1_cycle,
     ooo, mshrs, mshr_buf, mshr_len,
     heap_t, heap_i, pos,
 ):  # pragma: no cover - exercised via tests + compiled backends
@@ -205,6 +205,10 @@ def contend_packed(
                     pre = t_rp if row_open else 0.0
                     data_at = start + pre + closed
                     bank_ready[wbi] = start + pre + occupancy
+                if wr_extra != 0.0:
+                    # Posted-write asymmetry (NAND-class backends).
+                    data_at = data_at + wr_extra
+                    bank_ready[wbi] = bank_ready[wbi] + wr_extra
                 bank_row[wbi] = wblk
                 bank_until[wbi] = data_at + linger
                 br = bus_ready[wv]
@@ -315,7 +319,8 @@ void contend_packed(
     double *bank_ready, i64 *bank_row, double *bank_until,
     double *bus_ready,
     double t_cl, double t_bl, double t_rp, double hop,
-    double linger, double closed, double occupancy, double l1_cycle,
+    double linger, double closed, double occupancy, double wr_extra,
+    double l1_cycle,
     i64 ooo, i64 mshrs, double *mshr_buf, i64 *mshr_len,
     double *heap_t, i64 *heap_i, i64 *pos, i64 n_streams)
 {
@@ -420,6 +425,11 @@ void contend_packed(
                     data_at = start + pre + closed;
                     bank_ready[wbi] = start + pre + occupancy;
                 }
+                if (wr_extra != 0.0) {
+                    /* posted-write asymmetry (NAND-class backends) */
+                    data_at = data_at + wr_extra;
+                    bank_ready[wbi] = bank_ready[wbi] + wr_extra;
+                }
                 bank_row[wbi] = wblk;
                 bank_until[wbi] = data_at + linger;
                 br = bus_ready[wv];
@@ -517,7 +527,7 @@ def _build_cc() -> Callable | None:
     fn.argtypes = (
         [ip] + [ip] * 6 + [dp] * 4
         + [dp, ip, dp, dp]
-        + [ctypes.c_double] * 8
+        + [ctypes.c_double] * 9
         + [ctypes.c_int64, ctypes.c_int64, dp, ip]
         + [dp, ip, ip, ctypes.c_int64]
     )
@@ -529,7 +539,8 @@ def _build_cc() -> Callable | None:
         off, block, vault, bank, wblock, wvault, wbank,
         dnext, t0, tail, finish,
         bank_ready, bank_row, bank_until, bus_ready,
-        t_cl, t_bl, t_rp, hop, linger, closed, occupancy, l1_cycle,
+        t_cl, t_bl, t_rp, hop, linger, closed, occupancy, wr_extra,
+        l1_cycle,
         ooo, mshrs, mshr_buf, mshr_len, heap_t, heap_i, pos,
     ) -> None:
         fn(
@@ -538,7 +549,8 @@ def _build_cc() -> Callable | None:
             _as(dnext, dp), _as(t0, dp), _as(tail, dp), _as(finish, dp),
             _as(bank_ready, dp), _as(bank_row, ip), _as(bank_until, dp),
             _as(bus_ready, dp),
-            t_cl, t_bl, t_rp, hop, linger, closed, occupancy, l1_cycle,
+            t_cl, t_bl, t_rp, hop, linger, closed, occupancy, wr_extra,
+            l1_cycle,
             int(ooo), int(mshrs), _as(mshr_buf, dp), _as(mshr_len, ip),
             _as(heap_t, dp), _as(heap_i, ip), _as(pos, ip),
             len(off) - 1,

@@ -76,6 +76,10 @@ class StackedMemory:
         self._occupancy = max(
             timing.t_ras_ns, timing.t_rcd_ns + timing.t_cl_ns
         )
+        # Posted-write (writeback) asymmetry: 0.0 on DRAM-class backends,
+        # the program penalty on NAND-class ones.  Guarded by truthiness
+        # on the hot path, so symmetric devices take no extra float ops.
+        self._wr_extra = timing.t_wr_extra_ns
 
     def route(self, addr: int) -> tuple[int, int, int]:
         """Map a byte address to (vault index, bank index, row id).
@@ -130,7 +134,14 @@ class StackedMemory:
             for vault, count in enumerate(vault_counts):
                 acc[vault] += int(count)
 
-    def access(self, now_ns: float, addr: int, is_write: bool) -> float:
+    def access(
+        self,
+        now_ns: float,
+        addr: int,
+        is_write: bool,
+        *,
+        is_writeback: bool = False,
+    ) -> float:
         """One cache-line access; returns the data-ready time (ns).
 
         The logic-layer interconnect hop to the vault and back is added
@@ -138,6 +149,13 @@ class StackedMemory:
         is :meth:`route` + :meth:`Vault.access` + :meth:`Bank.access`
         fused into one frame; every expression involving runtime state
         keeps the reference association order, so results are identical.
+
+        ``is_writeback`` marks a posted dirty-line writeback — the only
+        access class that actually *writes* the array under
+        write-allocate (demand store misses are line fetches) and hence
+        the one that pays the backend's write-asymmetry penalty
+        (``DRAMTiming.t_wr_extra_ns``), both in data time and bank
+        occupancy.
         """
         cfg = self.config
         block = addr >> self._block_shift
@@ -168,6 +186,9 @@ class StackedMemory:
             pre = self._t_rp if row_open else 0.0
             data_at = start + pre + self._closed
             self._bank_ready[bi] = start + pre + self._occupancy
+        if is_writeback and self._wr_extra:
+            data_at += self._wr_extra
+            self._bank_ready[bi] += self._wr_extra
         self._bank_row[bi] = block
         # The linger window follows the bank-level data time, before the
         # burst is (possibly) delayed by the vault bus below.

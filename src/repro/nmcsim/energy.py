@@ -76,12 +76,16 @@ def compute_energy(
     dram_accesses: int,
     exec_time_s: float,
     offload_bytes: float = 0.0,
+    dram_writes: int = 0,
 ) -> EnergyBreakdown:
     """Aggregate event counts into an :class:`EnergyBreakdown`.
 
     ``offload_bytes`` is the data volume shipped over the off-chip SerDes
-    link (kernel inputs + results).  Static power covers the whole cube —
-    idle PEs are not power-gated in the reference design.
+    link (kernel inputs + results).  ``dram_writes`` (a subset of
+    ``dram_accesses``) pays the backend's write-asymmetry energy, if any
+    (``NMCEnergyParams.dram_wr_extra_pj_per_bit``; 0 for DRAM-class
+    backends).  Static power covers the whole cube — idle PEs are not
+    power-gated in the reference design.
     """
     e = config.energy
     core = sum(
@@ -91,6 +95,8 @@ def compute_energy(
     cache = l1_accesses * e.l1_access_pj
     line_bits = config.line_bytes * 8
     dram = dram_accesses * (e.dram_activate_pj + line_bits * e.dram_rw_pj_per_bit)
+    if e.dram_wr_extra_pj_per_bit:
+        dram += dram_writes * line_bits * e.dram_wr_extra_pj_per_bit
     link = offload_bytes * 8 * e.link_pj_per_bit
     static_w = config.n_pes * e.pe_static_w + e.dram_static_w
     static = static_w * exec_time_s / PJ  # keep everything in pJ, then scale

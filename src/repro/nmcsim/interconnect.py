@@ -1,14 +1,19 @@
-"""Off-chip SerDes link and kernel-offload cost model.
+"""Off-chip link and kernel-offload cost model.
 
 The paper's execution-time formula ``T_NMC = I_offload / (IPC * f_core)``
 covers kernel execution only; shipping the kernel's inputs to the memory
-cube and its results back crosses the 16-lane 15 Gbps SerDes link
-(Table 3).  This module models that cost so the suitability analysis can
-be refined with offload overheads (an ablation the paper leaves implicit).
+device and its results back crosses the off-chip link — a 16-lane
+15 Gbps SerDes on the HMC backend (Table 3), a wide silicon-interposer
+bus on HBM2, a 64-bit DDR bus on a DDR4 channel.  This module models
+that cost so the suitability analysis can be refined with offload
+overheads (an ablation the paper leaves implicit).
 
 The link is full-duplex: input upload and result download are each bounded
 by the one-direction bandwidth; a per-message packetisation overhead and a
-fixed round-trip setup latency complete the first-order model.
+fixed round-trip setup latency complete the first-order model.  Raw
+bandwidth comes from the config's ``link_width_bits`` × ``link_gbps``
+product; the packetisation overhead and setup latency come from the
+config's backend descriptor (:class:`repro.backends.LinkParams`).
 """
 
 from __future__ import annotations
@@ -19,9 +24,12 @@ from ..config import NMCConfig
 from ..errors import ConfigError
 
 #: Flit-level protocol overhead of HMC-style links (header+tail per packet).
+#: Kept as the HMC default; other backends carry their own value on their
+#: :class:`repro.backends.LinkParams`.
 PACKET_OVERHEAD = 0.10
 
 #: One-time offload setup round trip (descriptor + doorbell), seconds.
+#: HMC default; per-backend values live on :class:`repro.backends.LinkParams`.
 SETUP_LATENCY_S = 1.0e-6
 
 
@@ -43,14 +51,26 @@ class OffloadCost:
 
 
 class LinkModel:
-    """First-order SerDes link timing/energy model."""
+    """First-order off-chip link timing/energy model.
+
+    Bandwidth is the config's ``link_width_bits`` × ``link_gbps``
+    product (which the user may override per run); the protocol-level
+    knobs — packetisation overhead and setup latency — resolve from the
+    config's backend descriptor, so a DDR4 channel pays less framing
+    than an HMC SerDes and a NAND device pays a longer doorbell.
+    """
 
     def __init__(self, config: NMCConfig) -> None:
+        from ..backends import get_backend
+
         config.validate()
         self.config = config
+        link = get_backend(config.backend).link
+        self.packet_overhead = link.packet_overhead
+        self.setup_latency_s = link.setup_latency_s
         #: usable one-direction bandwidth after protocol overhead (B/s)
         self.effective_bw = (
-            config.link_gbytes_per_s * 1e9 * (1.0 - PACKET_OVERHEAD)
+            config.link_gbytes_per_s * 1e9 * (1.0 - self.packet_overhead)
         )
         if self.effective_bw <= 0:
             raise ConfigError("link bandwidth must be positive")
@@ -74,7 +94,7 @@ class LinkModel:
             download_bytes=download_bytes,
             upload_s=upload_s,
             download_s=download_s,
-            setup_s=SETUP_LATENCY_S,
+            setup_s=self.setup_latency_s,
             energy_j=energy,
         )
 

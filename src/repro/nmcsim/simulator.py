@@ -525,6 +525,7 @@ class NMCSimulator:
             dram_accesses=dram_stats.accesses,
             exec_time_s=time_s,
             offload_bytes=offload_bytes,
+            dram_writes=dram_stats.writes,
         )
         return SimulationResult(
             workload=workload,
@@ -610,8 +611,11 @@ class NMCSimulator:
                 s.base_k = k
                 if writeback is not None:
                     # Dirty eviction: posted write, does not block the PE
-                    # but occupies the bank.
-                    memory.access(t, writeback << line_shift, True)
+                    # but occupies the bank (and pays the backend's
+                    # write-asymmetry penalty, if any).
+                    memory.access(
+                        t, writeback << line_shift, True, is_writeback=True
+                    )
             s.next_op = k + 1
             if s.next_op < s.n_mem:
                 heapq.heappush(
@@ -776,6 +780,7 @@ class NMCSimulator:
                 trace,
                 "events",
                 (
+                    cfg.backend,
                     cfg.n_pes, cfg.line_bytes, cfg.l1_sets, cfg.l1_ways,
                     cfg.issue_width, cfg.frequency_ghz, cfg.n_vaults,
                     cfg.banks_per_vault, cfg.row_buffer_bytes,
@@ -837,7 +842,7 @@ class NMCSimulator:
             np.zeros(cfg.n_vaults, dtype=np.float64),
             memory._t_cl, memory._t_bl, memory._t_rp, memory._hop,
             memory._linger, memory._closed, memory._occupancy,
-            l1_cycle_ns,
+            memory._wr_extra, l1_cycle_ns,
             1 if ooo else 0, mshrs,
             np.empty(n * mshrs, dtype=np.float64),
             np.empty(n, dtype=np.int64),
@@ -887,6 +892,7 @@ class NMCSimulator:
         linger = memory._linger
         closed = memory._closed
         occupancy = memory._occupancy
+        wr_extra = memory._wr_extra
 
         heappush = heapq.heappush
         heappop = heapq.heappop
@@ -971,6 +977,9 @@ class NMCSimulator:
                         pre = t_rp if row_open else 0.0
                         data_at = start + pre + closed
                         bank_ready[wbi] = start + pre + occupancy
+                    if wr_extra:
+                        data_at += wr_extra
+                        bank_ready[wbi] += wr_extra
                     bank_row[wbi] = wblk
                     bank_until[wbi] = data_at + linger
                     br = bus_ready[wv]

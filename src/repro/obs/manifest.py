@@ -30,8 +30,6 @@ died and after how long).  Writes are atomic (tmp file + ``os.replace``).
 
 from __future__ import annotations
 
-import dataclasses
-import hashlib
 import json
 import os
 import time
@@ -41,13 +39,15 @@ from .metrics import MetricsRegistry, metrics, phase_timings
 
 
 def config_hash(config) -> str:
-    """Stable SHA-256 of a (dataclass) configuration's field values."""
-    if dataclasses.is_dataclass(config) and not isinstance(config, type):
-        payload = dataclasses.asdict(config)
-    else:
-        payload = config
-    text = json.dumps(payload, sort_keys=True, default=str)
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+    """Stable SHA-256 of a (dataclass) configuration's field values.
+
+    Delegates to :func:`repro.schema.canonical_hash`, the one content-hash
+    convention shared with the campaign cache's arch keys — a manifest's
+    ``arch_config_hash`` can therefore be matched against cache keys.
+    """
+    from ..schema import canonical_hash
+
+    return canonical_hash(config)
 
 
 def _package_version() -> str:

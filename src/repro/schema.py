@@ -28,6 +28,7 @@ columns instead of mispredicting silently.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass
@@ -40,7 +41,10 @@ from .errors import ConfigError, SchemaMismatchError
 #: Version of the schema *conventions* (block structure, hashing rules).
 #: Bump when the meaning of the schema metadata itself changes, not when
 #: features change — feature changes are what the content hash detects.
-SCHEMA_FORMAT_VERSION = 1
+#: v2: the ``arch`` block grew the backend one-hot and backend-derived
+#: scalar columns (``arch.backend.*``, ``arch.closed_row``,
+#: ``arch.link_gbytes_per_s``, ``arch.rw_asymmetry``).
+SCHEMA_FORMAT_VERSION = 2
 
 #: Canonical block order of the assembled feature matrix.  Providers may
 #: register in any import order; assembly always follows this sequence.
@@ -338,6 +342,46 @@ class FeatureSchema:
                 "metadata is corrupt"
             )
         return schema
+
+
+# ------------------------------------------------------ canonical hashing
+
+
+def _canonicalize(value):
+    """Reduce ``value`` to JSON-safe primitives with stable float text.
+
+    Floats are rendered via :meth:`float.hex` so the digest does not
+    depend on ``repr`` shortest-round-trip behaviour; dataclasses are
+    flattened to dicts; unknown objects fall back to ``str``.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _canonicalize(dataclasses.asdict(value))
+    if isinstance(value, Mapping):
+        return {str(k): _canonicalize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonicalize(v) for v in value]
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        return float.hex(value)
+    if isinstance(value, (str, int)):
+        return value
+    return str(value)
+
+
+def canonical_hash(payload) -> str:
+    """SHA-256 of the canonical JSON form of ``payload``.
+
+    The one content-hash convention shared by the feature schema, the
+    campaign cache's arch key and run manifests: dataclasses and
+    mappings are flattened with sorted keys, floats are hex-encoded
+    (bit-exact, ``repr``-independent), and the digest is over compact
+    JSON.  Equal payloads hash equal across processes and platforms.
+    """
+    canonical = json.dumps(
+        _canonicalize(payload), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 # ---------------------------------------------------------------- registry

@@ -7,6 +7,7 @@ from repro.config import (
     DRAMTiming,
     HostConfig,
     NMCConfig,
+    arch_feature_names,
     default_host_config,
     default_nmc_config,
 )
@@ -64,7 +65,8 @@ class TestNMCConfig:
     def test_feature_vector_alignment(self):
         cfg = default_nmc_config()
         vec = cfg.feature_vector()
-        assert len(vec) == len(NMCConfig.ARCH_FEATURE_NAMES)
+        assert len(vec) == len(arch_feature_names())
+        assert len(vec) > len(NMCConfig.ARCH_FEATURE_NAMES)
         assert vec[0] == 32.0  # n_pes first
 
     def test_invalid_geometries(self):

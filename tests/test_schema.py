@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 import repro.schema as schema_mod
-from repro.config import NMCConfig
+from repro.config import NMCConfig, arch_feature_names
 from repro.core.dataset import APP_FEATURE_NAMES, DERIVED_FEATURE_NAMES
 from repro.core.predictor import NapelModel
 from repro.errors import ConfigError, SchemaMismatchError
@@ -34,7 +34,7 @@ class TestActiveSchema:
         assert tuple(b.name for b in schema.blocks) == BLOCK_ORDER
         assert schema.block("profile").features == FEATURE_NAMES
         assert schema.block("app").features == APP_FEATURE_NAMES
-        assert schema.block("arch").features == NMCConfig.ARCH_FEATURE_NAMES
+        assert schema.block("arch").features == arch_feature_names()
         assert schema.block("prior").features == DERIVED_FEATURE_NAMES
 
     def test_names_concatenate_blocks(self):
@@ -189,7 +189,7 @@ class TestJsonRoundTrip:
 class TestRegistry:
     def test_identical_reregistration_is_noop(self):
         before = active_schema()
-        register_block("arch", NMCConfig.ARCH_FEATURE_NAMES)
+        register_block("arch", arch_feature_names)
         assert active_schema() is before
 
     def test_conflicting_registration_rejected(self):
@@ -198,7 +198,7 @@ class TestRegistry:
         # The failed registration must not have clobbered the real block.
         assert (
             active_schema().block("arch").features
-            == NMCConfig.ARCH_FEATURE_NAMES
+            == arch_feature_names()
         )
 
 

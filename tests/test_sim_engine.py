@@ -17,7 +17,7 @@ import numpy as np
 import pytest
 
 from repro import SimulationCampaign, default_nmc_config, get_workload
-from repro.config import SIM_ENGINES, RuntimeConfig
+from repro.config import SIM_ENGINES, NMCConfig, RuntimeConfig
 from repro.errors import ConfigError
 from repro.ir import lru_hit_mask
 from repro.nmcsim import (
@@ -37,6 +37,8 @@ WORKLOADS = [
     "atax", "bfs", "bp", "chol", "gemv", "gesu",
     "gram", "kme", "lu", "mvt", "syrk", "trmm",
 ]
+
+BACKENDS = ["hmc", "hbm2", "ddr4-channel", "nand-nmc"]
 
 
 def result_dict(result):
@@ -331,6 +333,33 @@ class TestEngineEquivalence:
             for scale in (4.0, 8.0):
                 trace = wl.generate(wl.test_config(), scale=scale, seed=seed)
                 self._compare(trace, cfg, "gemv")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_all_workloads_all_backends(self, name, backend):
+        cfg = NMCConfig.from_backend(backend)
+        self._compare(small_trace(name, scale=8.0), cfg, name)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_backends_with_ooo_cores(self, backend):
+        cfg = NMCConfig.from_backend(backend).replace(
+            pe_type="ooo", issue_width=2, mshr_entries=8
+        )
+        self._compare(small_trace("chol", scale=8.0), cfg, "chol")
+
+    def test_backend_memo_keys_do_not_collide(self):
+        # Same trace, two backends, back to back: the events memo is
+        # keyed by backend, so the second run must not reuse the first
+        # backend's packed timing events.
+        trace = small_trace("atax", scale=8.0)
+        results = {}
+        for backend in ("hmc", "ddr4-channel"):
+            cfg = NMCConfig.from_backend(backend)
+            fast = NMCSimulator(cfg, engine="fast").run(trace)
+            ref = NMCSimulator(cfg, engine="reference").run(trace)
+            assert result_dict(fast) == result_dict(ref), backend
+            results[backend] = fast.time_s
+        assert results["hmc"] != results["ddr4-channel"]
 
 
 # -------------------------------------------------- campaign equivalence
