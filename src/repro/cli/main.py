@@ -224,8 +224,45 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload_args(p)
     add_arch_args(p)
     p.add_argument("--model-file", "-m", required=True, help="model file")
+    add_manifest_arg(p)
     add_trace_args(p)
     p.set_defaults(func=commands.cmd_predict)
+
+    p = new_command(
+        "serve",
+        help="serve predictions over HTTP (long-lived, batched)",
+    )
+    p.add_argument(
+        "--model", action="append", required=True, metavar="NAME=PATH",
+        help="load a v2 model artifact under NAME (repeatable; a bare "
+             "PATH is registered as 'default')",
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    p.add_argument(
+        "--port", type=int, default=8177,
+        help="TCP port (default 8177; 0 picks an ephemeral port)",
+    )
+    p.add_argument(
+        "--batch-window-ms", type=float, default=2.0,
+        help="microbatching window: concurrent /predict requests arriving "
+             "within this many ms are answered by one vectorized model "
+             "call (0 disables batching; default 2.0)",
+    )
+    p.add_argument(
+        "--max-batch-rows", type=int, default=4096,
+        help="flush a microbatch early once it holds this many rows",
+    )
+    p.add_argument(
+        "--reload", action="store_true",
+        help="reload the model artifacts from disk on SIGHUP (warm "
+             "standby: the new models load and verify in the background "
+             "while in-flight requests finish on the old ones)",
+    )
+    add_manifest_arg(p)
+    p.set_defaults(func=commands.cmd_serve)
 
     p = new_command(
         "schema",

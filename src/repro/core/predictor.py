@@ -27,7 +27,7 @@ model tree) finite when they extrapolate wildly for unseen applications.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -59,6 +59,23 @@ class NapelPrediction:
     def edp(self) -> float:
         """Energy-delay product (J * s)."""
         return self.energy_j * self.time_s
+
+
+@dataclass(frozen=True)
+class _Alignment:
+    """A resolved projection plan from one source schema into a model.
+
+    ``projection is None`` means the source layout already matches the
+    training layout.  ``dropped_backend_*`` name the ``arch.backend.*``
+    one-hot columns the projection would discard; rows with any of them
+    set are refused (the model cannot represent that device).
+    """
+
+    projection: np.ndarray | None
+    dropped_backend_names: tuple[str, ...] = ()
+    dropped_backend_cols: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.intp)
+    )
 
 
 class NapelModel:
@@ -98,6 +115,14 @@ class NapelModel:
         self.residual_to_prior = residual_to_prior
         self.ipc_bounds = ipc_bounds
         self.energy_bounds = energy_bounds
+        self._alignments: dict[tuple[str, bool], "_Alignment"] = {}
+
+    def __getstate__(self) -> dict:
+        # The alignment memo is a runtime cache keyed by source-schema
+        # hashes; persisting it would bloat artifacts for no benefit.
+        state = dict(self.__dict__)
+        state.pop("_alignments", None)
+        return state
 
     @staticmethod
     def prior_offsets(
@@ -124,6 +149,95 @@ class NapelModel:
 
         return assemble_features(profile, arch)
 
+    def _resolve_alignment(
+        self, schema: FeatureSchema, align: bool
+    ) -> "_Alignment":
+        """The (memoised) projection plan from ``schema`` into the model.
+
+        Schema comparison, diffing and projection resolution are O(number
+        of columns) — cheap once, but a long-lived server answering
+        N-row batches must not redo them per row (or even per request
+        once a layout has been seen).  The plan is resolved once per
+        (source schema hash, align) pair and cached on the model, so a
+        batch of any size does O(1) schema work after the first sighting.
+        """
+        cache = self.__dict__.setdefault("_alignments", {})
+        key = (schema.content_hash, align)
+        plan = cache.get(key)
+        if plan is not None:
+            return plan
+        if schema.content_hash == self.schema.content_hash:
+            plan = _Alignment(projection=None)
+        elif align:
+            projection = self.schema.projection_from(schema)
+            # Columns the projection silently drops.  A dropped backend
+            # one-hot is not survivable: a row whose identity lives in
+            # that column would be projected onto all-zero one-hots and
+            # mispredicted silently (see _check_dropped_backends).
+            kept = set(self.schema.names)
+            dropped = [
+                (name, i)
+                for i, name in enumerate(schema.names)
+                if name not in kept
+            ]
+            plan = _Alignment(
+                projection=projection,
+                dropped_backend_names=tuple(
+                    n for n, _ in dropped
+                    if n.startswith("arch.backend.")
+                ),
+                dropped_backend_cols=np.asarray(
+                    [i for n, i in dropped
+                     if n.startswith("arch.backend.")],
+                    dtype=np.intp,
+                ),
+            )
+        else:
+            diff = self.schema.diff(schema)
+            raise SchemaMismatchError(
+                "feature data does not match the schema this model was "
+                f"trained under ({self.schema.content_hash[:12]}) — "
+                + diff.describe()
+                + "; retrain the model or pass align=True to project "
+                "compatible columns by name",
+                missing=diff.missing,
+                extra=diff.extra,
+                moved=diff.moved,
+            )
+        cache[key] = plan
+        return plan
+
+    def _check_dropped_backends(
+        self, X: np.ndarray, plan: "_Alignment"
+    ) -> None:
+        """Refuse to align away a *live* backend one-hot column.
+
+        Projection legitimately drops columns the model was not trained
+        on — except when a dropped ``arch.backend.*`` one-hot is set in
+        some row: that row describes a memory backend registered after
+        training, and projecting it would erase the device identity and
+        predict with stale (all-zero) one-hots.
+        """
+        if not plan.dropped_backend_cols.size:
+            return
+        hot = X[:, plan.dropped_backend_cols] != 0.0
+        if not hot.any():
+            return
+        names = tuple(
+            name
+            for name, col_hot in zip(
+                plan.dropped_backend_names, hot.any(axis=0)
+            )
+            if col_hot
+        )
+        raise SchemaMismatchError(
+            "cannot align: the data selects memory backend(s) this model "
+            f"was not trained on ({', '.join(names)}); projecting would "
+            "silently zero the backend one-hot — retrain the model with "
+            "the new backend(s) in the training set",
+            extra=names,
+        )
+
     def _align(
         self,
         X: np.ndarray,
@@ -136,27 +250,19 @@ class NapelModel:
         With one, any drift raises a :class:`SchemaMismatchError` naming
         the missing/extra/moved columns — unless ``align=True`` and the
         training features are all present, in which case the columns are
-        projected into the training layout by name.
+        projected into the training layout by name.  Validation runs once
+        per *batch* and the projection plan is memoised per source schema
+        (see :meth:`_resolve_alignment`).
         """
         if schema is None:
             self.schema.validate_matrix(X, context="model input")
             return X
-        if schema.content_hash == self.schema.content_hash:
-            return X
         schema.validate_matrix(X, context="model input")
-        if align:
-            return X[:, self.schema.projection_from(schema)]
-        diff = self.schema.diff(schema)
-        raise SchemaMismatchError(
-            "feature data does not match the schema this model was "
-            f"trained under ({self.schema.content_hash[:12]}) — "
-            + diff.describe()
-            + "; retrain the model or pass align=True to project "
-            "compatible columns by name",
-            missing=diff.missing,
-            extra=diff.extra,
-            moved=diff.moved,
-        )
+        plan = self._resolve_alignment(schema, align)
+        if plan.projection is None:
+            return X
+        self._check_dropped_backends(X, plan)
+        return X[:, plan.projection]
 
     def _clamp(
         self, raw: np.ndarray, bounds: tuple[float, float] | None
@@ -168,6 +274,25 @@ class NapelModel:
 
     def _invert(self, raw: np.ndarray) -> np.ndarray:
         return np.exp(raw) if self.log_space else raw
+
+    def align_features(
+        self,
+        X: np.ndarray,
+        *,
+        schema: FeatureSchema | None = None,
+        align: bool = False,
+    ) -> np.ndarray:
+        """Validate ``X`` and return it in the model's training layout.
+
+        The public face of :meth:`_align` for callers (the prediction
+        server) that need the aligned matrix itself — e.g. to read
+        ``app.threads`` / ``arch.n_pes`` columns back out — before a
+        separate :meth:`predict_labels` call on the pre-aligned rows.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[np.newaxis, :]
+        return self._align(X, schema, align)
 
     def predict_labels(
         self,
@@ -241,22 +366,48 @@ class NapelModel:
         metrics().inc("ml.predictions", len(profiles))
         if (ipc_per_pe <= 0).any() or (epi <= 0).any():
             raise MLError("model produced a non-positive prediction")
-        freq_hz = arch.frequency_ghz * 1e9
-        out = []
-        for p, ipc_pe, epi_v in zip(profiles, ipc_per_pe, epi):
-            pes = min(max(1, p.thread_count), arch.n_pes)
-            ipc = float(ipc_pe) * pes
-            time_s = p.instruction_count / (ipc * freq_hz)
-            out.append(
-                NapelPrediction(
-                    workload=p.workload,
-                    ipc=ipc,
-                    ipc_per_pe=float(ipc_pe),
-                    energy_per_instruction_j=float(epi_v),
-                    instructions=p.instruction_count,
-                    pes_used=pes,
-                    time_s=time_s,
-                    energy_j=float(epi_v) * p.instruction_count,
-                )
+        return [
+            self.derive_prediction(
+                workload=p.workload,
+                instructions=p.instruction_count,
+                threads=p.thread_count,
+                n_pes=arch.n_pes,
+                frequency_ghz=arch.frequency_ghz,
+                ipc_per_pe=ipc_pe,
+                energy_per_instruction_j=epi_v,
             )
-        return out
+            for p, ipc_pe, epi_v in zip(profiles, ipc_per_pe, epi)
+        ]
+
+    @staticmethod
+    def derive_prediction(
+        *,
+        workload: str,
+        instructions: int,
+        threads: int,
+        n_pes: int,
+        frequency_ghz: float,
+        ipc_per_pe: float,
+        energy_per_instruction_j: float,
+    ) -> NapelPrediction:
+        """The paper's derived quantities for one predicted label pair.
+
+        The single place the time/energy formulas are evaluated: both
+        :meth:`predict_many` and the prediction server go through it, so
+        a served prediction is bit-identical to a CLI one for the same
+        inputs.
+        """
+        pes = min(max(1, int(threads)), int(n_pes))
+        ipc = float(ipc_per_pe) * pes
+        freq_hz = frequency_ghz * 1e9
+        time_s = instructions / (ipc * freq_hz)
+        return NapelPrediction(
+            workload=workload,
+            ipc=ipc,
+            ipc_per_pe=float(ipc_per_pe),
+            energy_per_instruction_j=float(energy_per_instruction_j),
+            instructions=instructions,
+            pes_used=pes,
+            time_s=time_s,
+            energy_j=float(energy_per_instruction_j) * instructions,
+        )

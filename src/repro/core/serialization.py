@@ -19,8 +19,12 @@ differs from the current one.
 from __future__ import annotations
 
 import pickle
+import time
 import warnings
+from dataclasses import dataclass, field
 from pathlib import Path
+
+import numpy as np
 
 from ..errors import MLError
 from ..schema import FeatureSchema, active_schema
@@ -117,6 +121,29 @@ def load_model(path: str | Path) -> NapelModel:
     runtime = active_schema()
     if runtime.content_hash != stored_schema.content_hash:
         diff = stored_schema.diff(runtime)
+        # Backend registrations mutate the arch block (one one-hot
+        # column per backend), so an artifact can predate the *device
+        # list* itself.  That drift deserves a sharper warning than a
+        # generic reorder: rows selecting a post-training backend would
+        # project onto all-zero one-hots, i.e. the stale model would
+        # predict with the wrong device identity.  predict() refuses
+        # such rows even under align=True; say so at load time.
+        new_backends = tuple(
+            n.removeprefix("arch.backend.")
+            for n in diff.extra
+            if n.startswith("arch.backend.")
+        )
+        if new_backends:
+            warnings.warn(
+                f"{path} predates memory backend(s) "
+                f"{', '.join(new_backends)} registered in this runtime; "
+                "predictions for those backends are impossible with this "
+                "artifact (their one-hot identity columns did not exist "
+                "at training time) and will be refused even under "
+                "align=True — retrain to cover them",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         warnings.warn(
             f"{path} was trained under a different feature schema than "
             f"this runtime ({diff.describe()}); predict() will refuse "
@@ -125,3 +152,80 @@ def load_model(path: str | Path) -> NapelModel:
             stacklevel=2,
         )
     return model
+
+
+@dataclass(frozen=True)
+class PreloadedModel:
+    """A model loaded, verified and ready to serve.
+
+    The long-lived prediction server must not discover a broken or
+    schema-drifted artifact on its first request: :func:`preload_model`
+    front-loads every check at startup (or hot reload), captures the
+    load-time warnings as data instead of letting them escape to the
+    warning filter, and proves the forests actually evaluate by running
+    one throwaway prediction.
+    """
+
+    model: NapelModel
+    path: Path
+    schema_hash: str
+    n_features: int
+    load_seconds: float
+    verify_seconds: float
+    warnings: tuple[str, ...] = field(default=())
+
+    def summary(self) -> dict:
+        """JSON-ready description (for /healthz and server manifests)."""
+        return {
+            "path": str(self.path),
+            "schema_hash": self.schema_hash,
+            "n_features": self.n_features,
+            "load_seconds": round(self.load_seconds, 6),
+            "verify_seconds": round(self.verify_seconds, 6),
+            "warnings": list(self.warnings),
+        }
+
+
+def preload_model(path: str | Path) -> PreloadedModel:
+    """Load and *verify* a model artifact for serving.
+
+    Beyond :func:`load_model`'s header checks this runs a smoke
+    prediction on a synthetic all-ones feature row and requires finite,
+    positive outputs — a cheap end-to-end proof that the pickled forests
+    are structurally intact, caught at startup rather than on the first
+    live request.  Schema-drift warnings do not escape; they come back
+    as strings on the result (the server logs them and surfaces them in
+    /healthz).
+    """
+    t0 = time.perf_counter()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        model = load_model(path)
+    load_seconds = time.perf_counter() - t0
+    t1 = time.perf_counter()
+    probe = np.ones((1, len(model.schema)), dtype=np.float64)
+    try:
+        ipc, epi = model.predict_labels(probe)
+    except MLError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - artifact graphs can fail anyhow
+        raise MLError(
+            f"{path} failed preload verification: the pickled model "
+            f"cannot evaluate a feature row "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
+    if not (np.isfinite(ipc).all() and np.isfinite(epi).all()):
+        raise MLError(
+            f"{path} failed preload verification: the model produced "
+            "non-finite outputs on a probe row"
+        )
+    verify_seconds = time.perf_counter() - t1
+    return PreloadedModel(
+        model=model,
+        path=Path(path),
+        schema_hash=model.schema.content_hash,
+        n_features=len(model.schema),
+        load_seconds=load_seconds,
+        verify_seconds=verify_seconds,
+        warnings=tuple(str(w.message) for w in caught),
+    )

@@ -5,6 +5,11 @@ threshold) pair minimises the summed squared error of the two children.
 The split search is vectorised per feature with prefix sums, so fitting is
 O(features * n log n) per node.  ``max_features`` enables the random
 feature subsampling that random forests rely on.
+
+Prediction over large matrices is vectorised too: rows traverse the tree
+lock-stepped level by level (one numpy gather per level) instead of one
+Python walk per row, with bit-identical results — the batch-predict path
+the prediction server's microbatcher leans on.
 """
 
 from __future__ import annotations
@@ -225,6 +230,61 @@ class RegressionTree:
 
     # ----------------------------------------------------------- predict
 
+    #: Matrices with at least this many rows take the level-wise
+    #: vectorised traversal; below it, per-row Python traversal is
+    #: cheaper than the numpy per-level call overhead.
+    _VECTORIZE_MIN_ROWS = 16
+
+    def __getstate__(self) -> dict:
+        # The compact node arrays are a derived prediction cache;
+        # persisting them would bloat pickled artifacts for no benefit.
+        state = dict(self.__dict__)
+        state.pop("_arrays", None)
+        return state
+
+    def _compact(self):
+        """Node fields as flat arrays (lazily built, cached, unpickled).
+
+        Leaves are made self-referential (``left == right == self``) and
+        given feature 0, so the level-wise traversal can gather blindly:
+        a row already at a leaf just stays there.
+        """
+        arrays = self.__dict__.get("_arrays")
+        if arrays is None:
+            nodes = self._nodes
+            self_idx = np.arange(len(nodes), dtype=np.int64)
+            left = np.array([n.left for n in nodes], dtype=np.int64)
+            right = np.array([n.right for n in nodes], dtype=np.int64)
+            leaf = left < 0
+            arrays = (
+                np.where(
+                    leaf, 0,
+                    np.array([n.feature for n in nodes], dtype=np.int64),
+                ),
+                np.array([n.threshold for n in nodes]),
+                np.where(leaf, self_idx, left),
+                np.where(leaf, self_idx, right),
+                np.array([n.value for n in nodes]),
+                leaf,
+            )
+            self.__dict__["_arrays"] = arrays
+        return arrays
+
+    def _apply_batch(self, X: np.ndarray) -> np.ndarray:
+        """Leaf node index per row, one numpy gather per tree level.
+
+        Bit-identical to the per-row traversal: every row takes the same
+        ``x <= threshold`` branches, just lock-stepped level by level
+        across the whole matrix instead of row by row in Python.
+        """
+        feature, threshold, left, right, _value, leaf = self._compact()
+        idx = np.zeros(len(X), dtype=np.int64)
+        rows = np.arange(len(X))
+        while not leaf[idx].all():
+            go_left = X[rows, feature[idx]] <= threshold[idx]
+            idx = np.where(go_left, left[idx], right[idx])
+        return idx
+
     def predict(self, X) -> np.ndarray:
         if self.n_features_ is None:
             raise NotFittedError("RegressionTree is not fitted")
@@ -233,6 +293,9 @@ class RegressionTree:
             raise MLError(
                 f"X must be 2-D with {self.n_features_} features, got {X.shape}"
             )
+        if len(X) >= self._VECTORIZE_MIN_ROWS:
+            _f, _t, _l, _r, value, _leaf = self._compact()
+            return value[self._apply_batch(X)]
         out = np.empty(len(X))
         for i, row in enumerate(X):
             node = self._nodes[0]
@@ -248,6 +311,8 @@ class RegressionTree:
         if self.n_features_ is None:
             raise NotFittedError("RegressionTree is not fitted")
         X = np.asarray(X, dtype=np.float64)
+        if len(X) >= self._VECTORIZE_MIN_ROWS:
+            return self._apply_batch(X)
         out = np.empty(len(X), dtype=np.int64)
         for i, row in enumerate(X):
             node_id = 0

@@ -8,9 +8,12 @@ tuning combinations, LOOCV folds, prediction calls.  Two primitives:
 * **timer spans** — context managers around a phase (``timer(name)``),
   recording count / total / min / max seconds on a monotonic clock.
   Spans nest (a ``phase.train`` span may contain ``ml.grid_search``
-  spans); the registry tracks the active stack per thread so
-  instrumentation can ask :meth:`MetricsRegistry.current_spans` without
-  concurrent threads interleaving on one shared stack.
+  spans); the registry tracks the active stack per *context*
+  (:mod:`contextvars`, so both concurrent threads and interleaved
+  asyncio tasks — e.g. two prediction-server requests on one event
+  loop — each see their own stack) so instrumentation can ask
+  :meth:`MetricsRegistry.current_spans` without concurrent work
+  interleaving on one shared stack.
 
 Snapshots are plain JSON-serializable dicts.  Cross-process aggregation
 works by *delta shipping*: a pool worker snapshots the registry before a
@@ -22,6 +25,7 @@ work (wall-clock totals naturally differ).
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from typing import Iterator
@@ -73,18 +77,18 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
         self._timers: dict[str, dict] = {}
-        # The active-span stack is *thread-local*: spans entered from
-        # concurrent threads would otherwise interleave on one shared
-        # list, making _pop's top-of-stack check silently leak entries
-        # and corrupting current_spans().
-        self._local = threading.local()
-
-    @property
-    def _stack(self) -> list[str]:
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
-            stack = self._local.stack = []
-        return stack
+        # The active-span stack is *context-local* (contextvars): spans
+        # entered from concurrent threads OR interleaved asyncio tasks
+        # would otherwise share one stack, making _pop's top-of-stack
+        # check silently leak entries and corrupting current_spans().
+        # A thread-local stack is not enough — two coroutines of the
+        # prediction server interleave on one thread, and each must see
+        # only its own spans.  The stack is an immutable tuple set per
+        # context: tasks inherit a snapshot at spawn and their pushes
+        # never leak back into the parent.
+        self._spans: contextvars.ContextVar[tuple[str, ...]] = (
+            contextvars.ContextVar(f"repro-metrics-spans-{id(self)}")
+        )
 
     # ----------------------------------------------------------- recording
 
@@ -103,12 +107,12 @@ class MetricsRegistry:
         return TimerSpan(self, name)
 
     def _push(self, name: str) -> None:
-        self._stack.append(name)
+        self._spans.set(self._spans.get(()) + (name,))
 
     def _pop(self, name: str, elapsed_s: float) -> None:
-        stack = self._stack
+        stack = self._spans.get(())
         if stack and stack[-1] == name:
-            stack.pop()
+            self._spans.set(stack[:-1])
         with self._lock:
             stat = self._timers.setdefault(name, _new_timer_stat())
             stat["count"] += 1
@@ -123,8 +127,12 @@ class MetricsRegistry:
             )
 
     def current_spans(self) -> tuple[str, ...]:
-        """The calling thread's active span stack, outermost first."""
-        return tuple(self._stack)
+        """The calling context's active span stack, outermost first.
+
+        "Context" is a :mod:`contextvars` context: each thread *and*
+        each asyncio task sees only the spans it entered itself.
+        """
+        return self._spans.get(())
 
     def timer_stats(self, name: str) -> dict | None:
         stat = self._timers.get(name)
@@ -192,7 +200,7 @@ class MetricsRegistry:
         with self._lock:
             self._counters.clear()
             self._timers.clear()
-        self._stack.clear()
+        self._spans.set(())
 
 
 #: The process-global registry all instrumentation records into.

@@ -1,0 +1,163 @@
+"""Microbatching: many concurrent requests, one vectorized model call.
+
+A random forest answers a 64-row matrix in barely more time than a
+1-row vector — per-call overhead (per-tree dispatch, clamping, prior
+offsets) dominates at small batch sizes.  Under concurrency the batcher
+therefore *accumulates*: the first row to arrive for a model opens a
+bucket and starts a timer (``window_s``); rows arriving within the
+window join the bucket; when the timer fires (or the bucket hits
+``max_rows``) all rows go through **one** ``predict_labels`` call and
+the label slices fan back out to the awaiting requests.
+
+Buckets are keyed by (model name, generation): a hot reload mid-window
+opens a fresh bucket for the new generation while the old one finishes
+on the model object its requests resolved — no request ever mixes
+generations.  With ``window_s == 0`` the batcher degrades to a direct
+per-request call (the "single" path the serve benchmark compares
+against).
+
+The model call runs in a worker thread (``run_in_executor``), keeping
+the event loop free to parse, batch and answer health checks while
+NumPy crunches — the forest's heavy lifting releases the GIL.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..obs import metrics
+from .registry import ServedModel
+
+
+@dataclass
+class _Bucket:
+    """Rows accumulating for one (model, generation) pair."""
+
+    served: ServedModel
+    items: list[tuple[np.ndarray, asyncio.Future]] = field(
+        default_factory=list
+    )
+    rows: int = 0
+    timer: asyncio.Task | None = None
+
+
+def predict_matrix(
+    served: ServedModel, X: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """One timed, width-checked matrix call on pre-aligned rows."""
+    with metrics().timer("serve.predict"):
+        return served.model.predict_labels(X)
+
+
+class MicroBatcher:
+    """Accumulate concurrent predict calls into vectorized batches."""
+
+    def __init__(
+        self,
+        *,
+        window_s: float = 0.002,
+        max_rows: int = 4096,
+    ) -> None:
+        if window_s < 0:
+            raise ValueError("window_s must be >= 0")
+        if max_rows < 1:
+            raise ValueError("max_rows must be >= 1")
+        self.window_s = float(window_s)
+        self.max_rows = int(max_rows)
+        self._buckets: dict[tuple[str, int], _Bucket] = {}
+
+    # ------------------------------------------------------------- public
+
+    def pending_rows(self) -> int:
+        """Rows currently waiting in open buckets (drain visibility)."""
+        return sum(b.rows for b in self._buckets.values())
+
+    async def submit(
+        self, served: ServedModel, X: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Rows (model layout) -> (ipc_per_pe, epi, batch_row_count).
+
+        ``batch_row_count`` is the size of the matrix call that answered
+        these rows — observability for how much coalescing actually
+        happened (the response reports it as ``batched_rows``).
+        """
+        loop = asyncio.get_running_loop()
+        if self.window_s == 0.0:
+            ipc, epi = await loop.run_in_executor(
+                None, predict_matrix, served, X
+            )
+            metrics().inc("serve.batches")
+            return ipc, epi, X.shape[0]
+        key = (served.name, served.generation)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = _Bucket(served=served)
+            self._buckets[key] = bucket
+            bucket.timer = asyncio.create_task(
+                self._flush_after_window(key)
+            )
+        future: asyncio.Future = loop.create_future()
+        bucket.items.append((X, future))
+        bucket.rows += X.shape[0]
+        if bucket.rows >= self.max_rows:
+            self._detach(key, bucket)
+            await self._flush(bucket)
+        return await future
+
+    async def drain(self) -> None:
+        """Flush every open bucket now (graceful-shutdown path)."""
+        while self._buckets:
+            key = next(iter(self._buckets))
+            bucket = self._buckets[key]
+            self._detach(key, bucket)
+            await self._flush(bucket)
+
+    # ------------------------------------------------------------ internal
+
+    def _detach(self, key: tuple[str, int], bucket: _Bucket) -> None:
+        """Close the bucket to new rows and cancel its window timer."""
+        if self._buckets.get(key) is bucket:
+            del self._buckets[key]
+        if bucket.timer is not None and not bucket.timer.done():
+            bucket.timer.cancel()
+
+    async def _flush_after_window(self, key: tuple[str, int]) -> None:
+        await asyncio.sleep(self.window_s)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return
+        del self._buckets[key]
+        await self._flush(bucket)
+
+    async def _flush(self, bucket: _Bucket) -> None:
+        if not bucket.items:
+            return
+        loop = asyncio.get_running_loop()
+        matrices = [X for X, _ in bucket.items]
+        batch = (
+            matrices[0] if len(matrices) == 1 else np.vstack(matrices)
+        )
+        total = batch.shape[0]
+        metrics().inc("serve.batches")
+        metrics().inc("serve.batched_rows", total)
+        try:
+            ipc, epi = await loop.run_in_executor(
+                None, predict_matrix, bucket.served, batch
+            )
+        except Exception as exc:  # noqa: BLE001 - fan the failure out
+            for _, future in bucket.items:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        offset = 0
+        for X, future in bucket.items:
+            n = X.shape[0]
+            if not future.done():
+                future.set_result(
+                    (ipc[offset:offset + n], epi[offset:offset + n],
+                     total)
+                )
+            offset += n

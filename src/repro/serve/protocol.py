@@ -1,0 +1,329 @@
+"""JSON request/response codec for the prediction server.
+
+One request shape, three row spellings:
+
+.. code-block:: json
+
+    {
+      "model": "default",            // optional when one model is served
+      "align": false,                // opt in to by-name projection
+      "columns": ["profile.f0", ...],// names the positional row layout
+      "rows": [[...], [...]],        // positional rows, or
+                                     // [{"feature": value, ...}, ...]
+      "meta": [{"workload": "atax", "instructions": 123}, ...]  // optional
+    }
+
+Rows are validated against the served model's embedded
+:class:`~repro.schema.FeatureSchema` — the PR 2 drift machinery.  A
+mismatch is a structured **422** naming the missing/extra/moved columns;
+``align=true`` opts in to projecting a reordered/superset layout into
+the training layout by name (refused if it would erase a live
+``arch.backend.*`` one-hot).  Name-keyed (dict) rows are inherently
+order-free, so they are assembled directly in model order: missing
+features are always a 422, extra keys are a 422 unless ``align``.
+
+``meta`` is per-row sidecar data: when ``instructions`` is present the
+response carries the paper's derived quantities (aggregate IPC, time,
+energy, EDP) computed by the exact CLI code path
+(:meth:`~repro.core.predictor.NapelModel.derive_prediction`), making a
+served prediction bit-identical to ``repro predict``.
+"""
+
+from __future__ import annotations
+
+import json
+from functools import lru_cache
+
+import numpy as np
+
+from ..core.predictor import NapelModel
+from ..errors import ReproError, SchemaMismatchError
+from ..schema import FeatureBlock, FeatureSchema
+
+
+class ProtocolError(ReproError):
+    """An HTTP-mappable request error (status + machine-readable code)."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        details: dict | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.details = dict(details or {})
+
+
+def error_body(
+    status: int, code: str, message: str, details: dict | None = None
+) -> bytes:
+    """The canonical JSON error document."""
+    doc = {"error": code, "status": status, "message": message}
+    if details:
+        doc.update(details)
+    return (json.dumps(doc) + "\n").encode("utf-8")
+
+
+def schema_mismatch_to_error(exc: SchemaMismatchError) -> ProtocolError:
+    """A predict-path schema failure as a structured 422."""
+    return ProtocolError(
+        422,
+        "schema_mismatch",
+        str(exc),
+        details={
+            "missing": list(exc.missing),
+            "extra": list(exc.extra),
+            "moved": list(exc.moved),
+        },
+    )
+
+
+@lru_cache(maxsize=128)
+def schema_for_columns(columns: tuple[str, ...]) -> FeatureSchema:
+    """A single-block schema describing a request's positional layout.
+
+    Cached per column tuple: a steady client sends the same layout on
+    every request, and the schema (and the model-side alignment memo
+    keyed on its content hash) should be built exactly once.
+    """
+    try:
+        return FeatureSchema(
+            [FeatureBlock(name="request", features=columns)]
+        )
+    except ReproError as exc:
+        raise ProtocolError(
+            422, "bad_columns", f"invalid \"columns\": {exc}"
+        ) from exc
+
+
+def decode_predict_request(raw: bytes, *, max_rows: int) -> dict:
+    """Parse and structurally validate a ``POST /predict`` body."""
+    try:
+        payload = json.loads(raw)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(
+            400, "bad_json", f"request body is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            400, "bad_request", "request body must be a JSON object"
+        )
+    rows = payload.get("rows")
+    if not isinstance(rows, list) or not rows:
+        raise ProtocolError(
+            400, "bad_request",
+            "\"rows\" must be a non-empty list of feature rows",
+        )
+    if len(rows) > max_rows:
+        raise ProtocolError(
+            413, "too_many_rows",
+            f"request carries {len(rows)} rows; the server accepts at "
+            f"most {max_rows} per request",
+        )
+    model = payload.get("model")
+    if model is not None and not isinstance(model, str):
+        raise ProtocolError(
+            400, "bad_request", "\"model\" must be a string model name"
+        )
+    align = payload.get("align", False)
+    if not isinstance(align, bool):
+        raise ProtocolError(
+            400, "bad_request", "\"align\" must be a boolean"
+        )
+    columns = payload.get("columns")
+    if columns is not None and (
+        not isinstance(columns, list)
+        or not all(isinstance(c, str) for c in columns)
+    ):
+        raise ProtocolError(
+            400, "bad_request",
+            "\"columns\" must be a list of feature-name strings",
+        )
+    meta = payload.get("meta")
+    if meta is not None:
+        if not isinstance(meta, list) or len(meta) != len(rows):
+            raise ProtocolError(
+                400, "bad_request",
+                "\"meta\" must be a list with one entry per row",
+            )
+        if not all(m is None or isinstance(m, dict) for m in meta):
+            raise ProtocolError(
+                400, "bad_request",
+                "every \"meta\" entry must be an object or null",
+            )
+    return payload
+
+
+def _matrix_from_lists(
+    rows: list, columns: list | None
+) -> tuple[np.ndarray, FeatureSchema | None]:
+    widths = {len(r) if isinstance(r, list) else -1 for r in rows}
+    if -1 in widths or len(widths) != 1:
+        raise ProtocolError(
+            400, "bad_request",
+            "positional rows must all be equal-length lists of numbers",
+        )
+    try:
+        X = np.asarray(rows, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(
+            400, "bad_request", f"rows contain non-numeric values: {exc}"
+        ) from exc
+    source = None
+    if columns is not None:
+        if len(columns) != X.shape[1]:
+            raise ProtocolError(
+                422, "schema_mismatch",
+                f"\"columns\" names {len(columns)} features but rows "
+                f"have {X.shape[1]} values",
+            )
+        source = schema_for_columns(tuple(columns))
+    return X, source
+
+
+def _matrix_from_dicts(
+    rows: list, schema: FeatureSchema, align: bool
+) -> np.ndarray:
+    """Name-keyed rows assembled directly in the model's layout."""
+    names = schema.names
+    name_set = set(names)
+    X = np.empty((len(rows), len(names)), dtype=np.float64)
+    for i, row in enumerate(rows):
+        missing = [n for n in names if n not in row]
+        if missing:
+            raise ProtocolError(
+                422, "schema_mismatch",
+                f"row {i} lacks {len(missing)} feature(s) the model "
+                "was trained on",
+                details={"missing": missing[:32], "extra": [], "moved": []},
+            )
+        extra = sorted(k for k in row if k not in name_set)
+        if extra and not align:
+            raise ProtocolError(
+                422, "schema_mismatch",
+                f"row {i} carries {len(extra)} feature(s) unknown "
+                "to the model; pass align=true to drop them by name",
+                details={"missing": [], "extra": extra[:32], "moved": []},
+            )
+        # align=true may drop unknown columns — but never a *live*
+        # backend one-hot: that row's device identity would be erased
+        # and the model would predict with stale all-zero one-hots.
+        hot_backends = [
+            k for k in extra
+            if k.startswith("arch.backend.") and float(row[k] or 0.0)
+        ]
+        if hot_backends:
+            raise ProtocolError(
+                422, "schema_mismatch",
+                f"row {i} selects memory backend(s) this model was not "
+                f"trained on ({', '.join(hot_backends)}); aligning would "
+                "silently zero the backend one-hot — retrain the model",
+                details={"missing": [], "extra": hot_backends,
+                         "moved": []},
+            )
+        try:
+            X[i] = [float(row[n]) for n in names]
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                400, "bad_request",
+                f"row {i} contains non-numeric values: {exc}",
+            ) from exc
+    return X
+
+
+def build_matrix(
+    payload: dict, model: NapelModel
+) -> np.ndarray:
+    """A validated request -> rows aligned to the model's layout.
+
+    All schema work happens here, once per request — never per row, and
+    (thanks to the model's alignment memo) resolved per *layout* only on
+    first sighting.  The returned matrix is in the model's training
+    layout, so the batcher can concatenate it with other requests' rows
+    and run one width-checked ``predict_labels`` call.
+    """
+    rows = payload["rows"]
+    align = bool(payload.get("align", False))
+    dict_rows = isinstance(rows[0], dict)
+    if any(isinstance(r, dict) != dict_rows for r in rows):
+        raise ProtocolError(
+            400, "bad_request",
+            "rows must be all positional lists or all name-keyed objects",
+        )
+    if dict_rows:
+        return _matrix_from_dicts(rows, model.schema, align)
+    X, source = _matrix_from_lists(rows, payload.get("columns"))
+    try:
+        return model.align_features(X, schema=source, align=align)
+    except SchemaMismatchError as exc:
+        raise schema_mismatch_to_error(exc) from exc
+
+
+def predictions_to_json(
+    model: NapelModel,
+    X_aligned: np.ndarray,
+    ipc_per_pe: np.ndarray,
+    epi: np.ndarray,
+    meta: list | None,
+) -> list[dict]:
+    """Per-row response documents, with derived quantities when possible.
+
+    Label outputs (per-PE IPC, energy/instruction) are always present.
+    When a row's meta carries ``instructions``, the thread count, PE
+    count and frequency are read back from the row's own feature columns
+    and the full paper formulas run through
+    :meth:`NapelModel.derive_prediction` — the same code path as
+    ``repro predict``, hence bit-identical derived fields.
+    """
+    schema = model.schema
+    try:
+        threads_col = schema.index("app.threads")
+        pes_col = schema.index("arch.n_pes")
+        freq_col = schema.index("arch.frequency_ghz")
+    except SchemaMismatchError:
+        threads_col = None  # subset-trained model: labels only
+    out: list[dict] = []
+    for i in range(X_aligned.shape[0]):
+        doc: dict = {
+            "ipc_per_pe": float(ipc_per_pe[i]),
+            "energy_per_instruction_j": float(epi[i]),
+        }
+        m = meta[i] if meta is not None else None
+        instructions = (m or {}).get("instructions")
+        if instructions is not None and threads_col is not None:
+            try:
+                instructions = int(instructions)
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(
+                    400, "bad_request",
+                    f"meta[{i}].instructions must be an integer",
+                ) from exc
+            if instructions <= 0:
+                raise ProtocolError(
+                    400, "bad_request",
+                    f"meta[{i}].instructions must be positive",
+                )
+            pred = model.derive_prediction(
+                workload=str((m or {}).get("workload", "")),
+                instructions=instructions,
+                threads=int(X_aligned[i, threads_col]),
+                n_pes=int(X_aligned[i, pes_col]),
+                frequency_ghz=float(X_aligned[i, freq_col]),
+                ipc_per_pe=float(ipc_per_pe[i]),
+                energy_per_instruction_j=float(epi[i]),
+            )
+            doc.update(
+                workload=pred.workload,
+                ipc=pred.ipc,
+                pes_used=pred.pes_used,
+                instructions=pred.instructions,
+                time_s=pred.time_s,
+                energy_j=pred.energy_j,
+                edp=pred.edp,
+            )
+        out.append(doc)
+    return out

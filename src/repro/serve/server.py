@@ -1,0 +1,536 @@
+"""The asyncio HTTP/1.1 prediction server behind ``repro serve``.
+
+Stdlib-only: hand-rolled HTTP on :func:`asyncio.start_server` streams
+(no ``http.server``, whose thread-per-connection model defeats
+microbatching).  Endpoints:
+
+* ``POST /predict`` — single or batched rows; validated, aligned,
+  microbatched (:mod:`repro.serve.batcher`), answered with label and
+  derived predictions (:mod:`repro.serve.protocol`);
+* ``GET /healthz`` — liveness + the model registry summary;
+* ``GET /metrics`` — the process :class:`~repro.obs.MetricsRegistry`
+  snapshot (``serve.*`` counters/timers included);
+* ``GET /models`` — the registry summary alone;
+* ``POST /-/reload`` — warm-standby reload (same path SIGHUP triggers).
+
+Operational contract:
+
+* **hot reload** never drops a request: new artifacts load and verify in
+  a worker thread while the old generation keeps serving, then swap in
+  atomically (requests already resolved keep their model reference);
+* **graceful shutdown** stops accepting, flushes open microbatch
+  buckets, waits for in-flight requests to complete, then closes idle
+  keep-alive connections;
+* every request is counted and timed through :mod:`repro.obs`, and a
+  server manifest (RunManifest fields) is available for ``--manifest``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import time
+from typing import Mapping
+
+from ..errors import ReproError
+from ..obs import get_logger, metrics
+from .batcher import MicroBatcher
+from .protocol import (
+    ProtocolError,
+    build_matrix,
+    decode_predict_request,
+    error_body,
+    predictions_to_json,
+    schema_mismatch_to_error,
+)
+from ..errors import SchemaMismatchError
+from .registry import ModelRegistry
+
+log = get_logger("repro.serve")
+
+#: Hard request-size limits — a prediction service should not be a
+#: memory amplifier.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+MAX_HEADER_BYTES = 16 * 1024
+MAX_ROWS_PER_REQUEST = 65536
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 422: "Unprocessable Entity",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+class PredictionServer:
+    """One serving process: registry + batcher + HTTP front-end."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8177,
+        batch_window_ms: float = 2.0,
+        max_batch_rows: int = 4096,
+        drain_timeout_s: float = 10.0,
+    ) -> None:
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.batch_window_ms = float(batch_window_ms)
+        self.batcher = MicroBatcher(
+            window_s=batch_window_ms / 1e3, max_rows=max_batch_rows
+        )
+        self.drain_timeout_s = drain_timeout_s
+        self.started_at = time.time()
+        self._server: asyncio.AbstractServer | None = None
+        self._closing = False
+        self._done = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._inflight = 0
+        self._conns: set[asyncio.StreamWriter] = set()
+        self._reload_lock = asyncio.Lock()
+        self.stats = {
+            "requests": 0, "rows": 0, "errors": 0, "reloads": 0,
+        }
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> None:
+        """Preload + verify every model, then bind the listener."""
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.registry.load_all)
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port
+            )
+        except OSError as exc:
+            raise ReproError(
+                f"cannot bind {self.host}:{self.port}: {exc}"
+            ) from exc
+        self.port = self._server.sockets[0].getsockname()[1]
+        log.info(
+            "serving", extra={"ctx": {
+                "host": self.host, "port": self.port,
+                "models": list(self.registry.names()),
+                "batch_window_ms": self.batch_window_ms,
+            }},
+        )
+
+    async def reload(self) -> dict:
+        """Warm-standby reload of every artifact (SIGHUP / POST path)."""
+        async with self._reload_lock:
+            loop = asyncio.get_running_loop()
+            t0 = time.perf_counter()
+            await loop.run_in_executor(None, self.registry.reload_all)
+            elapsed = time.perf_counter() - t0
+            self.stats["reloads"] += 1
+            metrics().inc("serve.reloads")
+            summary = self.registry.summary()
+            log.info(
+                "models reloaded", extra={"ctx": {
+                    "generation": summary["generation"],
+                    "seconds": round(elapsed, 3),
+                }},
+            )
+            return summary
+
+    async def shutdown(self) -> None:
+        """Stop accepting, drain in-flight work, close connections."""
+        if self._closing:
+            await self._done.wait()
+            return
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.drain_timeout_s
+        while self._inflight > 0 and loop.time() < deadline:
+            await self.batcher.drain()
+            try:
+                await asyncio.wait_for(self._idle.wait(), timeout=0.05)
+            except asyncio.TimeoutError:
+                continue
+        await self.batcher.drain()
+        for writer in list(self._conns):
+            writer.close()
+        log.info("server stopped", extra={"ctx": dict(self.stats)})
+        self._done.set()
+
+    async def wait_done(self) -> None:
+        await self._done.wait()
+
+    async def run(self, *, install_signals: bool = True,
+                  reload_on_sighup: bool = False) -> None:
+        """Start and serve until SIGTERM/SIGINT (the CLI entry)."""
+        await self.start()
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(
+                    sig,
+                    lambda: asyncio.ensure_future(self.shutdown()),
+                )
+            if reload_on_sighup:
+                loop.add_signal_handler(
+                    signal.SIGHUP,
+                    lambda: asyncio.ensure_future(self.reload()),
+                )
+        await self.wait_done()
+
+    def manifest_fields(self) -> dict:
+        """Server fields for the run manifest (``--manifest``)."""
+        return {
+            "serve": {
+                "host": self.host,
+                "port": self.port,
+                "batch_window_ms": self.batch_window_ms,
+                "uptime_seconds": round(
+                    time.time() - self.started_at, 3
+                ),
+                **self.stats,
+            },
+            "registry": self.registry.summary(),
+        }
+
+    # ----------------------------------------------------------- HTTP layer
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._conns.add(writer)
+        try:
+            while True:
+                request = await self._read_request(reader, writer)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower()
+                    != "close"
+                ) and not self._closing
+                status, payload = await self._dispatch(
+                    method, path, body
+                )
+                await self._write_response(
+                    writer, status, payload, keep_alive
+                )
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._conns.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader, writer):
+        """One HTTP/1.1 request -> (method, path, headers, body).
+
+        The whole header section is read with a single ``readuntil``
+        (one event-loop hop) rather than a readline loop — at high
+        request rates the per-request loop work, not the model, bounds
+        throughput.
+        """
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError:
+            return None  # clean close (or mid-request disconnect)
+        except asyncio.LimitOverrunError:
+            await self._write_response(
+                writer, 413,
+                error_body(413, "headers_too_large",
+                           "header section too large"),
+                False,
+            )
+            return None
+        except (ConnectionError, OSError):
+            return None
+        if len(head) > MAX_HEADER_BYTES:
+            await self._write_response(
+                writer, 413,
+                error_body(413, "headers_too_large",
+                           "header section too large"),
+                False,
+            )
+            return None
+        request_line, _, header_block = (
+            head[:-4].decode("latin-1").partition("\r\n")
+        )
+        parts = request_line.split()
+        if len(parts) != 3:
+            await self._write_response(
+                writer, 400,
+                error_body(400, "bad_request", "malformed request line"),
+                False,
+            )
+            return None
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        for line in header_block.split("\r\n"):
+            if line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        if "chunked" in headers.get("transfer-encoding", "").lower():
+            await self._write_response(
+                writer, 400,
+                error_body(400, "bad_request",
+                           "chunked request bodies are not supported; "
+                           "send Content-Length"),
+                False,
+            )
+            return None
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            await self._write_response(
+                writer, 413,
+                error_body(413, "body_too_large",
+                           f"body must be 0..{MAX_BODY_BYTES} bytes"),
+                False,
+            )
+            return None
+        body = await reader.readexactly(length) if length else b""
+        path = target.split("?", 1)[0]
+        return method.upper(), path, headers, body
+
+    async def _write_response(
+        self, writer, status: int, payload: bytes, keep_alive: bool
+    ) -> None:
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + payload)
+        await writer.drain()
+
+    # ------------------------------------------------------------- routing
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, bytes]:
+        self.stats["requests"] += 1
+        metrics().inc("serve.requests")
+        self._inflight += 1
+        self._idle.clear()
+        try:
+            with metrics().timer("serve.request"):
+                return await self._route(method, path, body)
+        except ProtocolError as exc:
+            self.stats["errors"] += 1
+            metrics().inc("serve.errors")
+            return exc.status, error_body(
+                exc.status, exc.code, str(exc), exc.details
+            )
+        except Exception as exc:  # noqa: BLE001 - request boundary
+            self.stats["errors"] += 1
+            metrics().inc("serve.errors")
+            log.error(
+                "request failed", extra={"ctx": {
+                    "path": path,
+                    "exception": type(exc).__name__,
+                    "message": str(exc),
+                }},
+            )
+            return 500, error_body(
+                500, "internal_error", f"{type(exc).__name__}: {exc}"
+            )
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, bytes]:
+        if path == "/predict":
+            if method != "POST":
+                raise ProtocolError(
+                    405, "method_not_allowed", "POST /predict"
+                )
+            return await self._handle_predict(body)
+        if path == "/healthz":
+            if method != "GET":
+                raise ProtocolError(
+                    405, "method_not_allowed", "GET /healthz"
+                )
+            return 200, self._json(self._healthz())
+        if path == "/metrics":
+            if method != "GET":
+                raise ProtocolError(
+                    405, "method_not_allowed", "GET /metrics"
+                )
+            return 200, self._json({
+                "uptime_seconds": round(
+                    time.time() - self.started_at, 3
+                ),
+                "metrics": metrics().snapshot(),
+            })
+        if path == "/models":
+            if method != "GET":
+                raise ProtocolError(
+                    405, "method_not_allowed", "GET /models"
+                )
+            return 200, self._json(self.registry.summary())
+        if path == "/-/reload":
+            if method != "POST":
+                raise ProtocolError(
+                    405, "method_not_allowed", "POST /-/reload"
+                )
+            summary = await self.reload()
+            return 200, self._json(summary)
+        raise ProtocolError(
+            404, "not_found",
+            f"no route {path!r} (have: /predict, /healthz, /metrics, "
+            "/models, /-/reload)",
+        )
+
+    @staticmethod
+    def _json(doc: dict) -> bytes:
+        return (json.dumps(doc) + "\n").encode("utf-8")
+
+    def _healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "inflight": self._inflight,
+            "pending_batch_rows": self.batcher.pending_rows(),
+            "batch_window_ms": self.batch_window_ms,
+            **self.registry.summary(),
+        }
+
+    async def _handle_predict(self, body: bytes) -> tuple[int, bytes]:
+        payload = decode_predict_request(
+            body, max_rows=MAX_ROWS_PER_REQUEST
+        )
+        try:
+            served = self.registry.get(payload.get("model"))
+        except KeyError as exc:
+            raise ProtocolError(
+                404, "unknown_model", str(exc).strip('"')
+            ) from None
+        try:
+            X = build_matrix(payload, served.model)
+        except SchemaMismatchError as exc:
+            raise schema_mismatch_to_error(exc) from exc
+        n = X.shape[0]
+        self.stats["rows"] += n
+        metrics().inc("serve.rows", n)
+        ipc, epi, batched_rows = await self.batcher.submit(served, X)
+        try:
+            predictions = predictions_to_json(
+                served.model, X, ipc, epi, payload.get("meta")
+            )
+        except SchemaMismatchError as exc:
+            raise schema_mismatch_to_error(exc) from exc
+        return 200, self._json({
+            "model": served.name,
+            "generation": served.generation,
+            "schema_hash": served.preloaded.schema_hash,
+            "batched_rows": batched_rows,
+            "predictions": predictions,
+        })
+
+
+class ServerThread:
+    """A server on a background thread (tests, benchmarks, notebooks).
+
+    Runs its own event loop; ``start()`` blocks until the ephemeral port
+    is bound (or raises the startup error), ``reload()``/``stop()``
+    marshal into the loop thread-safely.  Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        specs: Mapping[str, str],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        batch_window_ms: float = 2.0,
+        max_batch_rows: int = 4096,
+    ) -> None:
+        self._specs = dict(specs)
+        self._kwargs = {
+            "host": host,
+            "port": port,
+            "batch_window_ms": batch_window_ms,
+            "max_batch_rows": max_batch_rows,
+        }
+        self.server: PredictionServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._error: BaseException | None = None
+
+    # ------------------------------------------------------------- control
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None, "server not started"
+        return self.server.port
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=120)
+        if self._error is not None:
+            raise self._error
+        if self.server is None:
+            raise ReproError("serve thread failed to start")
+        return self
+
+    def reload(self, timeout: float = 120.0) -> dict:
+        return self._call(self.server.reload(), timeout)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self.server is None or self._loop is None:
+            return
+        try:
+            self._call(self.server.shutdown(), timeout)
+        except RuntimeError:
+            pass  # loop already gone
+        self._thread.join(timeout=timeout)
+
+    def _call(self, coro, timeout: float):
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(timeout=timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------- internal
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced in start()
+            self._error = exc
+        finally:
+            self._started.set()
+
+    async def _main(self) -> None:
+        registry = ModelRegistry(self._specs)
+        self.server = PredictionServer(registry, **self._kwargs)
+        self._loop = asyncio.get_running_loop()
+        await self.server.start()
+        self._started.set()
+        await self.server.wait_done()

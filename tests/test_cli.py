@@ -1,5 +1,7 @@
 """Tests for the command-line interface (repro.cli)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -108,6 +110,33 @@ class TestTrainPredictRoundtrip:
         )
         assert code == 0
         assert "IPC (aggregate)" in out
+
+    def test_predict_splits_load_and_predict_timing(
+        self, capsys, tmp_path
+    ):
+        """`repro predict` reports model-load, profiling and prediction
+        wall-clock separately (table and manifest): load cost must not
+        be booked as prediction time, or CLI-vs-served latency
+        comparisons are meaningless."""
+        model_path = tmp_path / "m.pkl"
+        code, _, _ = run_cli(
+            capsys, "train", "atax", "-o", str(model_path),
+            "--scale", "4", "--trees", "10", "--no-tune",
+        )
+        assert code == 0
+        manifest = tmp_path / "predict.json"
+        code, out, _ = run_cli(
+            capsys, "predict", "atax", "-m", str(model_path),
+            "--scale", "4", "--manifest", str(manifest),
+        )
+        assert code == 0
+        assert "model load wall-clock" in out
+        assert "prediction wall-clock" in out
+        timing = json.loads(manifest.read_text())["timing"]
+        assert set(timing) == {
+            "load_seconds", "profile_seconds", "predict_seconds"
+        }
+        assert all(v >= 0 for v in timing.values())
 
     def test_predict_missing_model(self, capsys, tmp_path):
         code, _, err = run_cli(

@@ -157,3 +157,45 @@ class TestVersionAndSchemaChecks:
         assert set(err.value.moved) == set(
             real.block("arch").features + real.block("prior").features
         )
+
+    def test_artifact_predating_new_backend_warns_loudly(
+        self, tmp_path, trained_model
+    ):
+        """Registering a fifth memory backend grows the arch block, so an
+        artifact trained under four backends must warn at load time that
+        the new device is unservable with it."""
+        import dataclasses
+
+        from repro.backends import registry as backends
+        from repro.core.serialization import preload_model
+
+        trained, _ = trained_model
+        path = tmp_path / "four-backend.pkl"
+        save_model(trained.model, path)
+        phantom = dataclasses.replace(
+            backends.HMC,
+            name="phantom-nmc",
+            description="test-only fifth backend",
+        )
+        backends.register_backend(phantom)
+        try:
+            with pytest.warns(RuntimeWarning) as caught:
+                restored = load_model(path)
+            messages = [str(w.message) for w in caught]
+            assert any(
+                "predates memory backend(s) phantom-nmc" in m
+                for m in messages
+            ), messages
+            assert any("different feature schema" in m for m in messages)
+            assert isinstance(restored, NapelModel)
+            # The serving preload path captures the same warning as data
+            # instead of letting it escape to the warning filter.
+            preloaded = preload_model(path)
+            assert any("phantom-nmc" in w for w in preloaded.warnings)
+        finally:
+            backends._unregister_backend("phantom-nmc")
+        # The registry mutation was undone: the artifact loads cleanly
+        # again under the original four-backend schema.
+        assert load_model(path).schema.content_hash == (
+            trained.model.schema.content_hash
+        )

@@ -71,6 +71,30 @@ class TestRegressionTree:
         with pytest.raises(MLError):
             RegressionTree().fit(np.zeros((0, 3)), np.zeros(0))
 
+    def test_vectorized_batch_matches_per_row_walk(self):
+        """The level-wise lock-stepped batch traversal (used for >= 16
+        rows) must be bit-identical to the scalar per-row walk — it is
+        what makes served batch predictions equal single-row ones."""
+        import pickle
+
+        X, y = smooth_data(400)
+        tree = RegressionTree(max_depth=10).fit(X, y)
+        batch = tree.predict(X)  # vectorized path (>= 16 rows)
+        scalar = np.array(
+            [tree.predict(row[np.newaxis, :])[0] for row in X]
+        )
+        assert np.array_equal(batch, scalar)
+        leaves_batch = tree.apply(X)
+        leaves_scalar = np.array(
+            [tree.apply(row[np.newaxis, :])[0] for row in X]
+        )
+        assert np.array_equal(leaves_batch, leaves_scalar)
+        # The compiled node arrays are a runtime cache and must not be
+        # pickled into artifacts (the clone rebuilds them on demand).
+        clone = pickle.loads(pickle.dumps(tree))
+        assert "_arrays" not in clone.__dict__
+        assert np.array_equal(clone.predict(X), batch)
+
     def test_feature_importances_identify_signal(self):
         X, y = step_data(400)
         tree = RegressionTree(rng=np.random.default_rng(1)).fit(X, y)

@@ -1,5 +1,6 @@
 """Tests for the observability layer (repro.obs) and the CLI error paths."""
 
+import asyncio
 import io
 import json
 import logging
@@ -138,6 +139,43 @@ class TestMetricsRegistry:
         assert reg.current_spans() == ()
         assert reg.timer_stats("span0")["count"] == 1
         assert reg.timer_stats("span1")["count"] == 1
+
+    def test_span_stack_is_task_local(self):
+        """Two coroutines interleaved on ONE event loop each see only
+        their own spans.
+
+        Regression test for the contextvars conversion: a thread-local
+        stack is not enough for the prediction server, where concurrent
+        requests are asyncio tasks sharing one thread — overlapping
+        request spans corrupted each other's nesting.
+        """
+        reg = MetricsRegistry()
+        seen: dict[str, tuple] = {}
+
+        async def work(name, ready, proceed):
+            with reg.timer(name):
+                ready.set()
+                await proceed.wait()  # both tasks now inside their span
+                seen[name] = reg.current_spans()
+
+        async def main():
+            ready_a, ready_b = asyncio.Event(), asyncio.Event()
+            proceed = asyncio.Event()
+            tasks = [
+                asyncio.create_task(work("req-a", ready_a, proceed)),
+                asyncio.create_task(work("req-b", ready_b, proceed)),
+            ]
+            await ready_a.wait()
+            await ready_b.wait()
+            proceed.set()
+            await asyncio.gather(*tasks)
+            assert reg.current_spans() == ()
+
+        asyncio.run(main())
+        assert seen["req-a"] == ("req-a",)
+        assert seen["req-b"] == ("req-b",)
+        assert reg.timer_stats("req-a")["count"] == 1
+        assert reg.timer_stats("req-b")["count"] == 1
 
     def test_snapshot_diff_merge_roundtrip(self):
         a = MetricsRegistry()

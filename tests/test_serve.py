@@ -1,0 +1,620 @@
+"""End-to-end and unit tests for the prediction server (repro.serve)."""
+
+import asyncio
+import http.client
+import json
+import threading
+import time
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro import NapelTrainer, SimulationCampaign, get_workload, save_model
+from repro.core.predictor import NapelModel
+from repro.errors import ConfigError
+from repro.schema import FeatureBlock, FeatureSchema
+from repro.serve import (
+    MicroBatcher,
+    ServeClient,
+    ServeClientError,
+    ServerThread,
+    parse_model_specs,
+)
+from repro.serve.protocol import ProtocolError, decode_predict_request
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    """A small trained artifact plus its training data and model."""
+    campaign = SimulationCampaign(scale=4.0)
+    training = campaign.run(get_workload("atax"))
+    trained = NapelTrainer(n_estimators=10, tune=False).train(training)
+    path = tmp_path_factory.mktemp("serve") / "model.pkl"
+    save_model(trained.model, path)
+    return SimpleNamespace(
+        model=trained.model, training=training, path=path
+    )
+
+
+@pytest.fixture(scope="module")
+def server(artifact):
+    """One shared server on an ephemeral port for the read-mostly tests."""
+    with ServerThread(
+        {"default": str(artifact.path)}, batch_window_ms=1.0
+    ) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with ServeClient(port=server.port) as c:
+        yield c
+
+
+def _row(artifact, i=0):
+    return [float(v) for v in artifact.training.X()[i]]
+
+
+# --------------------------------------------------------------- endpoints
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        doc = client.healthz()
+        assert doc["status"] == "ok"
+        assert doc["uptime_seconds"] >= 0
+        assert "default" in doc["models"]
+        entry = doc["models"]["default"]
+        assert entry["schema_hash"]
+        assert entry["n_features"] > 0
+        assert isinstance(doc["generation"], int)
+
+    def test_models(self, client):
+        doc = client.models()
+        assert set(doc["models"]) == {"default"}
+
+    def test_metrics_carries_serve_counters(self, client):
+        # The /metrics request itself is counted before routing, so the
+        # counter is present even if this test runs first.
+        doc = client.metrics()
+        assert doc["uptime_seconds"] >= 0
+        assert "serve.requests" in doc["metrics"]["counters"]
+
+    def test_unknown_route_404_lists_routes(self, client):
+        with pytest.raises(ServeClientError) as err:
+            client.request("GET", "/nope")
+        assert err.value.status == 404
+        assert "/predict" in str(err.value)
+
+    def test_wrong_method_405(self, client):
+        with pytest.raises(ServeClientError) as err:
+            client.request("POST", "/healthz")
+        assert err.value.status == 405
+        assert err.value.code == "method_not_allowed"
+
+
+# ----------------------------------------------------------- predict: happy
+
+
+class TestPredict:
+    def test_single_row_bit_identical_to_local_model(
+        self, artifact, client
+    ):
+        X = artifact.training.X()[:1]
+        ipc, epi = artifact.model.predict_labels(X)
+        doc = client.predict([_row(artifact)])
+        assert doc["model"] == "default"
+        assert doc["schema_hash"] == artifact.model.schema.content_hash
+        p = doc["predictions"][0]
+        # JSON float repr round-trips float64 exactly, so equality here
+        # really is bit-identity with the in-process predict path.
+        assert p["ipc_per_pe"] == float(ipc[0])
+        assert p["energy_per_instruction_j"] == float(epi[0])
+
+    def test_meta_derives_the_cli_quantities(self, artifact, client):
+        schema = artifact.model.schema
+        X = artifact.training.X()[:1]
+        ipc, epi = artifact.model.predict_labels(X)
+        expected = NapelModel.derive_prediction(
+            workload="atax",
+            instructions=123456,
+            threads=int(X[0, schema.index("app.threads")]),
+            n_pes=int(X[0, schema.index("arch.n_pes")]),
+            frequency_ghz=float(X[0, schema.index("arch.frequency_ghz")]),
+            ipc_per_pe=float(ipc[0]),
+            energy_per_instruction_j=float(epi[0]),
+        )
+        doc = client.predict(
+            [_row(artifact)],
+            meta=[{"workload": "atax", "instructions": 123456}],
+        )
+        p = doc["predictions"][0]
+        assert p["workload"] == "atax"
+        assert p["ipc"] == expected.ipc
+        assert p["pes_used"] == expected.pes_used
+        assert p["time_s"] == expected.time_s
+        assert p["energy_j"] == expected.energy_j
+        assert p["edp"] == expected.edp
+
+    def test_multi_row_request_matches_matrix_call(self, artifact, client):
+        X = artifact.training.X()[:8]
+        ipc, epi = artifact.model.predict_labels(X)
+        doc = client.predict([_row(artifact, i) for i in range(8)])
+        assert len(doc["predictions"]) == 8
+        for i, p in enumerate(doc["predictions"]):
+            assert p["ipc_per_pe"] == float(ipc[i])
+            assert p["energy_per_instruction_j"] == float(epi[i])
+
+    def test_dict_rows_equal_positional_rows(self, artifact, client):
+        names = artifact.model.schema.names
+        row = _row(artifact)
+        by_name = client.predict([dict(zip(names, row))])
+        by_pos = client.predict([row])
+        assert by_name["predictions"] == by_pos["predictions"]
+
+    def test_align_true_projects_reordered_layout_bit_identically(
+        self, artifact, client
+    ):
+        names = artifact.model.schema.names
+        row = _row(artifact)
+        reversed_cols = list(reversed(names))
+        reversed_row = list(reversed(row))
+        aligned = client.predict(
+            [reversed_row], columns=reversed_cols, align=True
+        )
+        canonical = client.predict([row])
+        assert aligned["predictions"] == canonical["predictions"]
+
+
+# ---------------------------------------------------------- predict: errors
+
+
+class TestPredictErrors:
+    def test_reordered_layout_without_align_is_422(self, artifact, client):
+        names = artifact.model.schema.names
+        with pytest.raises(ServeClientError) as err:
+            client.predict(
+                [list(reversed(_row(artifact)))],
+                columns=list(reversed(names)),
+            )
+        assert err.value.status == 422
+        assert err.value.code == "schema_mismatch"
+        assert err.value.body["moved"]
+
+    def test_renamed_column_422_names_the_drift(self, artifact, client):
+        names = list(artifact.model.schema.names)
+        renamed = names[3]
+        names[3] = "profile.bogus_feature"
+        with pytest.raises(ServeClientError) as err:
+            client.predict([_row(artifact)], columns=names, align=True)
+        assert err.value.status == 422
+        assert renamed in err.value.body["missing"]
+
+    def test_wrong_width_is_422(self, artifact, client):
+        with pytest.raises(ServeClientError) as err:
+            client.predict([_row(artifact)[:-1]])
+        assert err.value.status == 422
+
+    def test_dict_row_missing_feature_is_422(self, artifact, client):
+        names = artifact.model.schema.names
+        row = dict(zip(names, _row(artifact)))
+        del row[names[0]]
+        with pytest.raises(ServeClientError) as err:
+            client.predict([row])
+        assert err.value.status == 422
+        assert names[0] in err.value.body["missing"]
+
+    def test_align_refuses_live_unknown_backend_one_hot(
+        self, artifact, client
+    ):
+        names = artifact.model.schema.names
+        row = dict(zip(names, _row(artifact)))
+        row["arch.backend.phantom-nmc"] = 1.0
+        with pytest.raises(ServeClientError) as err:
+            client.predict([row], align=True)
+        assert err.value.status == 422
+        assert "arch.backend.phantom-nmc" in err.value.body["extra"]
+        assert "backend" in str(err.value)
+
+    def test_align_drops_cold_unknown_extras(self, artifact, client):
+        names = artifact.model.schema.names
+        row = dict(zip(names, _row(artifact)))
+        augmented = dict(row)
+        augmented["custom.extra_feature"] = 42.0
+        augmented["arch.backend.phantom-nmc"] = 0.0  # cold one-hot: fine
+        got = client.predict([augmented], align=True)
+        want = client.predict([row])
+        assert got["predictions"] == want["predictions"]
+
+    def test_unknown_model_is_404(self, artifact, client):
+        with pytest.raises(ServeClientError) as err:
+            client.predict([_row(artifact)], model="nope")
+        assert err.value.status == 404
+        assert err.value.code == "unknown_model"
+
+    def test_malformed_json_is_400(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port)
+        try:
+            conn.request(
+                "POST", "/predict", body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            doc = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert doc["error"] == "bad_json"
+
+    def test_errors_do_not_kill_the_connection(self, artifact, client):
+        with pytest.raises(ServeClientError):
+            client.predict([_row(artifact)], model="nope")
+        assert client.predict([_row(artifact)])["predictions"]
+
+
+# ------------------------------------------------------- batching, reload,
+# ------------------------------------------------------- shutdown
+
+
+class TestServerLifecycle:
+    def test_concurrent_requests_coalesce(self, artifact):
+        with ServerThread(
+            {"default": str(artifact.path)}, batch_window_ms=250.0
+        ) as srv:
+            n = 4
+            barrier = threading.Barrier(n, timeout=10)
+            lock = threading.Lock()
+            sizes: list[int] = []
+            errors: list[BaseException] = []
+
+            def worker() -> None:
+                try:
+                    with ServeClient(port=srv.port) as c:
+                        c.healthz()  # open the connection before racing
+                        barrier.wait()
+                        doc = c.predict([_row(artifact)])
+                    with lock:
+                        sizes.append(doc["batched_rows"])
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker) for _ in range(n)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert not errors
+            # All four raced into one 250 ms window; at minimum the
+            # slowest pair must have shared a matrix call.
+            assert max(sizes) >= 2
+
+    def test_hot_reload_under_live_traffic(self, artifact):
+        with ServerThread(
+            {"default": str(artifact.path)}, batch_window_ms=1.0
+        ) as srv:
+            stop = threading.Event()
+            lock = threading.Lock()
+            generations: set[int] = set()
+            errors: list[BaseException] = []
+
+            def hammer() -> None:
+                try:
+                    with ServeClient(port=srv.port) as c:
+                        while not stop.is_set():
+                            doc = c.predict([_row(artifact)])
+                            with lock:
+                                generations.add(doc["generation"])
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=hammer) for _ in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for _ in range(3):
+                time.sleep(0.05)
+                srv.reload()
+            time.sleep(0.05)
+            stop.set()
+            for t in threads:
+                t.join(timeout=30)
+            assert not errors
+            # Requests spanned the swaps: generations advanced without a
+            # single dropped or failed request.
+            assert max(generations) == 4
+            with ServeClient(port=srv.port) as c:
+                health = c.healthz()
+            assert health["generation"] == 4
+            assert health["reloads"] == 3
+
+    def test_graceful_shutdown_drains_pending_batch(self, artifact):
+        # A window far longer than the test: the request below parks in
+        # an open bucket, and only the shutdown drain can answer it.
+        srv = ServerThread(
+            {"default": str(artifact.path)}, batch_window_ms=60_000.0
+        ).start()
+        results: list[dict] = []
+        errors: list[BaseException] = []
+
+        def call() -> None:
+            try:
+                with ServeClient(port=srv.port) as c:
+                    results.append(c.predict([_row(artifact)]))
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        thread = threading.Thread(target=call)
+        thread.start()
+        with ServeClient(port=srv.port) as probe:
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if probe.healthz()["pending_batch_rows"] >= 1:
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("request never reached the batch bucket")
+        srv.stop()
+        thread.join(timeout=30)
+        assert not errors
+        assert results and results[0]["predictions"]
+
+    def test_bad_artifact_fails_startup(self, tmp_path):
+        bad = tmp_path / "bad.pkl"
+        bad.write_bytes(b"not a pickle")
+        with pytest.raises(Exception, match="corrupt|not a NAPEL"):
+            ServerThread({"default": str(bad)}).start()
+
+
+# --------------------------------------------------------------- unit: CLI
+# --------------------------------------------------------------- spec parse
+
+
+class TestParseModelSpecs:
+    def test_bare_path_becomes_default(self):
+        assert parse_model_specs(["m.pkl"]) == {"default": "m.pkl"}
+
+    def test_named_specs_keep_order(self):
+        specs = parse_model_specs(["a=x.pkl", "b=y.pkl"])
+        assert list(specs.items()) == [("a", "x.pkl"), ("b", "y.pkl")]
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ConfigError, match="twice"):
+            parse_model_specs(["a=x.pkl", "a=y.pkl"])
+
+    def test_empty_name_or_path_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_model_specs(["=x.pkl"])
+        with pytest.raises(ConfigError):
+            parse_model_specs(["a="])
+
+    def test_no_specs_rejected(self):
+        with pytest.raises(ConfigError, match="at least one"):
+            parse_model_specs([])
+
+
+# ----------------------------------------------------------- unit: protocol
+
+
+class TestDecodePredictRequest:
+    def decode(self, doc, max_rows=16):
+        raw = doc if isinstance(doc, bytes) else json.dumps(doc).encode()
+        return decode_predict_request(raw, max_rows=max_rows)
+
+    def test_accepts_minimal_request(self):
+        assert self.decode({"rows": [[1.0]]})["rows"] == [[1.0]]
+
+    def test_bad_json_400(self):
+        with pytest.raises(ProtocolError) as err:
+            self.decode(b"{nope")
+        assert err.value.status == 400 and err.value.code == "bad_json"
+
+    def test_non_object_400(self):
+        with pytest.raises(ProtocolError) as err:
+            self.decode([1, 2])
+        assert err.value.status == 400
+
+    def test_missing_or_empty_rows_400(self):
+        for doc in ({}, {"rows": []}, {"rows": "x"}):
+            with pytest.raises(ProtocolError) as err:
+                self.decode(doc)
+            assert err.value.status == 400
+
+    def test_too_many_rows_413(self):
+        with pytest.raises(ProtocolError) as err:
+            self.decode({"rows": [[1.0]] * 17})
+        assert err.value.status == 413
+        assert err.value.code == "too_many_rows"
+
+    def test_bad_field_types_400(self):
+        for doc in (
+            {"rows": [[1.0]], "model": 7},
+            {"rows": [[1.0]], "align": "yes"},
+            {"rows": [[1.0]], "columns": [1]},
+            {"rows": [[1.0]], "meta": [{}, {}]},
+            {"rows": [[1.0]], "meta": ["x"]},
+        ):
+            with pytest.raises(ProtocolError) as err:
+                self.decode(doc)
+            assert err.value.status == 400
+
+
+# ---------------------------------------------------------- unit: batcher
+
+
+class _FakeModel:
+    """predict_labels spy: first column back as IPC, doubled as EPI."""
+
+    def __init__(self) -> None:
+        self.calls: list[int] = []
+
+    def predict_labels(self, X):
+        self.calls.append(X.shape[0])
+        return X[:, 0].copy(), X[:, 0] * 2.0
+
+
+def _fake_served(name="m", generation=1):
+    model = _FakeModel()
+    return SimpleNamespace(
+        name=name, generation=generation, model=model
+    ), model
+
+
+class TestMicroBatcher:
+    def test_window_zero_is_direct(self):
+        async def main():
+            batcher = MicroBatcher(window_s=0.0)
+            served, model = _fake_served()
+            X = np.array([[1.0, 0.0], [2.0, 0.0]])
+            ipc, epi, n = await batcher.submit(served, X)
+            assert n == 2
+            assert model.calls == [2]
+            assert np.array_equal(ipc, [1.0, 2.0])
+            assert np.array_equal(epi, [2.0, 4.0])
+
+        asyncio.run(main())
+
+    def test_concurrent_submits_share_one_matrix_call(self):
+        async def main():
+            batcher = MicroBatcher(window_s=0.05)
+            served, model = _fake_served()
+            a = np.array([[1.0, 0.0]])
+            b = np.array([[2.0, 0.0]])
+            r1, r2 = await asyncio.gather(
+                batcher.submit(served, a), batcher.submit(served, b)
+            )
+            assert model.calls == [2]
+            assert r1[2] == r2[2] == 2
+            # Each caller gets exactly its own slice back.
+            assert r1[0][0] == 1.0 and r2[0][0] == 2.0
+
+        asyncio.run(main())
+
+    def test_max_rows_flushes_before_the_window(self):
+        async def main():
+            batcher = MicroBatcher(window_s=60.0, max_rows=2)
+            served, model = _fake_served()
+            start = time.monotonic()
+            await asyncio.gather(
+                batcher.submit(served, np.ones((1, 2))),
+                batcher.submit(served, np.ones((1, 2))),
+            )
+            assert time.monotonic() - start < 30
+            assert model.calls == [2]
+
+        asyncio.run(main())
+
+    def test_generations_never_share_a_bucket(self):
+        async def main():
+            batcher = MicroBatcher(window_s=0.05)
+            old, old_model = _fake_served(generation=1)
+            new, new_model = _fake_served(generation=2)
+            await asyncio.gather(
+                batcher.submit(old, np.ones((1, 2))),
+                batcher.submit(new, np.ones((3, 2))),
+            )
+            assert old_model.calls == [1]
+            assert new_model.calls == [3]
+
+        asyncio.run(main())
+
+    def test_drain_flushes_open_buckets(self):
+        async def main():
+            batcher = MicroBatcher(window_s=60.0)
+            served, model = _fake_served()
+            task = asyncio.create_task(
+                batcher.submit(served, np.ones((1, 2)))
+            )
+            await asyncio.sleep(0.01)
+            assert batcher.pending_rows() == 1
+            await batcher.drain()
+            _, _, n = await task
+            assert n == 1
+            assert batcher.pending_rows() == 0
+
+        asyncio.run(main())
+
+    def test_model_failure_fans_out_to_all_waiters(self):
+        async def main():
+            batcher = MicroBatcher(window_s=0.05)
+            served, model = _fake_served()
+            model.predict_labels = lambda X: (_ for _ in ()).throw(
+                RuntimeError("forest on fire")
+            )
+            results = await asyncio.gather(
+                batcher.submit(served, np.ones((1, 2))),
+                batcher.submit(served, np.ones((1, 2))),
+                return_exceptions=True,
+            )
+            assert all(
+                isinstance(r, RuntimeError) for r in results
+            )
+
+        asyncio.run(main())
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(window_s=-1.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_rows=0)
+
+
+# ------------------------------------------ once-per-batch schema work
+# ------------------------------------------ (the hoisting regression)
+
+
+class TestBatchSchemaHoisting:
+    def test_validation_and_projection_run_once_per_batch(
+        self, artifact, monkeypatch
+    ):
+        """Schema validation/projection must be per *batch*, never per
+        row, and the projection plan memoised per source layout."""
+        model = NapelModel(
+            artifact.model.ipc_model,
+            artifact.model.energy_model,
+            schema=artifact.model.schema,
+            log_space=artifact.model.log_space,
+            residual_to_prior=artifact.model.residual_to_prior,
+            ipc_bounds=artifact.model.ipc_bounds,
+            energy_bounds=artifact.model.energy_bounds,
+        )
+        names = model.schema.names
+        source = FeatureSchema(
+            [FeatureBlock(name="request", features=tuple(reversed(names)))]
+        )
+        X = artifact.training.X()[:50, ::-1]
+
+        counts = {"validate": 0, "project": 0}
+        real_validate = FeatureSchema.validate_matrix
+        real_project = FeatureSchema.projection_from
+
+        def spy_validate(self, *args, **kwargs):
+            counts["validate"] += 1
+            return real_validate(self, *args, **kwargs)
+
+        def spy_project(self, *args, **kwargs):
+            counts["project"] += 1
+            return real_project(self, *args, **kwargs)
+
+        monkeypatch.setattr(FeatureSchema, "validate_matrix", spy_validate)
+        monkeypatch.setattr(FeatureSchema, "projection_from", spy_project)
+
+        ipc, epi = model.predict_labels(X, schema=source, align=True)
+        assert counts == {"validate": 1, "project": 1}
+
+        # Same layout again: the memoised plan skips re-projection.
+        counts.update(validate=0, project=0)
+        ipc2, epi2 = model.predict_labels(X, schema=source, align=True)
+        assert counts == {"validate": 1, "project": 0}
+        assert np.array_equal(ipc, ipc2)
+        assert np.array_equal(epi, epi2)
+
+        # And the projected result is bit-identical to the native layout.
+        native_ipc, native_epi = artifact.model.predict_labels(
+            artifact.training.X()[:50]
+        )
+        assert np.array_equal(ipc, native_ipc)
+        assert np.array_equal(epi, native_epi)
