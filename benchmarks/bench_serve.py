@@ -19,10 +19,15 @@ The full-size run asserts the batched path sustains >= 3x the
 single-path predictions/sec at 64 clients, and that microbatching
 actually coalesces (mean rows/call > 1 under concurrency).
 
-Emits ``results/BENCH_serve.json`` plus a rendered table.  Set
-``REPRO_BENCH_SMOKE=1`` (CI) to run fewer clients/requests — the record
-is still produced, but the speedup assertion is only enforced on the
-full-size run.
+A second leg drives identical traffic with ``instrument=False`` and
+asserts per-request observability (labeled counters, latency
+histograms, debug ring, access log) costs < 5% throughput at the top
+client count.
+
+Emits ``results/BENCH_serve.json`` and ``results/BENCH_serve_obs.json``
+plus rendered tables.  Set ``REPRO_BENCH_SMOKE=1`` (CI) to run fewer
+clients/requests — the records are still produced, but the speedup and
+overhead assertions are only enforced on the full-size run.
 """
 
 from __future__ import annotations
@@ -256,4 +261,96 @@ def test_serve_throughput():
             f"batched requests reached only {speedup:.2f}x the "
             f"single-path predictions/sec at {top} clients (floor: "
             f"{MIN_BATCHED_SPEEDUP}x)"
+        )
+
+
+#: Instrumentation overhead budget: labeled counters, latency
+#: histograms, the debug ring and access logging together may cost at
+#: most this fraction of the uninstrumented throughput at top
+#: concurrency.
+MAX_OBS_OVERHEAD = 0.05
+
+
+def test_serve_obs_overhead():
+    """Per-request observability must stay within the overhead budget.
+
+    Drives identical microbatched one-row traffic against two servers —
+    one with full instrumentation (labeled request counters, latency
+    histograms, debug ring, access log), one with ``instrument=False``
+    (only the aggregate counters kept from the pre-labels era) — and
+    compares predictions/sec at the highest client count.
+    """
+    rows_per_req, n_requests, window = MODES["microbatch"]
+    top = max(CONCURRENCY)
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = Path(tmp) / "model.pkl"
+        row = _train_artifact(artifact)
+        legs = {}
+        for leg, instrument in (("on", True), ("off", False)):
+            with ServerThread(
+                {"default": str(artifact)},
+                batch_window_ms=window,
+                instrument=instrument,
+            ) as server:
+                with ServeClient(port=server.port) as client:
+                    for _ in range(3):
+                        client.predict([row] * rows_per_req)
+                legs[leg] = _drive(
+                    server.port, top, n_requests, row, rows_per_req
+                )
+
+    overhead = 1.0 - (
+        legs["on"]["predictions_per_s"] / legs["off"]["predictions_per_s"]
+    )
+    emit("serve_obs", format_table(
+        ["instrumentation", "clients", "p50 (ms)", "p99 (ms)", "pred/s"],
+        [
+            [
+                leg,
+                f"{top}",
+                f"{r['p50_ms']:8.2f}",
+                f"{r['p99_ms']:8.2f}",
+                f"{r['predictions_per_s']:9.1f}",
+            ]
+            for leg, r in legs.items()
+        ],
+        title=f"repro serve: instrumentation overhead "
+              f"({overhead * 100:.1f}% throughput cost at {top} clients; "
+              f"budget {MAX_OBS_OVERHEAD * 100:.0f}%)",
+    ))
+    flat = {
+        f"{leg}.c{top}.{key}": r[key]
+        for leg, r in legs.items()
+        for key in ("p50_ms", "p99_ms", "predictions_per_s")
+    }
+    flat[f"overhead_fraction_c{top}"] = overhead
+    emit_record(
+        "serve_obs",
+        flat,
+        units={
+            key: (
+                "ms" if key.endswith("_ms")
+                else "pred/s" if key.endswith("_per_s")
+                else "fraction"
+            )
+            for key in flat
+        },
+        config={
+            "smoke": SMOKE,
+            "clients": top,
+            "rows_per_request": rows_per_req,
+            "requests_per_client": n_requests,
+            "batch_window_ms": window,
+            "max_overhead": MAX_OBS_OVERHEAD,
+            "trees": 60,
+            "scale": 4.0,
+        },
+    )
+
+    # The budget is only meaningful under real concurrency; the smoke
+    # run still exercises both legs and emits the record.
+    if not SMOKE:
+        assert overhead < MAX_OBS_OVERHEAD, (
+            f"instrumentation cost {overhead * 100:.1f}% of throughput "
+            f"at {top} clients (budget: {MAX_OBS_OVERHEAD * 100:.0f}%)"
         )

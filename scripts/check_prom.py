@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Validate a Prometheus text exposition (CI gate for ``/metrics``).
+
+Reads an exposition from a file argument (or stdin), runs it through
+the strict parser behind ``repro.obs.parse_exposition`` — which rejects
+duplicate ``# TYPE`` lines, duplicate series, samples without a TYPE,
+malformed lines and unknown metric types — and prints a one-line
+summary.  Exits non-zero with the parse error on any violation, so a
+CI step can simply::
+
+    curl -sf localhost:8177/metrics?format=prom | python scripts/check_prom.py
+
+Use ``--require NAME`` (repeatable) to additionally assert a metric
+family is present, e.g. ``--require repro_serve_requests_total``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import ExpositionError, parse_exposition  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "path", nargs="?", default="-",
+        help="exposition file to validate ('-' or omitted: stdin)",
+    )
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="NAME",
+        help="fail unless this metric family is present (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.path == "-":
+        text = sys.stdin.read()
+    else:
+        text = Path(args.path).read_text()
+
+    try:
+        parsed = parse_exposition(text)
+    except ExpositionError as exc:
+        print(f"check_prom: INVALID exposition: {exc}", file=sys.stderr)
+        return 1
+
+    families = parsed["types"]
+    missing = [name for name in args.require if name not in families]
+    if missing:
+        print(
+            f"check_prom: missing required families: {', '.join(missing)} "
+            f"(found: {', '.join(sorted(families)) or 'none'})",
+            file=sys.stderr,
+        )
+        return 1
+
+    print(
+        f"check_prom: OK — {len(families)} families, "
+        f"{len(parsed['samples'])} series"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

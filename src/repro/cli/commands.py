@@ -28,6 +28,7 @@ from ..obs import (
     config_hash,
     load_trace,
     merge_traces,
+    summarize_serve_requests,
     summarize_trace,
     validate_trace,
 )
@@ -437,6 +438,11 @@ def cmd_serve(args: argparse.Namespace) -> None:
         port=args.port,
         batch_window_ms=args.batch_window_ms,
         max_batch_rows=args.max_batch_rows,
+        slow_request_ms=getattr(args, "slow_request_ms", 0.0),
+        instrument=not getattr(args, "no_instrument", False),
+        # Rotation is a no-op unless tracing is actually active
+        # (--trace or $REPRO_TRACE), so the flag passes unconditionally.
+        trace_rotate_events=getattr(args, "trace_rotate_events", 0),
     )
 
     async def _serve() -> None:
@@ -558,6 +564,38 @@ def cmd_trace(args: argparse.Namespace) -> None:
         title=f"top {args.top} spans by self time "
               f"({len(args.files)} file(s))",
     ))
+    if getattr(args, "serve", False):
+        summary = summarize_serve_requests(merged)
+        if not summary["requests"]:
+            print("no serve.request spans in the trace")
+            return
+        print(format_table(
+            ["model", "route", "status", "count", "total (ms)",
+             "max (ms)"],
+            [
+                [
+                    g["model"], g["route"], g["status"],
+                    f"{g['count']:,}",
+                    f"{g['total_us'] / 1e3:,.3f}",
+                    f"{g['max_us'] / 1e3:,.3f}",
+                ]
+                for g in summary["groups"]
+            ],
+            title=(
+                f"serve requests: {summary['requests']} across "
+                f"{summary['batches']} batch(es)"
+                + (
+                    f", {summary['mean_requests_per_batch']} "
+                    "request(s)/batch"
+                    if summary["mean_requests_per_batch"] is not None
+                    else ""
+                )
+                + (
+                    f"; {summary['unlinked_requests']} UNLINKED"
+                    if summary["unlinked_requests"] else ""
+                )
+            ),
+        ))
 
 
 def cmd_suitability(args: argparse.Namespace) -> None:

@@ -261,6 +261,30 @@ def build_parser() -> argparse.ArgumentParser:
              "standby: the new models load and verify in the background "
              "while in-flight requests finish on the old ones)",
     )
+    p.add_argument(
+        "--slow-request-ms", type=float, default=0.0,
+        help="requests slower than this many ms attach an exemplar to "
+             "their latency-histogram bucket and log a structured "
+             "warning (0 disables; default 0)",
+    )
+    p.add_argument(
+        "--no-instrument", action="store_true",
+        help="disable per-request observability (labeled metrics, "
+             "latency histograms, access log, /debug/requests ring, "
+             "request trace spans); aggregate serve.* counters stay on",
+    )
+    p.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record request/batch spans into a Chrome-trace file "
+             "(rotates to PATH-derived numbered files while serving; "
+             "the remainder is written to PATH at shutdown)",
+    )
+    p.add_argument(
+        "--trace-rotate-events", type=int, default=500_000,
+        help="with --trace: flush the buffer to the next numbered "
+             "rotation file once it holds this many events "
+             "(default 500000; 0 never rotates)",
+    )
     add_manifest_arg(p)
     p.set_defaults(func=commands.cmd_serve)
 
@@ -320,6 +344,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--merge", metavar="OUT",
         help="merge the input files into OUT (one pid block per file) "
              "instead of summarizing",
+    )
+    p.add_argument(
+        "--serve", action="store_true",
+        help="also summarize serve request/batch spans: per "
+             "model x route x status latency totals, requests per "
+             "microbatch, and batch-link consistency",
     )
     p.set_defaults(func=commands.cmd_trace)
 

@@ -278,6 +278,14 @@ def _simulate_point_job(
             trace, workload=workload.name, parameters=dict(config)
         )
     m.inc("campaign.points.simulated")
+    # Simulated (deterministic) kernel time — same observation run_point
+    # makes on the serial path, so the histogram deltas shipped back
+    # merge to a snapshot bit-identical to a serial run's.
+    m.observe(
+        "campaign.point.sim_time_s",
+        result.time_s,
+        {"workload": workload.name},
+    )
     memo_deltas = {
         name: m.count(name) - memo_before[name]
         for name in MEMO_COUNTER_NAMES
@@ -365,6 +373,15 @@ class SimulationCampaign:
                 )
             elapsed = time.perf_counter() - start
             metrics().inc("campaign.points.simulated")
+            # Simulated (deterministic) kernel time, not wall-clock:
+            # serial and --jobs N campaigns observe the exact same
+            # values, so the shipped histogram deltas merge to a
+            # bit-identical snapshot at any worker count.
+            metrics().observe(
+                "campaign.point.sim_time_s",
+                result.time_s,
+                {"workload": workload.name},
+            )
             log.debug(
                 "point simulated",
                 extra={"ctx": {

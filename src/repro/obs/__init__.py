@@ -25,12 +25,27 @@ from .logging import (
     get_logger,
     verbosity_level,
 )
+from .histogram import (
+    DEFAULT_LATENCY_BOUNDS_S,
+    DEFAULT_SIZE_BOUNDS,
+    Histogram,
+    log_bounds,
+)
 from .manifest import RunManifest, config_hash
 from .metrics import (
+    METRICS_SCHEMA,
     MetricsRegistry,
     TimerSpan,
+    labeled_name,
     metrics,
     phase_timings,
+    split_metric_key,
+)
+from .prom import (
+    ExpositionError,
+    parse_exposition,
+    render_prometheus,
+    sanitize_metric_name,
 )
 from .trace import (
     HardwareTimeline,
@@ -39,15 +54,21 @@ from .trace import (
     load_trace,
     merge_traces,
     reset_tracing,
+    summarize_serve_requests,
     summarize_trace,
     tracer,
     validate_trace,
 )
 
 __all__ = [
+    "DEFAULT_LATENCY_BOUNDS_S",
+    "DEFAULT_SIZE_BOUNDS",
+    "ExpositionError",
     "HardwareTimeline",
+    "Histogram",
     "HumanFormatter",
     "JsonLinesFormatter",
+    "METRICS_SCHEMA",
     "MetricsRegistry",
     "RunManifest",
     "TimerSpan",
@@ -56,11 +77,18 @@ __all__ = [
     "config_hash",
     "configure_logging",
     "get_logger",
+    "labeled_name",
     "load_trace",
+    "log_bounds",
     "merge_traces",
     "metrics",
+    "parse_exposition",
     "phase_timings",
+    "render_prometheus",
     "reset_tracing",
+    "sanitize_metric_name",
+    "split_metric_key",
+    "summarize_serve_requests",
     "summarize_trace",
     "tracer",
     "validate_trace",

@@ -1,0 +1,254 @@
+"""Prometheus text exposition (version 0.0.4) for metrics snapshots.
+
+:func:`render_prometheus` turns a :meth:`MetricsRegistry.snapshot` dict
+into the plain-text format every Prometheus-compatible scraper ingests:
+
+* counters   -> ``repro_<name>_total``            (``# TYPE ... counter``)
+* gauges     -> ``repro_<name>``                  (``# TYPE ... gauge``)
+* timers     -> ``repro_<name>_seconds_count/_sum`` (``# TYPE ... summary``)
+* histograms -> ``repro_<name>_bucket{le=...}`` cumulative buckets plus
+  ``_sum``/``_count``                             (``# TYPE ... histogram``)
+
+Dotted registry names map to underscores (``serve.requests`` ->
+``repro_serve_requests_total``); a trailing ``_s`` unit suffix becomes
+``_seconds``.  Labels encoded in registry keys (``name{k="v"}``) pass
+through as Prometheus labels.  Output is deterministically ordered and
+each metric family gets exactly one ``# TYPE`` line.
+
+:func:`parse_exposition` is the matching strict parser used by tests and
+``scripts/check_prom.py`` to validate what the server actually serves —
+it fails on malformed lines, unknown sample names, duplicate series and
+duplicate ``# TYPE`` declarations.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .metrics import split_metric_key
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<ts>-?\d+))?$"
+)
+_LABEL = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(,|$)'
+)
+
+
+def sanitize_metric_name(name: str, prefix: str = "repro_") -> str:
+    """Registry name -> Prometheus metric name.
+
+    Dots and other invalid characters become underscores; a trailing
+    ``_s`` unit marker expands to ``_seconds``; ``prefix`` namespaces
+    every exported family.
+    """
+    if name.endswith("_s"):
+        name = name[:-2] + "_seconds"
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    out = prefix + cleaned
+    if not _NAME_OK.match(out):
+        raise ValueError(f"cannot build a valid metric name from {name!r}")
+    return out
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _labels_text(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape(labels[key])}"' for key in sorted(labels)
+    )
+    return "{" + body + "}"
+
+
+def _fmt(value: float) -> str:
+    if value != value:
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _families(section: dict, prefix: str) -> dict[str, list]:
+    """Group a snapshot section's series by exported family name."""
+    families: dict[str, list] = {}
+    for key in sorted(section):
+        name, labels = split_metric_key(key)
+        families.setdefault(sanitize_metric_name(name, prefix), []).append(
+            (labels, section[key])
+        )
+    return families
+
+
+def render_prometheus(
+    snapshot: dict, *, prefix: str = "repro_"
+) -> str:
+    """A snapshot as Prometheus text exposition format 0.0.4."""
+    lines: list[str] = []
+
+    for family, series in sorted(
+        _families(snapshot.get("counters", {}), prefix).items()
+    ):
+        family += "_total"
+        lines.append(f"# TYPE {family} counter")
+        for labels, value in series:
+            lines.append(f"{family}{_labels_text(labels)} {_fmt(value)}")
+
+    for family, series in sorted(
+        _families(snapshot.get("gauges", {}), prefix).items()
+    ):
+        lines.append(f"# TYPE {family} gauge")
+        for labels, value in series:
+            lines.append(f"{family}{_labels_text(labels)} {_fmt(value)}")
+
+    for family, series in sorted(
+        _families(snapshot.get("timers", {}), prefix).items()
+    ):
+        if not family.endswith("_seconds"):
+            family += "_seconds"
+        lines.append(f"# TYPE {family} summary")
+        for labels, stat in series:
+            tag = _labels_text(labels)
+            lines.append(f"{family}_sum{tag} {_fmt(stat['total_s'])}")
+            lines.append(f"{family}_count{tag} {_fmt(stat['count'])}")
+
+    for family, series in sorted(
+        _families(snapshot.get("histograms", {}), prefix).items()
+    ):
+        lines.append(f"# TYPE {family} histogram")
+        for labels, snap in series:
+            cumulative = 0
+            for bound, n in zip(snap["bounds"], snap["counts"]):
+                cumulative += n
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = _fmt(bound)
+                lines.append(
+                    f"{family}_bucket{_labels_text(bucket_labels)} "
+                    f"{cumulative}"
+                )
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = "+Inf"
+            lines.append(
+                f"{family}_bucket{_labels_text(bucket_labels)} "
+                f"{snap['count']}"
+            )
+            tag = _labels_text(labels)
+            lines.append(f"{family}_sum{tag} {_fmt(snap['sum'])}")
+            lines.append(f"{family}_count{tag} {_fmt(snap['count'])}")
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# --------------------------------------------------------------- validation
+
+
+class ExpositionError(ValueError):
+    """The text failed strict exposition-format validation."""
+
+
+def _parse_labels(body: str, line_no: int) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    pos = 0
+    while pos < len(body):
+        match = _LABEL.match(body, pos)
+        if match is None:
+            raise ExpositionError(
+                f"line {line_no}: malformed label block {{{body}}}"
+            )
+        key = match.group("key")
+        if key in labels:
+            raise ExpositionError(
+                f"line {line_no}: duplicate label {key!r}"
+            )
+        labels[key] = match.group("value")
+        pos = match.end()
+    return labels
+
+
+def parse_exposition(text: str) -> dict:
+    """Strictly parse exposition text; raise :class:`ExpositionError`.
+
+    Returns ``{"types": {family: type}, "samples": {series_key: value}}``
+    where ``series_key`` is the canonical ``name{sorted labels}`` form.
+    Checks: every line is a comment or a valid sample, sample names
+    belong to a declared family, no family is declared twice, and no
+    series repeats.
+    """
+    types: dict[str, str] = {}
+    samples: dict[str, float] = {}
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    raise ExpositionError(
+                        f"line {line_no}: malformed TYPE comment"
+                    )
+                _, _, family, kind = parts
+                if kind not in {
+                    "counter", "gauge", "histogram", "summary", "untyped"
+                }:
+                    raise ExpositionError(
+                        f"line {line_no}: unknown metric type {kind!r}"
+                    )
+                if family in types:
+                    raise ExpositionError(
+                        f"line {line_no}: duplicate TYPE for {family!r}"
+                    )
+                types[family] = kind
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ExpositionError(
+                f"line {line_no}: malformed sample line {line!r}"
+            )
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "", line_no)
+        raw_value = match.group("value")
+        try:
+            value = float(raw_value)
+        except ValueError:
+            raise ExpositionError(
+                f"line {line_no}: invalid sample value {raw_value!r}"
+            ) from None
+        family = _family_of(name, types)
+        if family is None:
+            raise ExpositionError(
+                f"line {line_no}: sample {name!r} has no TYPE declaration"
+            )
+        series_key = name + _labels_text(labels)
+        if series_key in samples:
+            raise ExpositionError(
+                f"line {line_no}: duplicate series {series_key!r}"
+            )
+        samples[series_key] = value
+    return {"types": types, "samples": samples}
+
+
+def _family_of(sample_name: str, types: dict[str, str]) -> str | None:
+    """The declared family a sample line belongs to, if any."""
+    if sample_name in types:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if types.get(base) in {"histogram", "summary"}:
+                return base
+    return None

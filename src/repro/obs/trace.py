@@ -419,6 +419,40 @@ class Tracer:
         os.replace(tmp, path)
         return path
 
+    def rotate(self, path: str | Path) -> Path:
+        """Write the buffered events to ``path`` and clear the buffer.
+
+        The take-and-clear is atomic under the buffer lock, so events
+        recorded concurrently with a rotation land in the *next* file
+        rather than being lost or duplicated.  Long-running processes
+        (``repro serve --trace``) call this when the buffer approaches
+        its bound, producing a numbered sequence of trace files that
+        ``repro trace --merge`` can stitch back together.
+        """
+        from .. import __version__
+
+        with self._lock:
+            events = self._events
+            self._events = []
+            dropped, self.dropped = self.dropped, 0
+        doc = {
+            "traceEvents": self._metadata_events(events) + events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "repro_version": __version__,
+                "rotated": True,
+                "events": len(events),
+                "dropped": dropped,
+                "hw_dropped": self.hw_dropped,
+            },
+        }
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(doc) + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
 
 class HardwareTimeline:
     """Per-simulation emitter of simulated-clock (nmcsim) events.
@@ -643,6 +677,81 @@ def summarize_trace(data, *, top: int = 15) -> list[dict]:
         stat["total_us"] = round(stat["total_us"], 3)
         stat["self_us"] = round(stat["self_us"], 3)
     return ranked
+
+
+def summarize_serve_requests(data) -> dict:
+    """Request/batch statistics of a ``repro serve --trace`` file.
+
+    Reads the ``serve.request`` spans (args carry ``request_id``,
+    ``model``, ``route``, ``status`` and, when microbatched,
+    ``batch_id``) and the ``serve.predict_batch`` spans (args carry
+    ``batch_id`` + the coalesced ``request_ids``), checks that the
+    parent->batch links are consistent both ways, and aggregates
+    latency per ``model x route x status`` group.
+    """
+    requests: list[dict] = []
+    batches: dict[str, dict] = {}
+    for event in _trace_events(data):
+        if event.get("ph") != "X":
+            continue
+        args = event.get("args") or {}
+        if event.get("name") == "serve.request":
+            # The serve.request *timer* span mirrors into the trace too
+            # (cat "metrics", no args); only the server's request spans
+            # carry a request_id and belong in this summary.
+            if not args.get("request_id"):
+                continue
+            requests.append({**args, "dur_us": event.get("dur", 0.0)})
+        elif event.get("name") == "serve.predict_batch":
+            batch_id = args.get("batch_id")
+            if batch_id:
+                batches[batch_id] = {
+                    "request_ids": list(args.get("request_ids") or ()),
+                    "rows": args.get("rows", 0),
+                    "dur_us": event.get("dur", 0.0),
+                }
+    groups: dict[tuple, dict] = {}
+    unlinked = 0
+    for req in requests:
+        key = (
+            req.get("model") or "-",
+            req.get("route") or "-",
+            str(req.get("status", "-")),
+        )
+        group = groups.setdefault(
+            key,
+            {
+                "model": key[0], "route": key[1], "status": key[2],
+                "count": 0, "total_us": 0.0, "max_us": 0.0,
+            },
+        )
+        group["count"] += 1
+        group["total_us"] += req["dur_us"]
+        group["max_us"] = max(group["max_us"], req["dur_us"])
+        batch_id = req.get("batch_id")
+        if batch_id:
+            batch = batches.get(batch_id)
+            if batch is None or (
+                req.get("request_id") not in batch["request_ids"]
+            ):
+                unlinked += 1
+    for group in groups.values():
+        group["total_us"] = round(group["total_us"], 3)
+        group["max_us"] = round(group["max_us"], 3)
+    batch_sizes = [len(b["request_ids"]) for b in batches.values()]
+    return {
+        "requests": len(requests),
+        "batches": len(batches),
+        "mean_requests_per_batch": (
+            round(sum(batch_sizes) / len(batch_sizes), 2)
+            if batch_sizes else None
+        ),
+        "unlinked_requests": unlinked,
+        "groups": sorted(
+            groups.values(),
+            key=lambda g: (g["model"], g["route"], g["status"]),
+        ),
+    }
 
 
 def load_trace(path: str | Path) -> dict:

@@ -16,6 +16,15 @@ generations.  With ``window_s == 0`` the batcher degrades to a direct
 per-request call (the "single" path the serve benchmark compares
 against).
 
+Every flush carries a **batch id**: requests learn which batch answered
+them (``submit`` returns it, the server echoes it into access logs and
+``/debug/requests``), and under ``--trace`` the batcher emits one
+``serve.predict_batch`` span whose args list the coalesced request ids
+— the parent->batch link that connects one vectorized model call to all
+the requests it served.  ``instrument=False`` strips the per-batch
+histogram/gauge/trace work (the benchmark's overhead baseline) while
+keeping the PR 8 counters.
+
 The model call runs in a worker thread (``run_in_executor``), keeping
 the event loop free to parse, batch and answer health checks while
 NumPy crunches — the forest's heavy lifting releases the GIL.
@@ -24,11 +33,14 @@ NumPy crunches — the forest's heavy lifting releases the GIL.
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import itertools
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..obs import metrics
+from ..obs import DEFAULT_SIZE_BOUNDS, metrics, tracer
 from .registry import ServedModel
 
 
@@ -37,7 +49,8 @@ class _Bucket:
     """Rows accumulating for one (model, generation) pair."""
 
     served: ServedModel
-    items: list[tuple[np.ndarray, asyncio.Future]] = field(
+    batch_id: str
+    items: list[tuple[np.ndarray, asyncio.Future, str | None]] = field(
         default_factory=list
     )
     rows: int = 0
@@ -60,6 +73,7 @@ class MicroBatcher:
         *,
         window_s: float = 0.002,
         max_rows: int = 4096,
+        instrument: bool = True,
     ) -> None:
         if window_s < 0:
             raise ValueError("window_s must be >= 0")
@@ -67,7 +81,9 @@ class MicroBatcher:
             raise ValueError("max_rows must be >= 1")
         self.window_s = float(window_s)
         self.max_rows = int(max_rows)
+        self.instrument = instrument
         self._buckets: dict[tuple[str, int], _Bucket] = {}
+        self._batch_seq = itertools.count(1)
 
     # ------------------------------------------------------------- public
 
@@ -75,33 +91,53 @@ class MicroBatcher:
         """Rows currently waiting in open buckets (drain visibility)."""
         return sum(b.rows for b in self._buckets.values())
 
-    async def submit(
-        self, served: ServedModel, X: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, int]:
-        """Rows (model layout) -> (ipc_per_pe, epi, batch_row_count).
+    def _next_batch_id(self) -> str:
+        return f"b{os.getpid()}-{next(self._batch_seq)}"
 
-        ``batch_row_count`` is the size of the matrix call that answered
+    async def submit(
+        self,
+        served: ServedModel,
+        X: np.ndarray,
+        request_id: str | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, int, str]:
+        """Rows (model layout) -> (ipc_per_pe, epi, batch_rows, batch_id).
+
+        ``batch_rows`` is the size of the matrix call that answered
         these rows — observability for how much coalescing actually
         happened (the response reports it as ``batched_rows``).
+        ``batch_id`` names that call; the ``serve.predict_batch`` trace
+        span with the same id lists every coalesced ``request_id``.
         """
         loop = asyncio.get_running_loop()
         if self.window_s == 0.0:
-            ipc, epi = await loop.run_in_executor(
-                None, predict_matrix, served, X
+            batch_id = self._next_batch_id()
+            span = self._batch_span(
+                served, batch_id,
+                [request_id] if request_id is not None else [],
+                X.shape[0],
             )
+            with span:
+                ipc, epi = await loop.run_in_executor(
+                    None, predict_matrix, served, X
+                )
             metrics().inc("serve.batches")
-            return ipc, epi, X.shape[0]
+            self._observe_batch(served, X.shape[0])
+            return ipc, epi, X.shape[0], batch_id
         key = (served.name, served.generation)
         bucket = self._buckets.get(key)
         if bucket is None:
-            bucket = _Bucket(served=served)
+            bucket = _Bucket(
+                served=served, batch_id=self._next_batch_id()
+            )
             self._buckets[key] = bucket
             bucket.timer = asyncio.create_task(
                 self._flush_after_window(key)
             )
         future: asyncio.Future = loop.create_future()
-        bucket.items.append((X, future))
+        bucket.items.append((X, future, request_id))
         bucket.rows += X.shape[0]
+        if self.instrument:
+            metrics().set_gauge("serve.queue_rows", self.pending_rows())
         if bucket.rows >= self.max_rows:
             self._detach(key, bucket)
             await self._flush(bucket)
@@ -116,6 +152,37 @@ class MicroBatcher:
             await self._flush(bucket)
 
     # ------------------------------------------------------------ internal
+
+    def _batch_span(
+        self,
+        served: ServedModel,
+        batch_id: str,
+        request_ids: list,
+        rows: int,
+    ):
+        """The ``serve.predict_batch`` trace span linking batch->requests."""
+        if not self.instrument:
+            return contextlib.nullcontext()
+        return tracer().span(
+            "serve.predict_batch",
+            cat="serve",
+            batch_id=batch_id,
+            model=served.name,
+            generation=served.generation,
+            rows=rows,
+            request_ids=[r for r in request_ids if r is not None],
+        )
+
+    def _observe_batch(self, served: ServedModel, rows: int) -> None:
+        if not self.instrument:
+            return
+        metrics().observe(
+            "serve.batch.rows",
+            rows,
+            {"model": served.name},
+            bounds=DEFAULT_SIZE_BOUNDS,
+        )
+        metrics().set_gauge("serve.queue_rows", self.pending_rows())
 
     def _detach(self, key: tuple[str, int], bucket: _Bucket) -> None:
         """Close the bucket to new rows and cancel its window timer."""
@@ -136,28 +203,36 @@ class MicroBatcher:
         if not bucket.items:
             return
         loop = asyncio.get_running_loop()
-        matrices = [X for X, _ in bucket.items]
+        matrices = [X for X, _, _ in bucket.items]
         batch = (
             matrices[0] if len(matrices) == 1 else np.vstack(matrices)
         )
         total = batch.shape[0]
         metrics().inc("serve.batches")
         metrics().inc("serve.batched_rows", total)
+        self._observe_batch(bucket.served, total)
+        span = self._batch_span(
+            bucket.served,
+            bucket.batch_id,
+            [rid for _, _, rid in bucket.items],
+            total,
+        )
         try:
-            ipc, epi = await loop.run_in_executor(
-                None, predict_matrix, bucket.served, batch
-            )
+            with span:
+                ipc, epi = await loop.run_in_executor(
+                    None, predict_matrix, bucket.served, batch
+                )
         except Exception as exc:  # noqa: BLE001 - fan the failure out
-            for _, future in bucket.items:
+            for _, future, _ in bucket.items:
                 if not future.done():
                     future.set_exception(exc)
             return
         offset = 0
-        for X, future in bucket.items:
+        for X, future, _ in bucket.items:
             n = X.shape[0]
             if not future.done():
                 future.set_result(
                     (ipc[offset:offset + n], epi[offset:offset + n],
-                     total)
+                     total, bucket.batch_id)
                 )
             offset += n

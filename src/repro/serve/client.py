@@ -36,6 +36,9 @@ class ServeClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: The X-Request-Id the server echoed on the last response.
+        self.last_request_id: str | None = None
+        self._last_status = 0
         self._conn: http.client.HTTPConnection | None = None
 
     # ------------------------------------------------------------- plumbing
@@ -59,18 +62,50 @@ class ServeClient:
         self.close()
 
     def request(
-        self, method: str, path: str, payload: dict | None = None
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        *,
+        headers: dict[str, str] | None = None,
     ) -> dict:
         """One round trip; retries once on a dropped keep-alive socket."""
+        raw = self.request_raw(method, path, payload, headers=headers)
+        try:
+            doc = json.loads(raw) if raw else {}
+        except ValueError:
+            doc = {"message": raw.decode("utf-8", "replace")}
+        if self._last_status >= 400:
+            raise ServeClientError(self._last_status, doc)
+        return doc
+
+    def request_raw(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        *,
+        headers: dict[str, str] | None = None,
+    ) -> bytes:
+        """One round trip returning the raw body (no JSON decoding).
+
+        Records the response status in ``_last_status`` and the echoed
+        request id in :attr:`last_request_id`; non-2xx is *not* raised
+        here — :meth:`request` layers the error contract on top.
+        """
         body = (
             json.dumps(payload).encode("utf-8")
             if payload is not None else None
         )
-        headers = {"Content-Type": "application/json"}
+        send_headers = {"Content-Type": "application/json"}
+        if headers:
+            send_headers.update(headers)
         for attempt in (0, 1):
             conn = self._connection()
             try:
-                conn.request(method, path, body=body, headers=headers)
+                conn.request(
+                    method, path, body=body, headers=send_headers
+                )
                 response = conn.getresponse()
                 raw = response.read()
                 break
@@ -78,13 +113,9 @@ class ServeClient:
                 self.close()
                 if attempt:
                     raise
-        try:
-            doc = json.loads(raw) if raw else {}
-        except ValueError:
-            doc = {"message": raw.decode("utf-8", "replace")}
-        if response.status >= 400:
-            raise ServeClientError(response.status, doc)
-        return doc
+        self._last_status = response.status
+        self.last_request_id = response.getheader("X-Request-Id")
+        return raw
 
     # ------------------------------------------------------------ endpoints
 
@@ -93,6 +124,19 @@ class ServeClient:
 
     def metrics(self) -> dict:
         return self.request("GET", "/metrics")
+
+    def metrics_prom(self) -> str:
+        """``GET /metrics`` as Prometheus text exposition 0.0.4."""
+        raw = self.request_raw(
+            "GET", "/metrics?format=prom",
+            headers={"Accept": "text/plain"},
+        )
+        if self._last_status >= 400:
+            raise ServeClientError(self._last_status, None)
+        return raw.decode("utf-8")
+
+    def debug_requests(self) -> dict:
+        return self.request("GET", "/debug/requests")
 
     def models(self) -> dict:
         return self.request("GET", "/models")
@@ -108,8 +152,14 @@ class ServeClient:
         align: bool = False,
         columns: list[str] | None = None,
         meta: list | None = None,
+        request_id: str | None = None,
     ) -> dict:
-        """``POST /predict`` with the documented request shape."""
+        """``POST /predict`` with the documented request shape.
+
+        ``request_id`` propagates as the X-Request-Id header; the id
+        the server actually used (propagated or minted) is available as
+        :attr:`last_request_id` afterwards.
+        """
         payload: dict = {"rows": rows}
         if model is not None:
             payload["model"] = model
@@ -119,4 +169,7 @@ class ServeClient:
             payload["columns"] = columns
         if meta is not None:
             payload["meta"] = meta
-        return self.request("POST", "/predict", payload)
+        headers = (
+            {"X-Request-Id": request_id} if request_id else None
+        )
+        return self.request("POST", "/predict", payload, headers=headers)

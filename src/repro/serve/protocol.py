@@ -59,10 +59,17 @@ class ProtocolError(ReproError):
 
 
 def error_body(
-    status: int, code: str, message: str, details: dict | None = None
+    status: int,
+    code: str,
+    message: str,
+    details: dict | None = None,
+    *,
+    request_id: str | None = None,
 ) -> bytes:
     """The canonical JSON error document."""
     doc = {"error": code, "status": status, "message": message}
+    if request_id is not None:
+        doc["request_id"] = request_id
     if details:
         doc.update(details)
     return (json.dumps(doc) + "\n").encode("utf-8")

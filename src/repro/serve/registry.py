@@ -25,7 +25,7 @@ from typing import Iterable, Mapping
 from ..core.predictor import NapelModel
 from ..core.serialization import PreloadedModel, preload_model
 from ..errors import ConfigError
-from ..obs import get_logger
+from ..obs import get_logger, metrics
 
 log = get_logger("repro.serve.registry")
 
@@ -121,6 +121,7 @@ class ModelRegistry:
             loaded = self._load_generation(generation)
             self._models = loaded
             self._generation = generation
+            metrics().set_gauge("serve.generation", generation)
             return dict(loaded)
 
     def reload_all(self) -> dict[str, ServedModel]:
@@ -138,6 +139,7 @@ class ModelRegistry:
             self._generation = generation
             self.reloads += 1
             self.last_reload_unix = time.time()
+            metrics().set_gauge("serve.generation", generation)
             return dict(loaded)
 
     # -------------------------------------------------------------- lookup

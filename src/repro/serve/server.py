@@ -8,10 +8,25 @@ microbatching).  Endpoints:
   microbatched (:mod:`repro.serve.batcher`), answered with label and
   derived predictions (:mod:`repro.serve.protocol`);
 * ``GET /healthz`` — liveness + the model registry summary;
-* ``GET /metrics`` — the process :class:`~repro.obs.MetricsRegistry`
-  snapshot (``serve.*`` counters/timers included);
+* ``GET /metrics`` — content negotiated: the deterministic key-ordered
+  JSON :class:`~repro.obs.MetricsRegistry` snapshot by default, or
+  Prometheus text exposition 0.0.4 under ``Accept: text/plain`` /
+  ``?format=prom`` — per-model × route × status request counters,
+  latency histograms, batch-size/queue gauges, reload generation;
+* ``GET /debug/requests`` — a bounded in-memory ring of the most recent
+  request records (id, model, rows, latency, status, generation);
 * ``GET /models`` — the registry summary alone;
 * ``POST /-/reload`` — warm-standby reload (same path SIGHUP triggers).
+
+Every request carries an **X-Request-Id**: taken from the client's
+header when present (propagation), generated otherwise, echoed on the
+response, recorded in the access log / debug ring / trace span, and —
+when microbatched — linked to the ``serve.predict_batch`` span that
+answered it.  Requests slower than ``--slow-request-ms`` attach as
+exemplars to their latency-histogram bucket and emit a structured warn
+line.  Under ``--trace`` the buffer rotates to numbered files once it
+reaches ``--trace-rotate-events`` events, so long-serving processes
+never drop spans.
 
 Operational contract:
 
@@ -29,13 +44,18 @@ from __future__ import annotations
 
 import asyncio
 import json
+import re
 import signal
 import threading
 import time
+import uuid
+from collections import deque
 from typing import Mapping
 
 from ..errors import ReproError
-from ..obs import get_logger, metrics
+from ..obs import METRICS_SCHEMA, get_logger, metrics, tracer
+from ..obs.prom import CONTENT_TYPE as PROM_CONTENT_TYPE
+from ..obs.prom import render_prometheus
 from .batcher import MicroBatcher
 from .protocol import (
     ProtocolError,
@@ -49,12 +69,26 @@ from ..errors import SchemaMismatchError
 from .registry import ModelRegistry
 
 log = get_logger("repro.serve")
+#: One line per finished request (4xx/5xx included) — JSON under
+#: ``--log-json``, human-readable under ``-v``.
+access_log = get_logger("repro.serve.access")
 
 #: Hard request-size limits — a prediction service should not be a
 #: memory amplifier.
 MAX_BODY_BYTES = 64 * 1024 * 1024
 MAX_HEADER_BYTES = 16 * 1024
 MAX_ROWS_PER_REQUEST = 65536
+
+#: Client-supplied request ids must be short and printable; anything
+#: else is replaced with a generated id rather than trusted into logs.
+_REQUEST_ID_OK = re.compile(r"^[A-Za-z0-9._:-]{1,128}$")
+
+#: How many finished requests ``GET /debug/requests`` retains.
+DEBUG_RING_SIZE = 256
+
+
+def new_request_id() -> str:
+    return uuid.uuid4().hex[:16]
 
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
@@ -76,15 +110,32 @@ class PredictionServer:
         batch_window_ms: float = 2.0,
         max_batch_rows: int = 4096,
         drain_timeout_s: float = 10.0,
+        slow_request_ms: float = 0.0,
+        instrument: bool = True,
+        debug_ring: int = DEBUG_RING_SIZE,
+        trace_rotate_events: int = 0,
     ) -> None:
         self.registry = registry
         self.host = host
         self.port = port
         self.batch_window_ms = float(batch_window_ms)
         self.batcher = MicroBatcher(
-            window_s=batch_window_ms / 1e3, max_rows=max_batch_rows
+            window_s=batch_window_ms / 1e3,
+            max_rows=max_batch_rows,
+            instrument=instrument,
         )
         self.drain_timeout_s = drain_timeout_s
+        #: Threshold (ms) above which a finished request is "slow":
+        #: histogram exemplar + structured warn line.  0 disables.
+        self.slow_request_ms = float(slow_request_ms)
+        #: ``False`` strips labeled metrics, histograms, the debug ring,
+        #: access logs and request spans — the benchmark's baseline for
+        #: measuring instrumentation overhead.  The PR 8 aggregate
+        #: counters/timers always stay on.
+        self.instrument = instrument
+        #: Rotate the trace buffer to a numbered file once it holds this
+        #: many events (0 = never; the CLI writes one file at exit).
+        self.trace_rotate_events = int(trace_rotate_events)
         self.started_at = time.time()
         self._server: asyncio.AbstractServer | None = None
         self._closing = False
@@ -94,8 +145,11 @@ class PredictionServer:
         self._inflight = 0
         self._conns: set[asyncio.StreamWriter] = set()
         self._reload_lock = asyncio.Lock()
+        self._recent: deque[dict] = deque(maxlen=max(1, int(debug_ring)))
+        self._rotating = False
         self.stats = {
             "requests": 0, "rows": 0, "errors": 0, "reloads": 0,
+            "slow_requests": 0, "trace_rotations": 0,
         }
 
     # ------------------------------------------------------------ lifecycle
@@ -209,16 +263,22 @@ class PredictionServer:
                 request = await self._read_request(reader, writer)
                 if request is None:
                     break
-                method, path, headers, body = request
+                method, path, query, headers, body = request
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower()
                     != "close"
                 ) and not self._closing
+                info = {
+                    "request_id": self._request_id(headers),
+                    "content_type": "application/json",
+                }
                 status, payload = await self._dispatch(
-                    method, path, body
+                    method, path, query, headers, body, info
                 )
                 await self._write_response(
-                    writer, status, payload, keep_alive
+                    writer, status, payload, keep_alive,
+                    content_type=info["content_type"],
+                    request_id=info["request_id"],
                 )
                 if not keep_alive:
                     break
@@ -301,17 +361,36 @@ class PredictionServer:
             )
             return None
         body = await reader.readexactly(length) if length else b""
-        path = target.split("?", 1)[0]
-        return method.upper(), path, headers, body
+        path, _, query = target.partition("?")
+        return method.upper(), path, query, headers, body
+
+    @staticmethod
+    def _request_id(headers: Mapping[str, str]) -> str:
+        """Propagate the client's X-Request-Id, or mint one."""
+        supplied = headers.get("x-request-id", "").strip()
+        if supplied and _REQUEST_ID_OK.match(supplied):
+            return supplied
+        return new_request_id()
 
     async def _write_response(
-        self, writer, status: int, payload: bytes, keep_alive: bool
+        self,
+        writer,
+        status: int,
+        payload: bytes,
+        keep_alive: bool,
+        *,
+        content_type: str = "application/json",
+        request_id: str | None = None,
     ) -> None:
         reason = _REASONS.get(status, "Unknown")
+        request_id_line = (
+            f"X-Request-Id: {request_id}\r\n" if request_id else ""
+        )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{request_id_line}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         ).encode("latin-1")
@@ -321,20 +400,36 @@ class PredictionServer:
     # ------------------------------------------------------------- routing
 
     async def _dispatch(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        query: str,
+        headers: Mapping[str, str],
+        body: bytes,
+        info: dict,
     ) -> tuple[int, bytes]:
         self.stats["requests"] += 1
         metrics().inc("serve.requests")
         self._inflight += 1
         self._idle.clear()
+        info.setdefault("model", None)
+        info.setdefault("rows", 0)
+        info.setdefault("batch_id", None)
+        start = time.monotonic()
+        status = 500
         try:
             with metrics().timer("serve.request"):
-                return await self._route(method, path, body)
+                status, payload = await self._route(
+                    method, path, query, headers, body, info
+                )
+            return status, payload
         except ProtocolError as exc:
+            status = exc.status
             self.stats["errors"] += 1
             metrics().inc("serve.errors")
             return exc.status, error_body(
-                exc.status, exc.code, str(exc), exc.details
+                exc.status, exc.code, str(exc), exc.details,
+                request_id=info["request_id"],
             )
         except Exception as exc:  # noqa: BLE001 - request boundary
             self.stats["errors"] += 1
@@ -342,27 +437,145 @@ class PredictionServer:
             log.error(
                 "request failed", extra={"ctx": {
                     "path": path,
+                    "request_id": info["request_id"],
                     "exception": type(exc).__name__,
                     "message": str(exc),
                 }},
             )
             return 500, error_body(
-                500, "internal_error", f"{type(exc).__name__}: {exc}"
+                500, "internal_error", f"{type(exc).__name__}: {exc}",
+                request_id=info["request_id"],
             )
         finally:
+            self._observe_request(method, path, status, start, info)
             self._inflight -= 1
             if self._inflight == 0:
                 self._idle.set()
 
+    def _observe_request(
+        self,
+        method: str,
+        path: str,
+        status: int,
+        start_monotonic: float,
+        info: dict,
+    ) -> None:
+        """Per-request telemetry: labels, histogram, ring, log, span."""
+        if not self.instrument:
+            return
+        elapsed_s = time.monotonic() - start_monotonic
+        model = info.get("model") or "-"
+        labels = {"model": model, "route": path, "status": status}
+        metrics().inc("serve.requests", labels=labels)
+        latency_ms = elapsed_s * 1e3
+        slow = (
+            self.slow_request_ms > 0
+            and latency_ms >= self.slow_request_ms
+        )
+        exemplar = None
+        if slow:
+            self.stats["slow_requests"] += 1
+            exemplar = {
+                "request_id": info["request_id"],
+                "ts": time.time(),
+            }
+        metrics().observe(
+            "serve.request.latency_s",
+            elapsed_s,
+            {"model": model, "route": path},
+            exemplar=exemplar,
+        )
+        metrics().set_gauge("serve.inflight", self._inflight)
+        record = {
+            "request_id": info["request_id"],
+            "method": method,
+            "route": path,
+            "model": info.get("model"),
+            "rows": info.get("rows", 0),
+            "batch_id": info.get("batch_id"),
+            "status": status,
+            "latency_ms": round(latency_ms, 3),
+            "generation": self.registry.generation,
+            "unix_time": round(time.time(), 3),
+        }
+        self._recent.append(record)
+        access_log.info(
+            "%s %s %s %.3fms", method, path, status, latency_ms,
+            extra={"ctx": record},
+        )
+        if slow:
+            log.warning(
+                "slow request", extra={"ctx": {
+                    **record,
+                    "threshold_ms": self.slow_request_ms,
+                }},
+            )
+        t = tracer()
+        if t.enabled:
+            t.complete(
+                "serve.request",
+                t.to_ts_us(start_monotonic),
+                elapsed_s * 1e6,
+                cat="serve",
+                args={
+                    k: record[k]
+                    for k in ("request_id", "route", "model", "rows",
+                              "batch_id", "status")
+                },
+            )
+            if (
+                self.trace_rotate_events > 0
+                and t.event_count >= self.trace_rotate_events
+                and not self._rotating
+            ):
+                self._rotating = True
+                asyncio.ensure_future(self._rotate_trace(t))
+
+    async def _rotate_trace(self, t) -> None:
+        """Flush the trace buffer to the next numbered rotation file.
+
+        The JSON dump runs on a worker thread so a large buffer never
+        stalls the event loop; ``_rotating`` keeps rotations serialized.
+        """
+        base = t.path
+        if base is None:
+            self._rotating = False
+            return
+        seq = self.stats["trace_rotations"] + 1
+        target = base.with_name(f"{base.stem}.{seq:04d}{base.suffix}")
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(None, t.rotate, target)
+            self.stats["trace_rotations"] = seq
+            log.info(
+                "trace rotated", extra={"ctx": {
+                    "path": str(target), "sequence": seq,
+                }},
+            )
+        except Exception as exc:  # noqa: BLE001 - keep serving
+            log.error(
+                "trace rotation failed", extra={"ctx": {
+                    "path": str(target), "error": str(exc),
+                }},
+            )
+        finally:
+            self._rotating = False
+
     async def _route(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        query: str,
+        headers: Mapping[str, str],
+        body: bytes,
+        info: dict,
     ) -> tuple[int, bytes]:
         if path == "/predict":
             if method != "POST":
                 raise ProtocolError(
                     405, "method_not_allowed", "POST /predict"
                 )
-            return await self._handle_predict(body)
+            return await self._handle_predict(body, info)
         if path == "/healthz":
             if method != "GET":
                 raise ProtocolError(
@@ -374,11 +587,28 @@ class PredictionServer:
                 raise ProtocolError(
                     405, "method_not_allowed", "GET /metrics"
                 )
+            if self._wants_prom(query, headers):
+                info["content_type"] = PROM_CONTENT_TYPE
+                text = render_prometheus(metrics().snapshot())
+                return 200, text.encode("utf-8")
             return 200, self._json({
+                "schema": METRICS_SCHEMA,
                 "uptime_seconds": round(
                     time.time() - self.started_at, 3
                 ),
                 "metrics": metrics().snapshot(),
+            })
+        if path == "/debug/requests":
+            if method != "GET":
+                raise ProtocolError(
+                    405, "method_not_allowed", "GET /debug/requests"
+                )
+            recent = list(self._recent)
+            recent.reverse()  # newest first
+            return 200, self._json({
+                "capacity": self._recent.maxlen,
+                "count": len(recent),
+                "requests": recent,
             })
         if path == "/models":
             if method != "GET":
@@ -396,12 +626,22 @@ class PredictionServer:
         raise ProtocolError(
             404, "not_found",
             f"no route {path!r} (have: /predict, /healthz, /metrics, "
-            "/models, /-/reload)",
+            "/debug/requests, /models, /-/reload)",
         )
 
     @staticmethod
+    def _wants_prom(query: str, headers: Mapping[str, str]) -> bool:
+        """Prometheus text when asked via ?format=prom or Accept."""
+        for pair in query.split("&"):
+            key, _, value = pair.partition("=")
+            if key == "format":
+                return value in ("prom", "prometheus", "openmetrics")
+        accept = headers.get("accept", "")
+        return "text/plain" in accept or "openmetrics" in accept
+
+    @staticmethod
     def _json(doc: dict) -> bytes:
-        return (json.dumps(doc) + "\n").encode("utf-8")
+        return (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
 
     def _healthz(self) -> dict:
         return {
@@ -410,10 +650,14 @@ class PredictionServer:
             "inflight": self._inflight,
             "pending_batch_rows": self.batcher.pending_rows(),
             "batch_window_ms": self.batch_window_ms,
+            "instrument": self.instrument,
+            "slow_request_ms": self.slow_request_ms,
             **self.registry.summary(),
         }
 
-    async def _handle_predict(self, body: bytes) -> tuple[int, bytes]:
+    async def _handle_predict(
+        self, body: bytes, info: dict
+    ) -> tuple[int, bytes]:
         payload = decode_predict_request(
             body, max_rows=MAX_ROWS_PER_REQUEST
         )
@@ -423,14 +667,19 @@ class PredictionServer:
             raise ProtocolError(
                 404, "unknown_model", str(exc).strip('"')
             ) from None
+        info["model"] = served.name
         try:
             X = build_matrix(payload, served.model)
         except SchemaMismatchError as exc:
             raise schema_mismatch_to_error(exc) from exc
         n = X.shape[0]
+        info["rows"] = n
         self.stats["rows"] += n
         metrics().inc("serve.rows", n)
-        ipc, epi, batched_rows = await self.batcher.submit(served, X)
+        ipc, epi, batched_rows, batch_id = await self.batcher.submit(
+            served, X, info["request_id"]
+        )
+        info["batch_id"] = batch_id
         try:
             predictions = predictions_to_json(
                 served.model, X, ipc, epi, payload.get("meta")
@@ -462,6 +711,9 @@ class ServerThread:
         port: int = 0,
         batch_window_ms: float = 2.0,
         max_batch_rows: int = 4096,
+        slow_request_ms: float = 0.0,
+        instrument: bool = True,
+        trace_rotate_events: int = 0,
     ) -> None:
         self._specs = dict(specs)
         self._kwargs = {
@@ -469,6 +721,9 @@ class ServerThread:
             "port": port,
             "batch_window_ms": batch_window_ms,
             "max_batch_rows": max_batch_rows,
+            "slow_request_ms": slow_request_ms,
+            "instrument": instrument,
+            "trace_rotate_events": trace_rotate_events,
         }
         self.server: PredictionServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None

@@ -10,13 +10,22 @@ import pytest
 
 from repro.cli import main
 from repro.obs import (
+    DEFAULT_SIZE_BOUNDS,
+    ExpositionError,
+    Histogram,
     MetricsRegistry,
     RunManifest,
     config_hash,
     configure_logging,
     get_logger,
+    labeled_name,
+    log_bounds,
     metrics,
+    parse_exposition,
     phase_timings,
+    render_prometheus,
+    sanitize_metric_name,
+    split_metric_key,
     verbosity_level,
 )
 from repro.config import default_nmc_config
@@ -222,7 +231,256 @@ class TestMetricsRegistry:
         with reg.timer("t"):
             pass
         reg.reset()
-        assert reg.snapshot() == {"counters": {}, "timers": {}}
+        assert reg.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}, "timers": {}
+        }
+
+
+class TestLabeledNames:
+    def test_bare_name_passes_through(self):
+        assert labeled_name("x", None) == "x"
+        assert labeled_name("x", {}) == "x"
+        assert split_metric_key("x") == ("x", {})
+
+    def test_label_keys_sort_canonically(self):
+        key = labeled_name("serve.requests", {"route": "/p", "model": "m"})
+        assert key == 'serve.requests{model="m",route="/p"}'
+        assert split_metric_key(key) == (
+            "serve.requests", {"model": "m", "route": "/p"}
+        )
+
+    def test_values_escape_and_round_trip(self):
+        labels = {"a": 'quo"te', "b": "back\\slash", "c": "new\nline"}
+        key = labeled_name("n", labels)
+        assert split_metric_key(key) == ("n", labels)
+
+    def test_already_labeled_name_rejected(self):
+        with pytest.raises(ValueError, match="already carries labels"):
+            labeled_name('x{a="1"}', {"b": "2"})
+
+
+class TestHistogram:
+    def test_bounds_are_inclusive_upper_edges(self):
+        h = Histogram((1.0, 10.0))
+        assert h.observe(1.0) == 0     # exactly on a bound: lower bucket
+        assert h.observe(1.5) == 1
+        assert h.observe(10.0) == 1
+        assert h.observe(11.0) == 2    # overflow bucket
+        assert h.counts == [1, 2, 1]
+        assert h.count == 4
+        assert h.min == 1.0 and h.max == 11.0
+
+    def test_rejects_non_finite_observations(self):
+        h = Histogram((1.0,))
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="finite"):
+                h.observe(bad)
+
+    def test_log_bounds_ladder_is_deterministic(self):
+        a = log_bounds(1e-5, 100.0, per_decade=4)
+        b = log_bounds(1e-5, 100.0, per_decade=4)
+        assert a == b
+        assert a[0] == pytest.approx(1e-5)
+        assert a[-1] >= 100.0
+        assert all(x < y for x, y in zip(a, a[1:]))
+        with pytest.raises(ValueError):
+            log_bounds(1.0, 0.5)
+
+    def test_quantiles_interpolate_within_buckets(self):
+        h = Histogram((1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(1.0) == 4.0
+        # Overflow bucket answers with the observed maximum.
+        h.observe(100.0)
+        assert h.quantile(1.0) == 100.0
+        assert Histogram((1.0,)).quantile(0.5) is None
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_snapshot_diff_merge_is_exact(self):
+        h = Histogram((1.0, 2.0))
+        h.observe(0.1)
+        base = h.snapshot()
+        h.observe(1.7)
+        h.observe(0.3)
+        delta = h.diff(base)
+        assert delta["count"] == 2
+        assert delta["counts"] == [1, 1, 0]
+        rebuilt = Histogram.from_snapshot(base)
+        rebuilt.merge(delta)
+        assert rebuilt.snapshot() == h.snapshot()
+
+    def test_merge_order_never_changes_the_sum(self):
+        """The exact scaled-integer sum makes merges associative even
+        for values whose float addition is not."""
+        values = [0.1, 1e-17, 0.2, 1e17, 0.3, 1e-17]
+        shards = [Histogram((1.0,)) for _ in range(3)]
+        for i, v in enumerate(values):
+            shards[i % 3].observe(v)
+        snaps = [s.snapshot() for s in shards]
+
+        def merged(order):
+            out = Histogram((1.0,))
+            for i in order:
+                out.merge(snaps[i])
+            return out.snapshot()
+
+        forward = merged([0, 1, 2])
+        assert forward == merged([2, 1, 0]) == merged([1, 2, 0])
+        # And the single-histogram reference is bit-identical too.
+        serial = Histogram((1.0,))
+        for v in values:
+            serial.observe(v)
+        assert serial.snapshot() == forward
+
+    def test_diff_rejects_mismatched_bounds(self):
+        h = Histogram((1.0,))
+        with pytest.raises(ValueError, match="bounds"):
+            h.diff(Histogram((2.0,)).snapshot())
+        with pytest.raises(ValueError, match="bounds"):
+            h.merge(Histogram((2.0,)).snapshot())
+
+    def test_exemplars_attach_and_newest_wins_on_merge(self):
+        h = Histogram((1.0,))
+        h.observe(0.5, exemplar={"request_id": "old", "ts": 1.0})
+        other = Histogram((1.0,))
+        other.observe(0.6, exemplar={"request_id": "new", "ts": 2.0})
+        h.merge(other.snapshot())
+        assert h.exemplars[0]["request_id"] == "new"
+        snap = h.snapshot()
+        assert snap["exemplars"]["0"]["request_id"] == "new"
+        # Exemplars survive from_snapshot round trips.
+        assert Histogram.from_snapshot(snap).exemplars[0]["value"] == 0.6
+
+
+class TestRegistryHistogramsAndGauges:
+    def test_observe_creates_and_labels_series(self):
+        reg = MetricsRegistry()
+        reg.observe("lat_s", 0.01, {"route": "/p"})
+        reg.observe("lat_s", 0.02, {"route": "/p"})
+        hist = reg.histogram("lat_s", {"route": "/p"})
+        assert hist is not None and hist.count == 2
+        assert reg.histogram("lat_s") is None
+
+    def test_bounds_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.observe("size", 3, bounds=DEFAULT_SIZE_BOUNDS)
+        with pytest.raises(ValueError, match="different"):
+            reg.observe("size", 3, bounds=(1.0, 2.0))
+
+    def test_gauges_last_write_wins_and_diff_ships_changes(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("depth", 3)
+        base = reg.snapshot()
+        reg.set_gauge("depth", 3)   # unchanged: not shipped
+        reg.set_gauge("gen", 2)     # new: shipped
+        delta = reg.diff(base)
+        assert delta["gauges"] == {"gen": 2.0}
+        reg.set_gauge("depth", 7)
+        assert reg.diff(base)["gauges"] == {"depth": 7.0, "gen": 2.0}
+        other = MetricsRegistry()
+        other.merge_snapshot(reg.snapshot())
+        assert other.gauge("depth") == 7.0
+
+    def test_delta_shipping_reconstructs_histograms_exactly(self):
+        """The executor's snapshot/diff/merge channel carries labeled
+        histograms bit-for-bit (the --jobs N identity contract)."""
+        parent = MetricsRegistry()
+        parent.observe("t_s", 0.5, {"w": "atax"})
+        base = json.loads(json.dumps(parent.snapshot()))
+        worker = MetricsRegistry()
+        worker.merge_snapshot(base)
+        worker_base = worker.snapshot()
+        for v in (0.1, 1e-17, 0.2):
+            worker.observe("t_s", v, {"w": "atax"})
+        worker.inc("points")
+        shipped = json.loads(json.dumps(worker.diff(worker_base)))
+        parent.merge_snapshot(shipped)
+        serial = MetricsRegistry()
+        for v in (0.5, 0.1, 1e-17, 0.2):
+            serial.observe("t_s", v, {"w": "atax"})
+        serial.inc("points")
+        assert json.dumps(parent.snapshot(), sort_keys=True) == json.dumps(
+            serial.snapshot(), sort_keys=True
+        )
+
+
+class TestPrometheusExposition:
+    def snapshot(self):
+        reg = MetricsRegistry()
+        reg.inc("serve.requests", 3, {"route": "/p", "status": 200})
+        reg.inc("serve.requests", 1, {"route": "/h", "status": 200})
+        reg.inc("campaign.points")
+        reg.set_gauge("serve.inflight", 2)
+        with reg.timer("serve.request"):
+            pass
+        reg.observe("serve.request.latency_s", 0.02, {"route": "/p"})
+        reg.observe("serve.request.latency_s", 5.0, {"route": "/p"})
+        return reg.snapshot()
+
+    def test_sanitize_metric_name(self):
+        assert sanitize_metric_name("serve.requests") == (
+            "repro_serve_requests"
+        )
+        assert sanitize_metric_name("lat_s") == "repro_lat_seconds"
+        assert sanitize_metric_name("a-b c") == "repro_a_b_c"
+
+    def test_render_parses_strictly_and_covers_all_kinds(self):
+        text = render_prometheus(self.snapshot())
+        parsed = parse_exposition(text)
+        assert parsed["types"]["repro_serve_requests_total"] == "counter"
+        assert parsed["types"]["repro_serve_inflight"] == "gauge"
+        assert parsed["types"]["repro_serve_request_seconds"] == "summary"
+        assert parsed["types"][
+            "repro_serve_request_latency_seconds"
+        ] == "histogram"
+        samples = parsed["samples"]
+        assert samples[
+            'repro_serve_requests_total{route="/p",status="200"}'
+        ] == 3.0
+        # The +Inf bucket always equals the series count.
+        inf = samples[
+            'repro_serve_request_latency_seconds_bucket'
+            '{le="+Inf",route="/p"}'
+        ]
+        count = samples[
+            'repro_serve_request_latency_seconds_count{route="/p"}'
+        ]
+        assert inf == count == 2.0
+        # Buckets are cumulative and non-decreasing.
+        buckets = [
+            v for k, v in samples.items()
+            if k.startswith("repro_serve_request_latency_seconds_bucket")
+        ]
+        assert buckets == sorted(buckets)
+
+    def test_each_family_declared_exactly_once(self):
+        text = render_prometheus(self.snapshot())
+        type_lines = [
+            line for line in text.splitlines()
+            if line.startswith("# TYPE")
+        ]
+        assert len(type_lines) == len(set(type_lines))
+
+    def test_parser_rejects_duplicates_and_malformed_lines(self):
+        with pytest.raises(ExpositionError, match="duplicate TYPE"):
+            parse_exposition(
+                "# TYPE a counter\n# TYPE a counter\na 1\n"
+            )
+        with pytest.raises(ExpositionError, match="duplicate series"):
+            parse_exposition("# TYPE a counter\na 1\na 2\n")
+        with pytest.raises(ExpositionError, match="no TYPE"):
+            parse_exposition("orphan 1\n")
+        with pytest.raises(ExpositionError, match="malformed sample"):
+            parse_exposition("# TYPE a counter\na one two three four\n")
+        with pytest.raises(ExpositionError, match="unknown metric type"):
+            parse_exposition("# TYPE a sparkline\n")
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""
+        assert parse_exposition("") == {"types": {}, "samples": {}}
 
 
 class TestRunManifest:
@@ -313,6 +571,15 @@ class TestCliManifestAndLogs:
         assert (
             {k: v["count"] for k, v in serial["timers"].items()}
             == {k: v["count"] for k, v in parallel["timers"].items()}
+        )
+        # Histograms observe the *simulated* kernel time, so the --jobs 2
+        # delta is bit-identical to serial — bucket counts, exact sum,
+        # min/max, everything.
+        key = 'campaign.point.sim_time_s{workload="atax"}'
+        assert key in serial["histograms"]
+        assert serial["histograms"][key]["count"] == 11
+        assert json.dumps(serial["histograms"], sort_keys=True) == (
+            json.dumps(parallel["histograms"], sort_keys=True)
         )
 
 

@@ -3,6 +3,8 @@
 import asyncio
 import http.client
 import json
+import logging
+import re
 import threading
 import time
 from types import SimpleNamespace
@@ -13,6 +15,15 @@ import pytest
 from repro import NapelTrainer, SimulationCampaign, get_workload, save_model
 from repro.core.predictor import NapelModel
 from repro.errors import ConfigError
+from repro.obs import (
+    load_trace,
+    metrics,
+    parse_exposition,
+    reset_tracing,
+    summarize_serve_requests,
+    tracer,
+    validate_trace,
+)
 from repro.schema import FeatureBlock, FeatureSchema
 from repro.serve import (
     MicroBatcher,
@@ -369,6 +380,343 @@ class TestServerLifecycle:
             ServerThread({"default": str(bad)}).start()
 
 
+# ---------------------------------------------------------- observability
+
+
+class TestObservability:
+    def test_request_id_propagated_and_echoed(self, artifact, client):
+        client.predict([_row(artifact)], request_id="req-abc.1")
+        assert client.last_request_id == "req-abc.1"
+
+    def test_request_id_minted_when_absent_or_invalid(
+        self, artifact, client
+    ):
+        client.predict([_row(artifact)])
+        minted = client.last_request_id
+        assert minted and re.fullmatch(r"[0-9a-f]{16}", minted)
+        # Ids with spaces/controls are not trusted into logs.
+        client.predict([_row(artifact)], request_id="bad id\twith junk")
+        assert client.last_request_id != "bad id\twith junk"
+        assert re.fullmatch(r"[0-9a-f]{16}", client.last_request_id)
+
+    def test_error_responses_carry_the_request_id(self, artifact, client):
+        with pytest.raises(ServeClientError) as err:
+            client.predict(
+                [_row(artifact)], model="nope", request_id="trace-me-1"
+            )
+        assert err.value.body["request_id"] == "trace-me-1"
+        assert client.last_request_id == "trace-me-1"
+
+    def test_labeled_request_counters_and_latency_histogram(
+        self, artifact, client
+    ):
+        client.predict([_row(artifact)])
+        doc = client.metrics()
+        assert doc["schema"]["version"] == 2
+        counters = doc["metrics"]["counters"]
+        key = (
+            'serve.requests{model="default",route="/predict",status="200"}'
+        )
+        assert counters[key] >= 1
+        # The unlabeled aggregate stays alongside the labeled series.
+        assert counters["serve.requests"] >= counters[key]
+        hists = doc["metrics"]["histograms"]
+        hkey = 'serve.request.latency_s{model="default",route="/predict"}'
+        assert hists[hkey]["count"] >= 1
+        assert hists[hkey]["sum"] > 0
+        batch = doc["metrics"]["histograms"][
+            'serve.batch.rows{model="default"}'
+        ]
+        assert batch["count"] >= 1
+        gauges = doc["metrics"]["gauges"]
+        assert gauges["serve.generation"] >= 1
+        assert "serve.inflight" in gauges
+
+    def test_4xx_requests_are_labeled_too(self, artifact, client):
+        base = metrics().snapshot()
+        with pytest.raises(ServeClientError):
+            client.predict([_row(artifact)], model="nope")
+        delta = metrics().diff(base)
+        key = 'serve.requests{model="-",route="/predict",status="404"}'
+        assert delta["counters"][key] == 1
+
+    def test_metrics_json_is_deterministically_ordered(self, client):
+        raw = client.request_raw("GET", "/metrics")
+        doc = json.loads(raw)
+        assert raw == (json.dumps(doc, sort_keys=True) + "\n").encode()
+
+    def test_metrics_prom_is_valid_exposition(self, artifact, client):
+        client.predict([_row(artifact)])
+        text = client.metrics_prom()
+        parsed = parse_exposition(text)  # raises on malformed output
+        assert parsed["types"]["repro_serve_requests_total"] == "counter"
+        assert (
+            parsed["types"]["repro_serve_request_latency_seconds"]
+            == "histogram"
+        )
+        assert parsed["types"]["repro_serve_generation"] == "gauge"
+        inf_buckets = [
+            key for key in parsed["samples"]
+            if key.startswith("repro_serve_request_latency_seconds_bucket")
+            and 'le="+Inf"' in key
+        ]
+        assert inf_buckets
+        # Content negotiation: the Accept header alone also selects text.
+        raw = client.request_raw(
+            "GET", "/metrics", headers={"Accept": "text/plain"}
+        )
+        parse_exposition(raw.decode("utf-8"))
+        # ...and the default stays JSON.
+        assert "metrics" in client.metrics()
+
+    def test_debug_requests_ring(self, artifact, client):
+        client.predict([_row(artifact)], request_id="ring-probe")
+        doc = client.debug_requests()
+        assert doc["capacity"] >= 1
+        assert doc["count"] == len(doc["requests"]) <= doc["capacity"]
+        match = [
+            r for r in doc["requests"] if r["request_id"] == "ring-probe"
+        ]
+        assert match, "predict request missing from the debug ring"
+        rec = match[0]
+        assert rec["route"] == "/predict"
+        assert rec["model"] == "default"
+        assert rec["rows"] == 1
+        assert rec["status"] == 200
+        assert rec["batch_id"]
+        assert rec["latency_ms"] >= 0
+        assert rec["generation"] >= 1
+
+    def test_access_log_line_per_request_including_4xx(
+        self, artifact, server
+    ):
+        records: list[logging.LogRecord] = []
+        handler = logging.Handler()
+        handler.emit = records.append
+        logger = logging.getLogger("repro.serve.access")
+        old_level = logger.level
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        try:
+            with ServeClient(port=server.port) as c:
+                c.predict([_row(artifact)], request_id="logged-ok")
+                with pytest.raises(ServeClientError):
+                    c.predict(
+                        [_row(artifact)], model="nope",
+                        request_id="logged-404",
+                    )
+        finally:
+            logger.removeHandler(handler)
+            logger.setLevel(old_level)
+        ctxs = [r.ctx for r in records if hasattr(r, "ctx")]
+        by_id = {c["request_id"]: c for c in ctxs}
+        assert {"logged-ok", "logged-404"} <= set(by_id)
+        assert by_id["logged-ok"]["status"] == 200
+        assert by_id["logged-404"]["status"] == 404
+        assert by_id["logged-ok"]["batch_id"]
+        assert by_id["logged-ok"]["latency_ms"] >= 0
+
+    def test_slow_request_attaches_exemplar_and_warns(self, artifact):
+        warned: list[logging.LogRecord] = []
+        handler = logging.Handler()
+        handler.emit = warned.append
+        logger = logging.getLogger("repro.serve")
+        logger.addHandler(handler)
+        try:
+            # Threshold far below any real latency: every request is
+            # "slow", so one predict must produce one exemplar.
+            with ServerThread(
+                {"default": str(artifact.path)}, batch_window_ms=1.0,
+                slow_request_ms=1e-6,
+            ) as srv:
+                with ServeClient(port=srv.port) as c:
+                    c.predict([_row(artifact)], request_id="slowpoke")
+                    doc = c.metrics()
+                assert srv.server.stats["slow_requests"] >= 1
+        finally:
+            logger.removeHandler(handler)
+        hist = doc["metrics"]["histograms"][
+            'serve.request.latency_s{model="default",route="/predict"}'
+        ]
+        exemplars = hist.get("exemplars") or {}
+        assert any(
+            e.get("request_id") == "slowpoke" for e in exemplars.values()
+        )
+        slow_logs = [
+            r for r in warned
+            if r.levelno == logging.WARNING
+            and getattr(r, "ctx", {}).get("request_id") == "slowpoke"
+        ]
+        assert slow_logs, "slow request did not emit a warn line"
+
+    def test_fast_requests_leave_no_exemplar(self, artifact):
+        with ServerThread(
+            {"default": str(artifact.path)}, batch_window_ms=1.0,
+        ) as srv:  # slow_request_ms=0: slow-path disabled
+            with ServeClient(port=srv.port) as c:
+                c.predict([_row(artifact)], request_id="fastpoke")
+                doc = c.metrics()
+        hist = doc["metrics"]["histograms"][
+            'serve.request.latency_s{model="default",route="/predict"}'
+        ]
+        exemplars = hist.get("exemplars") or {}
+        assert not any(
+            e.get("request_id") == "fastpoke" for e in exemplars.values()
+        )
+
+    def test_no_instrument_strips_labels_ring_and_histograms(
+        self, artifact
+    ):
+        base = metrics().snapshot()
+        with ServerThread(
+            {"default": str(artifact.path)}, batch_window_ms=1.0,
+            instrument=False,
+        ) as srv:
+            with ServeClient(port=srv.port) as c:
+                assert c.healthz()["instrument"] is False
+                c.predict([_row(artifact)])
+                assert c.debug_requests()["count"] == 0
+        delta = metrics().diff(base)
+        assert not any(
+            "serve.request.latency_s" in k for k in delta["histograms"]
+        )
+        assert not any("{" in k for k in delta["counters"])
+        # The PR 8 aggregate counters still tick.
+        assert delta["counters"]["serve.requests"] >= 1
+        assert delta["counters"]["serve.rows"] == 1
+
+    def test_traffic_histograms_count_every_request(
+        self, artifact, server
+    ):
+        reg = metrics()
+        base = reg.snapshot()
+        n_threads, per_thread = 2, 3
+        errors: list[BaseException] = []
+
+        def worker() -> None:
+            try:
+                with ServeClient(port=server.port) as c:
+                    for _ in range(per_thread):
+                        c.predict([_row(artifact)])
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        delta = reg.diff(base)
+        total = n_threads * per_thread
+        key = 'serve.request.latency_s{model="default",route="/predict"}'
+        assert delta["histograms"][key]["count"] == total
+        assert delta["counters"][
+            'serve.requests{model="default",route="/predict",status="200"}'
+        ] == total
+        # Every latency observation equals the timer's request count.
+        assert delta["timers"]["serve.request"]["count"] == total
+
+    def test_two_coroutine_traffic_identical_batch_histograms(self):
+        """The same coalesced 2-coroutine traffic pattern, run twice,
+        yields bit-identical batch-size histogram deltas — the serve
+        counterpart of the serial-vs-jobs campaign identity."""
+        reg = metrics()
+
+        def run_once() -> str:
+            async def main():
+                batcher = MicroBatcher(window_s=0.05)
+                served, _ = _fake_served(name="hist-probe")
+                await asyncio.gather(
+                    batcher.submit(served, np.ones((1, 2))),
+                    batcher.submit(served, np.ones((2, 2))),
+                )
+
+            base = reg.snapshot()
+            asyncio.run(main())
+            delta = reg.diff(base)
+            mine = {
+                k: v for k, v in delta["histograms"].items()
+                if "hist-probe" in k
+            }
+            assert mine[
+                'serve.batch.rows{model="hist-probe"}'
+            ]["count"] == 1
+            return json.dumps(mine, sort_keys=True)
+
+        assert run_once() == run_once()
+
+
+# ---------------------------------------------------------- serve tracing
+
+
+@pytest.fixture()
+def _serve_tracer(tmp_path):
+    """A fresh enabled global tracer, torn down after the test."""
+    reset_tracing()
+    t = tracer()
+    t.enable(tmp_path / "serve-trace.json")
+    yield t
+    reset_tracing()
+
+
+class TestServeTracing:
+    def test_request_spans_link_to_batch_spans(
+        self, artifact, _serve_tracer
+    ):
+        with ServerThread(
+            {"default": str(artifact.path)}, batch_window_ms=1.0
+        ) as srv:
+            with ServeClient(port=srv.port) as c:
+                for i in range(3):
+                    c.predict([_row(artifact)], request_id=f"traced-{i}")
+        doc = _serve_tracer.to_json_dict()
+        assert validate_trace(doc) > 0
+        summary = summarize_serve_requests(doc)
+        assert summary["requests"] >= 3
+        assert summary["batches"] >= 1
+        assert summary["unlinked_requests"] == 0
+        assert summary["mean_requests_per_batch"] >= 1
+        groups = {
+            (g["route"], g["status"]): g for g in summary["groups"]
+        }
+        assert groups[("/predict", "200")]["count"] == 3
+        assert groups[("/predict", "200")]["model"] == "default"
+        # The batch spans list every request id they answered.
+        linked = {
+            rid
+            for e in doc["traceEvents"]
+            if e.get("name") == "serve.predict_batch"
+            for rid in (e.get("args") or {}).get("request_ids", [])
+        }
+        assert {"traced-0", "traced-1", "traced-2"} <= linked
+
+    def test_trace_rotation_writes_numbered_files(
+        self, artifact, tmp_path, _serve_tracer
+    ):
+        with ServerThread(
+            {"default": str(artifact.path)}, batch_window_ms=1.0,
+            trace_rotate_events=5,
+        ) as srv:
+            with ServeClient(port=srv.port) as c:
+                for _ in range(25):
+                    c.predict([_row(artifact)])
+            deadline = time.monotonic() + 15
+            while time.monotonic() < deadline:
+                if list(tmp_path.glob("serve-trace.0*.json")):
+                    break
+                time.sleep(0.05)
+        rotated = sorted(tmp_path.glob("serve-trace.0*.json"))
+        assert rotated, "no rotation file appeared"
+        doc = load_trace(rotated[0])
+        assert validate_trace(doc) > 0
+        assert doc["otherData"]["rotated"] is True
+        assert doc["otherData"]["events"] >= 5
+        assert srv.server.stats["trace_rotations"] >= 1
+
+
 # --------------------------------------------------------------- unit: CLI
 # --------------------------------------------------------------- spec parse
 
@@ -469,8 +817,9 @@ class TestMicroBatcher:
             batcher = MicroBatcher(window_s=0.0)
             served, model = _fake_served()
             X = np.array([[1.0, 0.0], [2.0, 0.0]])
-            ipc, epi, n = await batcher.submit(served, X)
+            ipc, epi, n, batch_id = await batcher.submit(served, X)
             assert n == 2
+            assert batch_id
             assert model.calls == [2]
             assert np.array_equal(ipc, [1.0, 2.0])
             assert np.array_equal(epi, [2.0, 4.0])
@@ -488,6 +837,8 @@ class TestMicroBatcher:
             )
             assert model.calls == [2]
             assert r1[2] == r2[2] == 2
+            # One shared matrix call means one shared batch id.
+            assert r1[3] == r2[3]
             # Each caller gets exactly its own slice back.
             assert r1[0][0] == 1.0 and r2[0][0] == 2.0
 
@@ -531,7 +882,7 @@ class TestMicroBatcher:
             await asyncio.sleep(0.01)
             assert batcher.pending_rows() == 1
             await batcher.drain()
-            _, _, n = await task
+            _, _, n, _ = await task
             assert n == 1
             assert batcher.pending_rows() == 0
 

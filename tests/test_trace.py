@@ -13,6 +13,7 @@ from repro.obs import (
     load_trace,
     merge_traces,
     reset_tracing,
+    summarize_serve_requests,
     summarize_trace,
     validate_trace,
 )
@@ -123,6 +124,26 @@ class TestTracer:
         shipped = t.events_since(mark)
         assert [e["name"] for e in shipped] == ["after"]
 
+    def test_rotate_writes_and_clears_the_buffer(self, tmp_path):
+        t = Tracer(epoch=0.0, max_events=2)
+        t.enable(tmp_path / "out.json")
+        t.instant("one")
+        t.instant("two")
+        t.instant("dropped")  # over the bound
+        assert t.dropped == 1
+        path = t.rotate(tmp_path / "out.0001.json")
+        doc = load_trace(path)
+        assert validate_trace(doc) > 0
+        assert doc["otherData"]["rotated"] is True
+        assert doc["otherData"]["events"] == 2
+        assert doc["otherData"]["dropped"] == 1
+        # Rotation resets both the buffer and the drop counter, so the
+        # process keeps recording into the next file.
+        assert t.event_count == 0
+        assert t.dropped == 0
+        t.instant("three")
+        assert [e["name"] for e in t.events_since(0)] == ["three"]
+
 
 class TestHardwareTimeline:
     def test_cap_counts_drops_and_close_folds_them(self):
@@ -208,6 +229,58 @@ class TestTraceFileUtilities:
         path.write_text("{not json")
         with pytest.raises(TracingError):
             load_trace(path)
+
+
+def serve_trace_doc() -> dict:
+    """A hand-built serve trace: two linked requests, one dangling."""
+
+    def req(rid, batch_id, status=200, dur=1000.0):
+        return {
+            "ph": "X", "name": "serve.request", "ts": 0.0, "dur": dur,
+            "pid": 1, "tid": 0,
+            "args": {"request_id": rid, "route": "/predict",
+                     "model": "default", "rows": 1,
+                     "batch_id": batch_id, "status": status},
+        }
+
+    return {"traceEvents": [
+        req("r1", "b1"),
+        req("r2", "b1", dur=3000.0),
+        req("r3", "b-missing"),  # no batch span: unlinked
+        {
+            "ph": "X", "name": "serve.predict_batch", "ts": 0.0,
+            "dur": 500.0, "pid": 1, "tid": 0,
+            "args": {"batch_id": "b1", "model": "default", "rows": 2,
+                     "request_ids": ["r1", "r2"]},
+        },
+        # A timer-mirror span (no args): must not count as a request.
+        {
+            "ph": "X", "name": "serve.request", "ts": 0.0, "dur": 900.0,
+            "pid": 1, "tid": 0, "cat": "metrics",
+        },
+    ]}
+
+
+class TestSummarizeServeRequests:
+    def test_links_groups_and_unlinked_counts(self):
+        summary = summarize_serve_requests(serve_trace_doc())
+        assert summary["requests"] == 3
+        assert summary["batches"] == 1
+        assert summary["mean_requests_per_batch"] == 2.0
+        assert summary["unlinked_requests"] == 1
+        (group,) = summary["groups"]
+        assert (group["model"], group["route"], group["status"]) == (
+            "default", "/predict", "200"
+        )
+        assert group["count"] == 3
+        assert group["max_us"] == 3000.0
+
+    def test_empty_trace_summarizes_to_zero(self):
+        summary = summarize_serve_requests({"traceEvents": []})
+        assert summary["requests"] == 0
+        assert summary["batches"] == 0
+        assert summary["mean_requests_per_batch"] is None
+        assert summary["groups"] == []
 
 
 class TestCliTracing:
@@ -302,6 +375,15 @@ class TestCliTracing:
         code, out, _ = run_cli(capsys, "trace", str(merged_path), "--validate")
         assert code == 0
         assert "OK" in out
+
+    def test_trace_serve_prints_request_groups(self, capsys, tmp_path):
+        path = tmp_path / "serve.json"
+        path.write_text(json.dumps(serve_trace_doc()))
+        code, out, _ = run_cli(capsys, "trace", str(path), "--serve")
+        assert code == 0
+        assert "/predict" in out
+        assert "serve requests: 3 across 1 batch(es)" in out
+        assert "1 UNLINKED" in out
 
     def test_tracing_disabled_leaves_no_file(self, capsys, tmp_path):
         code, _, _ = run_cli(
