@@ -19,7 +19,7 @@ import time
 
 import numpy as np
 
-from _bench_utils import RESULTS_DIR, emit, emit_record
+from _bench_utils import emit, emit_record, results_dir
 
 from repro import SimulationCampaign, get_workload
 from repro.core.reporting import format_table
@@ -94,8 +94,9 @@ def test_parallel_scaling_record():
         for jobs in JOB_COUNTS[1:]:
             record[stage][f"speedup_{jobs}"] = base / record[stage][str(jobs)]
 
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    (RESULTS_DIR / "parallel_scaling.json").write_text(
+    out = results_dir()
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "parallel_scaling.json").write_text(
         json.dumps(record, indent=2) + "\n"
     )
 

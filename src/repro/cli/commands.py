@@ -23,7 +23,11 @@ from ..core.dataset import TrainingSet
 from ..core.reporting import format_table
 from ..errors import ReproError, WorkloadError
 from ..ml import mean_relative_error, r2_score
-from ..nmcsim import jit_status, simulation_memo_summary
+from ..nmcsim import (
+    jit_status,
+    simulation_batch_summary,
+    simulation_memo_summary,
+)
 from ..obs import (
     config_hash,
     load_trace,
@@ -95,6 +99,8 @@ def _campaign(args: argparse.Namespace, arch: NMCConfig | None = None):
         scale=getattr(args, "scale", 1.0),
         jobs=getattr(args, "jobs", None),
         engine=getattr(args, "engine", None),
+        batch=False if getattr(args, "no_batch", False) else None,
+        memo_dir=getattr(args, "memo_dir", None),
     )
 
 
@@ -286,6 +292,7 @@ def cmd_campaign(args: argparse.Namespace) -> None:
         jobs=campaign.jobs,
         sim_engine=campaign.engine,
         sim_memo=simulation_memo_summary(),
+        sim_batch=simulation_batch_summary(),
         sim_jit=jit_status(),
     )
     rows = [
@@ -354,6 +361,7 @@ def cmd_train(args: argparse.Namespace) -> None:
         jobs=campaign.jobs,
         sim_engine=campaign.engine,
         sim_memo=simulation_memo_summary(),
+        sim_batch=simulation_batch_summary(),
         sim_jit=jit_status(),
     )
     print(
@@ -634,6 +642,7 @@ def cmd_suitability(args: argparse.Namespace) -> None:
         jobs=campaign.jobs,
         sim_engine=campaign.engine,
         sim_memo=simulation_memo_summary(),
+        sim_batch=simulation_batch_summary(),
         sim_jit=jit_status(),
     )
     rows = [
@@ -686,6 +695,7 @@ def _suitability_by_backend(
         cache=_cache_summary(cache),
         best_backend=best,
         sim_memo=simulation_memo_summary(),
+        sim_batch=simulation_batch_summary(),
         sim_jit=jit_status(),
     )
     print(format_backend_suitability(results))

@@ -121,6 +121,22 @@ def build_parser() -> argparse.ArgumentParser:
                  "0 = all CPUs; results are identical at any job count)",
         )
 
+    def add_batch_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--no-batch", action="store_true",
+            help="simulate campaign points one at a time instead of "
+                 "batching every point's contention replay into one "
+                 "kernel call (default: batched, or $REPRO_SIM_BATCH=0; "
+                 "results are identical either way)",
+        )
+        p.add_argument(
+            "--memo-dir", metavar="DIR",
+            help="persist the simulator's phase-A geometry products "
+                 "(packed event bundles + cache stats) as content-hash-"
+                 "keyed entries under DIR, shared across processes and "
+                 "runs (default: $REPRO_SIM_MEMO_DIR, or no persistence)",
+        )
+
     def add_manifest_arg(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--manifest", metavar="PATH",
@@ -185,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache", help="campaign cache file (JSON)")
     add_engine_arg(p)
     add_jobs_arg(p)
+    add_batch_args(p)
     add_manifest_arg(p)
     add_trace_args(p)
     p.set_defaults(func=commands.cmd_campaign)
@@ -216,6 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_engine_arg(p)
     add_jobs_arg(p)
+    add_batch_args(p)
     add_manifest_arg(p)
     add_trace_args(p)
     p.set_defaults(func=commands.cmd_train)
@@ -323,6 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_engine_arg(p)
     add_jobs_arg(p)
+    add_batch_args(p)
     add_manifest_arg(p)
     add_trace_args(p)
     p.set_defaults(func=commands.cmd_suitability)

@@ -12,6 +12,7 @@ evaluation and the benchmark harness revisit the same points many times.
 
 from __future__ import annotations
 
+import functools
 import json
 import os
 import time
@@ -28,7 +29,11 @@ from ..nmcsim import (
     MEMO_COUNTER_NAMES,
     NMCSimulator,
     SimulationResult,
+    batch_enabled,
+    configure_store,
     resolve_engine,
+    simulate_batch,
+    store_dir,
 )
 from ..obs import get_logger, metrics, tracer
 from ..parallel import map_jobs, resolve_jobs
@@ -293,6 +298,59 @@ def _simulate_point_job(
     return profile, result, time.perf_counter() - start, memo_deltas
 
 
+def _simulate_batch_job(
+    job: tuple[Workload, list, NMCConfig, float, str, dict],
+) -> tuple[list, list, float, dict[str, int]]:
+    """Worker-side body of one batched campaign chunk (picklable).
+
+    ``job`` carries a contiguous chunk of pending points
+    ``(point_key, config, seed)`` plus ``known_profiles`` — profiles the
+    parent's cache already holds (from an earlier architecture sweep),
+    shipped along so workers skip re-profiling ("memo adoption").  Trace
+    generation and profiling emit the same per-point spans/timers as the
+    per-point path; simulation then runs through
+    :func:`repro.nmcsim.simulate_batch`, which replays every point's
+    phase B in one kernel invocation while still emitting per-point
+    ``phase.simulate`` spans — so campaign observability contracts hold
+    at any worker count.
+    """
+    workload, chunk, arch, scale, engine, known_profiles = job
+    start = time.perf_counter()
+    m = metrics()
+    memo_before = {name: m.count(name) for name in MEMO_COUNTER_NAMES}
+    profiles: list[ApplicationProfile] = []
+    sim_points: list[tuple[InstructionTrace, NMCConfig, str, dict]] = []
+    for point_key, config, seed in chunk:
+        with tracer().span(
+            "campaign.point", workload=workload.name, seed=seed
+        ):
+            trace = _memoized_trace(workload, config, seed, scale, point_key)
+            profile = known_profiles.get(point_key)
+            if profile is None:
+                with metrics().timer("phase.profile"):
+                    profile = analyze_trace(
+                        trace, workload=workload.name,
+                        parameters=dict(config),
+                    )
+            profiles.append(profile)
+            sim_points.append(
+                (trace, arch, workload.name, dict(config))
+            )
+    results = simulate_batch(sim_points, engine=engine)
+    for result in results:
+        m.inc("campaign.points.simulated")
+        m.observe(
+            "campaign.point.sim_time_s",
+            result.time_s,
+            {"workload": workload.name},
+        )
+    memo_deltas = {
+        name: m.count(name) - memo_before[name]
+        for name in MEMO_COUNTER_NAMES
+    }
+    return profiles, results, time.perf_counter() - start, memo_deltas
+
+
 class SimulationCampaign:
     """Runs DoE configurations of workloads through profile + simulation.
 
@@ -301,6 +359,14 @@ class SimulationCampaign:
     :mod:`repro.parallel` for the determinism guarantee.  ``engine``
     selects the simulation engine (None = honour ``REPRO_SIM_ENGINE``,
     default fast); both engines produce identical results.
+
+    ``batch`` controls campaign-level batched replay (None = honour
+    ``REPRO_SIM_BATCH``, default on): uncached points are grouped so
+    same-trace points run phase A back to back against warm memos and
+    every point's phase B replays in one compiled kernel invocation —
+    bit-identical to per-point simulation.  ``memo_dir`` points the
+    persistent phase-A memo store at a directory (None = honour
+    ``REPRO_SIM_MEMO_DIR``); pool workers adopt the same store.
     """
 
     def __init__(
@@ -311,6 +377,8 @@ class SimulationCampaign:
         scale: float = 1.0,
         jobs: int | None = None,
         engine: str | None = None,
+        batch: bool | None = None,
+        memo_dir: str | os.PathLike | None = None,
     ) -> None:
         self.arch = arch or default_nmc_config()
         self.arch.validate()
@@ -318,7 +386,13 @@ class SimulationCampaign:
         self.scale = scale
         self.jobs = resolve_jobs(jobs)
         self.engine = resolve_engine(engine)
+        self.batch = batch
+        if memo_dir is not None:
+            configure_store(memo_dir)
         self._simulator = NMCSimulator(self.arch, engine=self.engine)
+        # The canonical arch hash covers every config field; computing it
+        # per point was measurable (~0.7 ms each) at campaign scale.
+        self._arch_key = _arch_key(self.arch)
         #: Wall-clock seconds spent simulating, by workload (Table 4's
         #: "DoE run" column); profiling time is included, simulation of
         #: cached points is not re-counted.  Under parallel execution
@@ -349,7 +423,7 @@ class SimulationCampaign:
         config = workload.validate_config(config)
         seed = config_seed(workload.name, config) + replicate
         point_key = _config_key(workload.name, config, seed)
-        arch_key = _arch_key(self.arch)
+        arch_key = self._arch_key
         cached = self.cache.get(point_key, arch_key)
         if cached is not None:
             profile, result = cached
@@ -443,7 +517,9 @@ class SimulationCampaign:
             }},
         )
         start = time.perf_counter()
-        if jobs_n > 1:
+        if batch_enabled(self.batch) and self.engine == "fast":
+            rows = self._run_points_batched(workload, points, jobs_n)
+        elif jobs_n > 1:
             rows = self._run_points_parallel(workload, points, jobs_n)
         else:
             rows = []
@@ -471,6 +547,62 @@ class SimulationCampaign:
         )
         return TrainingSet(rows)
 
+    def _pending_split(
+        self,
+        workload: Workload,
+        points: Sequence[tuple[dict, int]],
+    ) -> tuple[list[str], list[tuple[str, dict, int]]]:
+        """Point keys of all points + the (key, config, seed) not cached.
+
+        Cache accounting (hits/misses, trace instants) happens here, once
+        per point — identical to the serial per-point path's lookups.
+        """
+        keys: list[str] = []
+        pending: list[tuple[str, dict, int]] = []
+        for config, replicate in points:
+            seed = config_seed(workload.name, config) + replicate
+            point_key = _config_key(workload.name, config, seed)
+            keys.append(point_key)
+            if self.cache.get(point_key, self._arch_key) is None:
+                pending.append((point_key, config, seed))
+        return keys, pending
+
+    def _merge_memo_deltas(
+        self, outputs: Sequence[tuple], memo_before: Mapping[str, int]
+    ) -> None:
+        """Fold worker-side sim-memo counter activity into this process's
+        registry.  map_jobs may have run the jobs in-process (serial
+        fallback), in which case the counters already moved here — only
+        the part not observed locally is added."""
+        m = metrics()
+        for name in MEMO_COUNTER_NAMES:
+            reported = sum(deltas.get(name, 0) for *_, deltas in outputs)
+            missing = reported - (m.count(name) - memo_before[name])
+            if missing > 0:
+                m.inc(name, missing)
+
+    def _rows_from_cache(
+        self,
+        workload: Workload,
+        points: Sequence[tuple[dict, int]],
+        keys: Sequence[str],
+    ) -> list[TrainingRow]:
+        rows: list[TrainingRow] = []
+        for (config, _), point_key in zip(points, keys):
+            # record=False: accounting happened at the pending check above;
+            # this re-read is bookkeeping, not a campaign-level lookup.
+            cached = self.cache.get(point_key, self._arch_key, record=False)
+            assert cached is not None
+            profile, result = cached
+            rows.append(TrainingRow(
+                workload=workload.name,
+                parameters=dict(config),
+                profile=profile,
+                arch=self.arch,
+                result=result,
+            ))
+        return rows
+
     def _run_points_parallel(
         self,
         workload: Workload,
@@ -478,19 +610,16 @@ class SimulationCampaign:
         jobs_n: int,
     ) -> list[TrainingRow]:
         """Simulate the uncached points in workers, merge in point order."""
-        arch_key = _arch_key(self.arch)
-        keys: list[str] = []
-        pending: list[tuple[str, tuple]] = []
-        for config, replicate in points:
-            seed = config_seed(workload.name, config) + replicate
-            point_key = _config_key(workload.name, config, seed)
-            keys.append(point_key)
-            if self.cache.get(point_key, arch_key) is None:
-                pending.append((
-                    point_key,
-                    (workload, config, seed, self.arch, self.scale,
-                     self.engine),
-                ))
+        arch_key = self._arch_key
+        keys, pending_points = self._pending_split(workload, points)
+        pending = [
+            (
+                point_key,
+                (workload, config, seed, self.arch, self.scale,
+                 self.engine),
+            )
+            for point_key, config, seed in pending_points
+        ]
         m = metrics()
         memo_before = {name: m.count(name) for name in MEMO_COUNTER_NAMES}
         outputs = map_jobs(
@@ -498,15 +627,7 @@ class SimulationCampaign:
             [job for _, job in pending],
             jobs_n=jobs_n,
         )
-        # Fold worker-side sim-memo counter activity into this process's
-        # registry.  map_jobs may have run the jobs in-process (serial
-        # fallback), in which case the counters already moved here — only
-        # the part not observed locally is added.
-        for name in MEMO_COUNTER_NAMES:
-            reported = sum(deltas.get(name, 0) for *_, deltas in outputs)
-            missing = reported - (m.count(name) - memo_before[name])
-            if missing > 0:
-                m.inc(name, missing)
+        self._merge_memo_deltas(outputs, memo_before)
         # Merge in dispatch order so cache contents and timing tallies are
         # independent of worker completion order.
         for i, ((point_key, _), (profile, result, elapsed, _)) in enumerate(
@@ -524,21 +645,89 @@ class SimulationCampaign:
                     "of": len(pending),
                 }},
             )
-        rows: list[TrainingRow] = []
-        for (config, _), point_key in zip(points, keys):
-            # record=False: accounting happened at the pending check above;
-            # this re-read is bookkeeping, not a campaign-level lookup.
-            cached = self.cache.get(point_key, arch_key, record=False)
-            assert cached is not None
-            profile, result = cached
-            rows.append(TrainingRow(
-                workload=workload.name,
-                parameters=dict(config),
-                profile=profile,
-                arch=self.arch,
-                result=result,
-            ))
-        return rows
+        return self._rows_from_cache(workload, points, keys)
+
+    def _run_points_batched(
+        self,
+        workload: Workload,
+        points: Sequence[tuple[dict, int]],
+        jobs_n: int,
+    ) -> list[TrainingRow]:
+        """Simulate the uncached points through the batching scheduler.
+
+        Pending points are split into (at most) ``jobs_n`` contiguous
+        chunks; each chunk's phase B replays in one batched kernel
+        invocation (:func:`repro.nmcsim.simulate_batch`).  When the
+        persistent memo store is configured, pool workers adopt the
+        parent's store directory via the executor's ``worker_init``
+        hook, so geometry work done by one worker is reused by all.
+        Results are bit-identical to per-point simulation.
+        """
+        keys, pending = self._pending_split(workload, points)
+        if pending:
+            known_profiles = {}
+            for point_key, _config, _seed in pending:
+                profile = self.cache.get_profile(point_key)
+                if profile is not None:
+                    known_profiles[point_key] = profile
+            n_chunks = max(1, min(jobs_n, len(pending)))
+            base, extra = divmod(len(pending), n_chunks)
+            chunks: list[list[tuple[str, dict, int]]] = []
+            lo = 0
+            for c in range(n_chunks):
+                hi = lo + base + (1 if c < extra else 0)
+                chunks.append(pending[lo:hi])
+                lo = hi
+            payloads = [
+                (
+                    workload, chunk, self.arch, self.scale, self.engine,
+                    {
+                        pk: known_profiles[pk]
+                        for pk, _cfg, _seed in chunk
+                        if pk in known_profiles
+                    },
+                )
+                for chunk in chunks
+            ]
+            m = metrics()
+            memo_before = {
+                name: m.count(name) for name in MEMO_COUNTER_NAMES
+            }
+            sdir = store_dir()
+            outputs = map_jobs(
+                _simulate_batch_job,
+                payloads,
+                jobs_n=jobs_n,
+                chunk=1,
+                worker_init=(
+                    functools.partial(configure_store, sdir)
+                    if sdir is not None else None
+                ),
+            )
+            self._merge_memo_deltas(outputs, memo_before)
+            done = 0
+            for chunk, (profiles, results, elapsed, _) in zip(
+                chunks, outputs
+            ):
+                for (point_key, _cfg, _seed), profile, result in zip(
+                    chunk, profiles, results
+                ):
+                    self.cache.put(
+                        point_key, self._arch_key, profile, result
+                    )
+                done += len(chunk)
+                self.doe_run_seconds[workload.name] = (
+                    self.doe_run_seconds.get(workload.name, 0.0) + elapsed
+                )
+                log.info(
+                    "campaign progress",
+                    extra={"ctx": {
+                        "workload": workload.name,
+                        "point": done,
+                        "of": len(pending),
+                    }},
+                )
+        return self._rows_from_cache(workload, points, keys)
 
     def run_all(
         self,

@@ -17,15 +17,26 @@ from .classify import (
     classify_vectorized,
 )
 from .energy import EnergyBreakdown, compute_energy
+from .memostore import (
+    MemoStore,
+    active_store,
+    configure_store,
+    store_dir,
+    store_status,
+)
 from .results import SimulationResult
 from .simulator import (
     ENGINES,
     MEMO_COUNTER_NAMES,
     NMCSimulator,
+    batch_enabled,
     jit_status,
     memo_enabled,
     resolve_engine,
     simulate,
+    simulate_batch,
+    simulation_batch_summary,
+    simulation_memo_bytes,
     simulation_memo_summary,
 )
 
@@ -41,7 +52,16 @@ __all__ = [
     "MEMO_COUNTER_NAMES",
     "jit_status",
     "memo_enabled",
+    "batch_enabled",
+    "simulate_batch",
+    "simulation_batch_summary",
+    "simulation_memo_bytes",
     "simulation_memo_summary",
+    "MemoStore",
+    "active_store",
+    "configure_store",
+    "store_dir",
+    "store_status",
     "LRUClassification",
     "classify_lru",
     "classify_steps",

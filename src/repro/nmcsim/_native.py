@@ -286,6 +286,74 @@ def contend_packed(
             break
 
 
+#: Column order of the per-point float parameter table handed to
+#: :func:`contend_packed_multi` (one row per design point).
+PARAM_FIELDS = (
+    "t_cl", "t_bl", "t_rp", "hop", "linger", "closed", "occupancy",
+    "wr_extra", "l1_cycle",
+)
+
+#: Column order of the per-point integer parameter table: the PE model
+#: switches plus the scratch-reset extents (bank / vault counts).
+IPARAM_FIELDS = ("ooo", "mshrs", "n_banks", "n_vaults")
+
+
+def _make_multi(single: Callable) -> Callable:
+    """The multi-point loop over a single-point kernel body.
+
+    Shared between the pure-Python reference and the numba build (numba
+    compiles the closure with ``single`` being the jitted single-point
+    kernel).  ``p_off`` bounds each design point's packed-stream window
+    in the concatenated arrays; ``off`` entries are *absolute* event
+    indices, so the per-point window ``off[s0:s1+1]`` indexes the global
+    event columns directly.  Scratch arrays are sized for the largest
+    point and re-initialised per point — each point starts from the
+    exact idle-memory state a fresh :class:`StackedMemory` would have,
+    which is what makes one batched invocation bit-identical to N
+    separate ones.
+    """
+
+    def contend_packed_multi(
+        p_off, off,
+        block, vault, bank, wblock, wvault, wbank,
+        dnext, t0, tail, finish,
+        params, iparams,
+        bank_ready, bank_row, bank_until, bus_ready,
+        mshr_buf, mshr_len,
+        heap_t, heap_i, pos,
+    ):
+        n_points = p_off.shape[0] - 1
+        for p in range(n_points):
+            s0 = p_off[p]
+            s1 = p_off[p + 1]
+            if s1 == s0:
+                continue
+            nb = iparams[p, 2]
+            nv = iparams[p, 3]
+            bank_ready[:nb] = 0.0
+            bank_row[:nb] = -1
+            bank_until[:nb] = -1.0
+            bus_ready[:nv] = 0.0
+            single(
+                off[s0:s1 + 1],
+                block, vault, bank, wblock, wvault, wbank,
+                dnext, t0[s0:s1], tail[s0:s1], finish[s0:s1],
+                bank_ready, bank_row, bank_until, bus_ready,
+                params[p, 0], params[p, 1], params[p, 2], params[p, 3],
+                params[p, 4], params[p, 5], params[p, 6], params[p, 7],
+                params[p, 8],
+                iparams[p, 0], iparams[p, 1],
+                mshr_buf, mshr_len,
+                heap_t, heap_i, pos,
+            )
+
+    return contend_packed_multi
+
+
+#: Pure-Python reference of the multi-point kernel (also the numba source).
+contend_packed_multi = _make_multi(contend_packed)
+
+
 _C_SOURCE = r"""
 #include <stdint.h>
 #include <math.h>
@@ -463,6 +531,43 @@ void contend_packed(
         }
     }
 }
+
+void contend_packed_multi(
+    const i64 *p_off,
+    const i64 *off,
+    const i64 *block, const i64 *vault, const i64 *bank,
+    const i64 *wblock, const i64 *wvault, const i64 *wbank,
+    const double *dnext, const double *t0, const double *tail,
+    double *finish,
+    const double *params, const i64 *iparams,
+    double *bank_ready, i64 *bank_row, double *bank_until,
+    double *bus_ready,
+    double *mshr_buf, i64 *mshr_len,
+    double *heap_t, i64 *heap_i, i64 *pos, i64 n_points)
+{
+    for (i64 p = 0; p < n_points; p++) {
+        i64 s0 = p_off[p];
+        i64 s1 = p_off[p + 1];
+        if (s1 == s0) continue;
+        const double *pp = params + p * 9;
+        const i64 *ip = iparams + p * 4;
+        i64 nb = ip[2];
+        i64 nv = ip[3];
+        for (i64 b = 0; b < nb; b++) {
+            bank_ready[b] = 0.0;
+            bank_row[b] = -1;
+            bank_until[b] = -1.0;
+        }
+        for (i64 v = 0; v < nv; v++) bus_ready[v] = 0.0;
+        contend_packed(
+            off + s0, block, vault, bank, wblock, wvault, wbank,
+            dnext, t0 + s0, tail + s0, finish + s0,
+            bank_ready, bank_row, bank_until, bus_ready,
+            pp[0], pp[1], pp[2], pp[3], pp[4], pp[5], pp[6], pp[7], pp[8],
+            ip[0], ip[1], mshr_buf, mshr_len,
+            heap_t, heap_i, pos, s1 - s0);
+    }
+}
 """
 
 
@@ -478,6 +583,27 @@ def _build_numba() -> Callable | None:
         return None
 
 
+def _build_numba_multi(single: Callable) -> Callable | None:
+    """numba-compile the multi-point loop over the jitted single kernel.
+
+    ``cache=True`` is not usable here: the closure captures the jitted
+    single-point dispatcher, which numba cannot persist to its on-disk
+    cache — the (cheap) outer loop recompiles per process instead.
+    """
+    try:
+        import numba  # noqa: F401 - optional dependency
+    except ImportError:  # pragma: no cover - numba gone mid-process
+        return None
+    try:
+        return numba.njit(cache=False, fastmath=False)(_make_multi(single))
+    except Exception as exc:  # pragma: no cover - defensive
+        log.warning(
+            "numba multi-point JIT unavailable",
+            extra={"ctx": {"error": str(exc)}},
+        )
+        return None
+
+
 def _cache_dir() -> str:
     path = os.environ.get(CACHE_ENV_VAR, "").strip() or os.path.join(
         tempfile.gettempdir(), "repro-simjit"
@@ -486,7 +612,16 @@ def _cache_dir() -> str:
     return path
 
 
-def _build_cc() -> Callable | None:
+_CC_LIB: ctypes.CDLL | None = None
+_CC_TRIED = False
+
+
+def _load_cc_lib() -> ctypes.CDLL | None:
+    """Compile (once) and load the shared object holding both C kernels."""
+    global _CC_LIB, _CC_TRIED
+    if _CC_TRIED:
+        return _CC_LIB
+    _CC_TRIED = True
     compiler = (
         shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
     )
@@ -513,12 +648,19 @@ def _build_cc() -> Callable | None:
                 timeout=120,
             )
             os.replace(tmp_path, so_path)
-        lib = ctypes.CDLL(so_path)
+        _CC_LIB = ctypes.CDLL(so_path)
     except (OSError, subprocess.SubprocessError) as exc:
         log.warning(
             "C kernel build failed; falling back to Python loop",
             extra={"ctx": {"compiler": compiler, "error": str(exc)}},
         )
+        return None
+    return _CC_LIB
+
+
+def _build_cc() -> Callable | None:
+    lib = _load_cc_lib()
+    if lib is None:
         return None
     fn = lib.contend_packed
     fn.restype = None
@@ -559,6 +701,47 @@ def _build_cc() -> Callable | None:
     return kernel
 
 
+def _build_cc_multi() -> Callable | None:
+    lib = _load_cc_lib()
+    if lib is None:
+        return None
+    fn = lib.contend_packed_multi
+    fn.restype = None
+    dp = ctypes.POINTER(ctypes.c_double)
+    ip = ctypes.POINTER(ctypes.c_int64)
+    fn.argtypes = (
+        [ip, ip] + [ip] * 6 + [dp] * 4
+        + [dp, ip]
+        + [dp, ip, dp, dp]
+        + [dp, ip]
+        + [dp, ip, ip, ctypes.c_int64]
+    )
+
+    def _as(arr: np.ndarray, ptr_type):
+        return arr.ctypes.data_as(ptr_type)
+
+    def kernel(
+        p_off, off, block, vault, bank, wblock, wvault, wbank,
+        dnext, t0, tail, finish, params, iparams,
+        bank_ready, bank_row, bank_until, bus_ready,
+        mshr_buf, mshr_len, heap_t, heap_i, pos,
+    ) -> None:
+        fn(
+            _as(p_off, ip), _as(off, ip),
+            _as(block, ip), _as(vault, ip), _as(bank, ip),
+            _as(wblock, ip), _as(wvault, ip), _as(wbank, ip),
+            _as(dnext, dp), _as(t0, dp), _as(tail, dp), _as(finish, dp),
+            _as(params, dp), _as(iparams, ip),
+            _as(bank_ready, dp), _as(bank_row, ip), _as(bank_until, dp),
+            _as(bus_ready, dp),
+            _as(mshr_buf, dp), _as(mshr_len, ip),
+            _as(heap_t, dp), _as(heap_i, ip), _as(pos, ip),
+            len(p_off) - 1,
+        )
+
+    return kernel
+
+
 _RESOLVED: tuple[Callable | None, str | None] | None = None
 
 
@@ -584,3 +767,32 @@ def get_kernel() -> tuple[Callable | None, str | None]:
                 extra={"ctx": {"backend": _RESOLVED[1]}},
             )
     return _RESOLVED
+
+
+_RESOLVED_MULTI: tuple[Callable | None, str | None] | None = None
+
+
+def get_batch_kernel() -> tuple[Callable | None, str | None]:
+    """The compiled *multi-point* kernel as ``(callable, backend_name)``.
+
+    Shares backend resolution with :func:`get_kernel` (the single-point
+    kernel is the body the multi loop calls per point); ``(None, None)``
+    when no compiled backend is available — callers fall back to running
+    the points one by one through the Python loop.
+    """
+    global _RESOLVED_MULTI
+    if _RESOLVED_MULTI is None:
+        single, backend = get_kernel()
+        if single is None:
+            _RESOLVED_MULTI = (None, None)
+        elif backend == "numba":
+            multi = _build_numba_multi(single)
+            _RESOLVED_MULTI = (
+                (multi, "numba") if multi is not None else (None, None)
+            )
+        else:
+            multi = _build_cc_multi()
+            _RESOLVED_MULTI = (
+                (multi, "cc") if multi is not None else (None, None)
+            )
+    return _RESOLVED_MULTI

@@ -45,12 +45,18 @@ def in_worker() -> bool:
     return _IN_WORKER
 
 
-def _mark_worker() -> None:
+def _mark_worker(worker_init: Callable[[], None] | None = None) -> None:
     global _IN_WORKER
     _IN_WORKER = True
     log.debug(
         "pool worker started", extra={"ctx": {"pid": os.getpid()}}
     )
+    if worker_init is not None:
+        # Caller-supplied per-worker setup (must be picklable, e.g. a
+        # functools.partial): adopts parent-process configuration that
+        # does not travel through fork/spawn, like the simulator's
+        # persistent memo-store directory.
+        worker_init()
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -190,11 +196,18 @@ class ProcessExecutor:
     surprising) whenever a pool cannot or should not be used.
     """
 
-    def __init__(self, jobs_n: int, *, chunk: int | None = None) -> None:
+    def __init__(
+        self,
+        jobs_n: int,
+        *,
+        chunk: int | None = None,
+        worker_init: Callable[[], None] | None = None,
+    ) -> None:
         if jobs_n < 1:
             raise ParallelError("jobs_n must be >= 1")
         self.jobs_n = jobs_n
         self.chunk = chunk
+        self.worker_init = worker_init
 
     def map_jobs(
         self, fn: Callable[[T], R], jobs: Sequence[T], *, chunk: int | None = None
@@ -230,6 +243,7 @@ class ProcessExecutor:
                 max_workers=workers,
                 mp_context=_mp_context(),
                 initializer=_mark_worker,
+                initargs=(self.worker_init,),
             ) as pool:
                 raw = list(pool.map(_call_job, payloads, chunksize=chunk))
         except ParallelError:
@@ -277,13 +291,21 @@ class ProcessExecutor:
 
 
 def get_executor(
-    jobs: int | None = None, *, chunk: int | None = None
+    jobs: int | None = None,
+    *,
+    chunk: int | None = None,
+    worker_init: Callable[[], None] | None = None,
 ) -> SerialExecutor | ProcessExecutor:
-    """Executor for the resolved job count (serial when it is 1)."""
+    """Executor for the resolved job count (serial when it is 1).
+
+    ``worker_init`` (picklable, zero-argument) runs once in every pool
+    worker before any job; serial execution skips it — the caller's own
+    process state already applies.
+    """
     jobs_n = resolve_jobs(jobs)
     if jobs_n <= 1:
         return SerialExecutor()
-    return ProcessExecutor(jobs_n, chunk=chunk)
+    return ProcessExecutor(jobs_n, chunk=chunk, worker_init=worker_init)
 
 
 def map_jobs(
@@ -292,6 +314,7 @@ def map_jobs(
     *,
     jobs_n: int | None = None,
     chunk: int | None = None,
+    worker_init: Callable[[], None] | None = None,
 ) -> list[R]:
     """Apply ``fn`` to every job, in parallel when ``jobs_n`` allows it.
 
@@ -300,5 +323,9 @@ def map_jobs(
     the failing job's index and repr (serial runs propagate the original
     exception with its intact traceback), and ``jobs_n=None`` consults
     the ``REPRO_JOBS`` environment variable (absent -> serial).
+    ``worker_init`` is per-worker setup for pool runs (see
+    :func:`get_executor`).
     """
-    return get_executor(jobs_n, chunk=chunk).map_jobs(fn, list(jobs))
+    return get_executor(
+        jobs_n, chunk=chunk, worker_init=worker_init
+    ).map_jobs(fn, list(jobs))
